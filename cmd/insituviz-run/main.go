@@ -1,0 +1,86 @@
+// Command insituviz-run executes one visualization pipeline end to end on
+// the simulated Caddy platform and prints the measured metrics — the
+// paper's basic characterization experiment for a single configuration.
+//
+// Usage:
+//
+//	insituviz-run -pipeline insitu -sampling-hours 8
+//	insituviz-run -pipeline post -sampling-hours 24 -grid-km 30 -months 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"insituviz"
+	"insituviz/internal/pipeline"
+	"insituviz/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("insituviz-run: ")
+
+	pipelineName := flag.String("pipeline", "insitu", "pipeline to run: insitu, post, or intransit")
+	stagingNodes := flag.Int("staging-nodes", 0, "staging partition size for -pipeline intransit (0 = default)")
+	samplingHours := flag.Float64("sampling-hours", 8, "output sampling interval in simulated hours")
+	months := flag.Float64("months", 6, "simulated duration in 30-day months")
+	gridKM := flag.Float64("grid-km", 60, "mesh resolution in km")
+	timestepMin := flag.Float64("timestep-min", 30, "simulation timestep in simulated minutes")
+	tracePath := flag.String("trace", "", "write a Chrome-tracing JSON of the run's phases to this file")
+	flag.Parse()
+
+	var kind insituviz.Kind
+	switch *pipelineName {
+	case "insitu", "in-situ":
+		kind = insituviz.InSitu
+	case "post", "post-processing":
+		kind = insituviz.PostProcessing
+	case "intransit", "in-transit":
+		kind = insituviz.InTransit
+	default:
+		log.Fatalf("unknown pipeline %q (want insitu, post, or intransit)", *pipelineName)
+	}
+
+	w := insituviz.ReferenceWorkload(insituviz.Hours(*samplingHours))
+	w.GridKM = *gridKM
+	w.SimulatedDuration = insituviz.Hours(*months * 30 * 24)
+	w.Timestep = insituviz.Minutes(*timestepMin)
+
+	platform := insituviz.CaddyPlatform()
+	platform.StagingNodes = *stagingNodes
+	m, err := insituviz.RunPipeline(kind, w, platform)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tb := report.NewTable(fmt.Sprintf("%v pipeline — %g km grid, %g months, output every %g h",
+		kind, *gridKM, *months, *samplingHours), "metric", "value")
+	tb.AddRow("execution time", m.ExecutionTime.String())
+	tb.AddRow("  simulation phase", m.SimTime.String())
+	tb.AddRow("  I/O wait", m.IOTime.String())
+	tb.AddRow("  visualization phase", m.VizTime.String())
+	tb.AddRow("avg compute power", m.AvgComputePower.String())
+	tb.AddRow("avg storage power", m.AvgStoragePower.String())
+	tb.AddRow("avg total power", m.AvgTotalPower.String())
+	tb.AddRow("energy", m.Energy.String())
+	tb.AddRow("storage used", m.StorageUsed.String())
+	tb.AddRow("outputs written", fmt.Sprintf("%d", m.Outputs))
+	fmt.Print(tb.String())
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pipeline.WriteChromeTrace(f, m.Phases); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("phase timeline written to %s (open in chrome://tracing)\n", *tracePath)
+	}
+}

@@ -1,0 +1,92 @@
+// Command modelfit runs the paper's full characterization campaign (both
+// pipelines at 8/24/72-hour sampling), fits the Eq. 5 linear model — by
+// exact three-point solve or least-squares regression — and validates it
+// against every measured configuration (Fig. 8).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"insituviz"
+	"insituviz/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("modelfit: ")
+	useRegression := flag.Bool("regression", false, "fit by least squares over all six points instead of the paper's exact 3-point solve")
+	csvPath := flag.String("csv", "", "also write the measured configurations as CSV to this file")
+	flag.Parse()
+
+	base := insituviz.ReferenceWorkload(insituviz.Hours(8))
+	ch, err := insituviz.Characterize(insituviz.CaddyPlatform(), base,
+		[]insituviz.Seconds{insituviz.Hours(8), insituviz.Hours(24), insituviz.Hours(72)})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	meas := report.NewTable("Measured configurations",
+		"pipeline", "sampling", "S_io (GB)", "N_viz", "time (s)", "power (kW)", "energy (MJ)")
+	for _, p := range ch.Points {
+		meas.AddRow(p.Kind.String(), p.Sampling.String(),
+			fmt.Sprintf("%.2f", p.OutputGB), fmt.Sprintf("%d", p.Images),
+			fmt.Sprintf("%.0f", float64(p.Time)),
+			fmt.Sprintf("%.2f", p.Power.Kilowatts()),
+			fmt.Sprintf("%.1f", p.Energy.Megajoules()))
+	}
+	fmt.Print(meas.String())
+	fmt.Println()
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ch.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("measurements written to %s\n\n", *csvPath)
+	}
+
+	var model *insituviz.Model
+	if *useRegression {
+		model, err = ch.FitRegressionModel()
+	} else {
+		model, err = ch.FitPaperModel()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	method := "exact 3-point solve (paper Eq. 5)"
+	if *useRegression {
+		method = "least-squares regression over all points"
+	}
+	coef := report.NewTable("Fitted model — "+method, "coefficient", "value", "paper")
+	coef.AddRow("t_sim (6 sim-months)", fmt.Sprintf("%.1f s", float64(model.TSimRef)), "603 s")
+	coef.AddRow("alpha", fmt.Sprintf("%.3f s/GB", model.Alpha), "6.3 s/GB")
+	coef.AddRow("beta", fmt.Sprintf("%.3f s/image-set", model.Beta), "1.2 s/image-set")
+	coef.AddRow("P", model.Power.String(), "~46 kW")
+	fmt.Print(coef.String())
+	fmt.Println()
+
+	rep, err := ch.Validate(model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	val := report.NewTable("Validation (Fig. 8)", "configuration", "measured (s)", "modeled (s)", "error")
+	for i, p := range ch.Points {
+		re := (rep.Predicted[i] - rep.Measured[i]) / rep.Measured[i]
+		val.AddRow(fmt.Sprintf("%v @ %v", p.Kind, p.Sampling),
+			fmt.Sprintf("%.0f", rep.Measured[i]),
+			fmt.Sprintf("%.0f", rep.Predicted[i]),
+			report.Pct(re))
+	}
+	fmt.Print(val.String())
+	fmt.Printf("MAPE = %.3f%%, max |error| = %.3f%% (paper: < 0.5%%)\n", rep.MAPE, rep.MaxAPE)
+}

@@ -1,0 +1,56 @@
+// Command ncinfo prints the header of a netCDF classic file in CDL
+// notation (like `ncdump -h`), and optionally per-variable statistics —
+// for inspecting the raw dumps the post-processing pipeline writes.
+//
+// Usage:
+//
+//	ncinfo [-stats] file.nc ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"path/filepath"
+	"strings"
+
+	"insituviz/internal/ncfile"
+	"insituviz/internal/report"
+	"insituviz/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ncinfo: ")
+	showStats := flag.Bool("stats", false, "also print per-variable statistics")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: ncinfo [-stats] file.nc ...")
+	}
+	for _, path := range flag.Args() {
+		f, err := ncfile.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		fmt.Print(ncfile.DumpCDL(f, name))
+		if !*showStats {
+			continue
+		}
+		tb := report.NewTable("variable statistics", "variable", "values", "min", "mean", "max")
+		for id := range f.Vars {
+			data, err := f.Data(id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s, err := stats.Summarize(data)
+			if err != nil {
+				continue // empty variable
+			}
+			tb.AddRow(f.Vars[id].Name, fmt.Sprintf("%d", s.N),
+				fmt.Sprintf("%.4g", s.Min), fmt.Sprintf("%.4g", s.Mean), fmt.Sprintf("%.4g", s.Max))
+		}
+		fmt.Print(tb.String())
+		fmt.Println()
+	}
+}

@@ -1,0 +1,78 @@
+// Command powerchar reproduces the paper's Section V power-proportionality
+// characterization: it probes the storage rack and the compute cluster at
+// idle and at full load, and sweeps compute utilization — the measurements
+// that explain why in-situ techniques cannot save storage power
+// (Finding 2) nor harness trapped capacity (Finding 3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"insituviz/internal/clustersim"
+	"insituviz/internal/lustre"
+	"insituviz/internal/report"
+	"insituviz/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("powerchar: ")
+	steps := flag.Int("sweep-steps", 5, "number of utilization points in the compute sweep")
+	flag.Parse()
+	if *steps < 2 {
+		log.Fatal("-sweep-steps must be at least 2")
+	}
+
+	storage, err := lustre.New(lustre.CaddyStorage())
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine, err := clustersim.New(clustersim.Caddy())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tb := report.NewTable("Power proportionality (paper Section V)",
+		"subsystem", "idle", "full load", "dynamic range")
+	scfg := storage.Config()
+	tb.AddRow("storage rack (Lustre, 5 nodes)",
+		scfg.IdlePower.String(), scfg.BusyPower.String(),
+		report.Pct(storage.PowerProportionality()))
+	tb.AddRow("compute cluster (150 nodes)",
+		machine.IdlePower().String(), machine.BusyPower().String(),
+		report.Pct(machine.PowerProportionality()))
+	fmt.Print(tb.String())
+	fmt.Println()
+
+	sweep := report.NewTable("Compute power vs utilization", "utilization", "cluster power")
+	for i := 0; i < *steps; i++ {
+		u := float64(i) / float64(*steps-1)
+		sweep.AddRow(report.Pct(u), machine.PowerAt(u).String())
+	}
+	fmt.Print(sweep.String())
+	fmt.Println()
+
+	// Demonstrate the storage rack's insensitivity to load: write at full
+	// bandwidth for five minutes and compare against five idle minutes.
+	if _, err := storage.Write("probe.dat", units.Bytes(float64(scfg.Bandwidth)*300), 300); err != nil {
+		log.Fatal(err)
+	}
+	tr, err := storage.PowerTrace(600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	idleAvg, err := tr.AverageOver(0, 300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	busyAvg, err := tr.AverageOver(300, 600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("storage rack, 5 idle minutes:      %v\n", idleAvg)
+	fmt.Printf("storage rack, 5 full-load minutes: %v\n", busyAvg)
+	fmt.Printf("=> cutting storage traffic to zero recovers only %v of power;\n", busyAvg-idleAvg)
+	fmt.Println("   the paper's Finding 2: in-situ cannot lower storage power.")
+}

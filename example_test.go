@@ -1,0 +1,74 @@
+package insituviz_test
+
+import (
+	"fmt"
+
+	"insituviz"
+)
+
+// ExampleReproduceStudy reproduces the paper's headline comparison at the
+// 8-simulated-hour sampling rate. The simulated platform is deterministic,
+// so the numbers are stable.
+func ExampleReproduceStudy() {
+	st, err := insituviz.ReproduceStudy(insituviz.CaddyPlatform())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	post, _ := st.Characterization.Find(insituviz.PostProcessing, insituviz.Hours(8))
+	insitu, _ := st.Characterization.Find(insituviz.InSitu, insituviz.Hours(8))
+	fmt.Printf("in-situ is %.0f%% faster\n", 100*(1-float64(insitu.Time)/float64(post.Time)))
+	fmt.Printf("in-situ saves %.0f%% energy\n", 100*(1-float64(insitu.Energy)/float64(post.Energy)))
+	fmt.Printf("storage: %v -> %v\n", post.Storage, insitu.Storage)
+	fmt.Printf("model: t_sim=%.0f s, alpha=%.2f s/GB, beta=%.2f s/set\n",
+		float64(st.Model.TSimRef), st.Model.Alpha, st.Model.Beta)
+	// Output:
+	// in-situ is 53% faster
+	// in-situ saves 53% energy
+	// storage: 230.60 GB -> 600.00 MB
+	// model: t_sim=603 s, alpha=6.25 s/GB, beta=1.20 s/set
+}
+
+// ExampleModel_FinestIntervalUnderStorageBudget answers the paper's Fig. 9
+// question: the finest post-processing output rate a 100-year simulation
+// can sustain in a 2 TB allocation.
+func ExampleModel_FinestIntervalUnderStorageBudget() {
+	st, err := insituviz.ReproduceStudy(insituviz.CaddyPlatform())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	iv, err := st.Model.FinestIntervalUnderStorageBudget(
+		insituviz.PostProcessing, insituviz.Years(100), insituviz.Terabytes(2))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("one output every %.1f days (paper: ~8 days)\n", float64(iv)/86400)
+	// Output:
+	// one output every 7.8 days (paper: ~8 days)
+}
+
+// ExampleRecommend runs the Section VII automated framework: given a
+// storage budget and a science requirement, it picks the pipeline and the
+// sampling rate.
+func ExampleRecommend() {
+	st, err := insituviz.ReproduceStudy(insituviz.CaddyPlatform())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rec, err := insituviz.Recommend(st.Model, insituviz.Years(100), insituviz.Minutes(30),
+		insituviz.Constraints{
+			StorageBudget:        insituviz.Terabytes(2),
+			RequiredInterval:     insituviz.Days(1),
+			FinestUsefulInterval: insituviz.Days(1),
+		})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("use %v, one output per %v, needs %v\n", rec.Kind, rec.Interval, rec.Storage)
+	// Output:
+	// use in-situ, one output per 1.00 d, needs 40.56 GB
+}

@@ -1,0 +1,90 @@
+// Advisor: the automated framework the paper envisions.
+//
+// Section VII closes with: "We envision our model being used in an
+// automated framework to decide the sampling rate and the pipeline
+// automatically depending on a given set of constraints." This example is
+// that framework: it fits the model from one short characterization, then
+// answers a series of campaign-planning questions — each a different
+// combination of storage budget, energy budget, deadline, and science
+// requirement — with a pipeline choice and a sampling rate.
+//
+// Run with: go run ./examples/advisor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"insituviz"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	st, err := insituviz.ReproduceStudy(insituviz.CaddyPlatform())
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := st.Model
+	ts := insituviz.Minutes(30)
+
+	scenarios := []struct {
+		name     string
+		duration insituviz.Seconds
+		c        insituviz.Constraints
+	}{
+		{
+			name:     "100-year run, 2 TB allocation, daily eddies (Fig. 9)",
+			duration: insituviz.Years(100),
+			c: insituviz.Constraints{
+				StorageBudget:        insituviz.Terabytes(2),
+				RequiredInterval:     insituviz.Days(1),
+				FinestUsefulInterval: insituviz.Hours(1),
+			},
+		},
+		{
+			name:     "100-year run, 2 TB allocation, weekly output is enough",
+			duration: insituviz.Years(100),
+			c: insituviz.Constraints{
+				StorageBudget:        insituviz.Terabytes(2),
+				RequiredInterval:     insituviz.Days(7),
+				FinestUsefulInterval: insituviz.Days(7),
+			},
+		},
+		{
+			name:     "6-month run under a 60 MJ energy budget",
+			duration: insituviz.Hours(4320),
+			c: insituviz.Constraints{
+				EnergyBudget:         insituviz.Joules(60e6),
+				FinestUsefulInterval: insituviz.Hours(8),
+			},
+		},
+		{
+			name:     "6-month run that must finish in 25 simulated-platform minutes",
+			duration: insituviz.Hours(4320),
+			c: insituviz.Constraints{
+				Deadline:             insituviz.Minutes(25),
+				FinestUsefulInterval: insituviz.Hours(8),
+			},
+		},
+		{
+			name:     "impossible: hourly output in 1 GB of storage",
+			duration: insituviz.Years(100),
+			c: insituviz.Constraints{
+				StorageBudget:    insituviz.Gigabytes(1),
+				RequiredInterval: insituviz.Hours(1),
+			},
+		},
+	}
+
+	for _, sc := range scenarios {
+		fmt.Printf("── %s\n", sc.name)
+		rec, err := insituviz.Recommend(model, sc.duration, ts, sc.c)
+		if err != nil {
+			fmt.Printf("   infeasible: %v\n\n", err)
+			continue
+		}
+		fmt.Printf("   use %v, writing output every %v (%s)\n", rec.Kind, rec.Interval, rec.Rationale)
+		fmt.Printf("   predicted: time %v, energy %v, storage %v\n\n", rec.Time, rec.Energy, rec.Storage)
+	}
+}

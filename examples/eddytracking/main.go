@@ -1,0 +1,65 @@
+// Eddy tracking: the paper's scientific workload, for real.
+//
+// This example runs the actual coupled stack — the MPAS-style shallow-water
+// solver integrating the Galewsky unstable-jet scenario, Okubo-Weiss
+// derivation, Catalyst-style in-situ co-processing, parallel rendering
+// with sort-last compositing into a Cinema image database, and eddy
+// detection and tracking across the run. The jet rolls up into vortices
+// whose rotation-dominated cores (W < -0.2 sigma) are exactly what the
+// paper's visualization task identifies and tracks.
+//
+// Run with: go run ./examples/eddytracking [-steps 360] [-out /tmp/eddies]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"insituviz"
+)
+
+func main() {
+	log.SetFlags(0)
+	steps := flag.Int("steps", 360, "solver timesteps (~1700 s each; 360 steps is about a simulated week)")
+	sample := flag.Int("sample-every", 30, "co-process every N steps")
+	subdiv := flag.Int("subdivisions", 3, "mesh refinement (3 = 642 cells, 4 = 2562 cells)")
+	out := flag.String("out", "", "output directory (default: a temp dir)")
+	flag.Parse()
+
+	dir := *out
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "insituviz-eddies-")
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	res, err := insituviz.LiveRun(insituviz.LiveConfig{
+		Mode:             insituviz.InSitu,
+		MeshSubdivisions: *subdiv,
+		Steps:            *steps,
+		SampleEverySteps: *sample,
+		OutputDir:        dir,
+		ImageWidth:       384,
+		ImageHeight:      192,
+		RenderRanks:      8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("simulated %d steps of the unstable-jet scenario (%d cells)\n",
+		res.Steps, 10*(1<<(2*uint(*subdiv)))+2)
+	fmt.Printf("co-processed %d snapshots in-situ -> %d PNG images (%v) in %s\n",
+		res.Samples, res.Images, res.ImageBytes, filepath.Join(dir, "cinema"))
+	fmt.Printf("peak flow speed at end of run: %.1f m/s (jet starts at 80 m/s)\n", res.MaxVelocity)
+
+	fmt.Printf("\neddy census per sample: %v\n", res.EddiesPerSample)
+	fmt.Printf("distinct eddy tracks: %d, longest observed lifetime: %v\n",
+		res.Tracks, res.LongestTrackLifetime)
+	fmt.Println("\nopen the PNGs to see the Okubo-Weiss field: green = rotation (eddy cores), blue = shear")
+}

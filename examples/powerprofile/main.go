@@ -1,0 +1,54 @@
+// Power profile: reproduce the paper's Fig. 4 observability.
+//
+// This example runs a post-processing pipeline at 8-hour sampling on the
+// simulated platform and prints the per-minute power profiles that the
+// rack PDU (storage) and the fifteen Appro cage monitors (compute) report,
+// together with the phase timeline that explains their shape. It shows the
+// paper's two central power facts: compute power barely dips during I/O
+// (the middleware keeps cores busy), and storage power is essentially a
+// flat 2.3 kW no matter how hard the rack works.
+//
+// Run with: go run ./examples/powerprofile
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"insituviz"
+	"insituviz/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	w := insituviz.ReferenceWorkload(insituviz.Hours(8))
+	m, err := insituviz.RunPipeline(insituviz.PostProcessing, w, insituviz.CaddyPlatform())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("post-processing run @ 8 h sampling: %v total\n", m.ExecutionTime)
+	fmt.Printf("phases: simulate %v, I/O wait %v, visualize %v\n\n", m.SimTime, m.IOTime, m.VizTime)
+
+	comp := m.ComputeProfile.Values()
+	stor := m.StorageProfile.Values()
+	fmt.Println("per-minute compute power (15 cage monitors, summed):")
+	fmt.Printf("  %s\n", report.Sparkline(comp))
+	fmt.Println("per-minute storage power (rack PDU):")
+	fmt.Printf("  %s\n\n", report.Sparkline(stor))
+
+	tb := report.NewTable("First ten reported minutes", "minute", "compute", "storage")
+	for i := 0; i < 10 && i < len(comp); i++ {
+		tb.AddRow(fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%.2f kW", comp[i]/1000),
+			fmt.Sprintf("%.0f W", stor[i]))
+	}
+	fmt.Print(tb.String())
+
+	cs, _ := m.ComputeProfile.Summary()
+	ss, _ := m.StorageProfile.Summary()
+	fmt.Printf("\ncompute swings %.1f-%.1f kW; storage swings only %.0f-%.0f W —\n",
+		cs.Min/1000, cs.Max/1000, ss.Min, ss.Max)
+	fmt.Println("the storage rack's 1.3% dynamic range is why reduced I/O saves no power.")
+}

@@ -1,0 +1,50 @@
+// Quickstart: reproduce the paper's headline result in one call.
+//
+// ReproduceStudy runs both visualization pipelines (post-processing and
+// in-situ) at the three measured sampling rates on the simulated,
+// power-instrumented Caddy platform, fits the Eq. 5 model, and validates
+// it. The abstract's claim — "an in-situ pipeline runs 51% faster,
+// consumes 50% less energy, and occupies 99.5% less disk space ... the
+// power consumption, however, remains unaffected" — falls out directly.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"insituviz"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	st, err := insituviz.ReproduceStudy(insituviz.CaddyPlatform())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	post, _ := st.Characterization.Find(insituviz.PostProcessing, insituviz.Hours(8))
+	insitu, _ := st.Characterization.Find(insituviz.InSitu, insituviz.Hours(8))
+
+	fmt.Println("Reproduction of Adhinarayanan et al., IPDPS 2017 — 8-hour sampling:")
+	fmt.Printf("  post-processing: time %v, power %v, energy %v, storage %v\n",
+		post.Time, post.Power, post.Energy, post.Storage)
+	fmt.Printf("  in-situ:         time %v, power %v, energy %v, storage %v\n",
+		insitu.Time, insitu.Power, insitu.Energy, insitu.Storage)
+
+	pct := func(base, other float64) float64 { return 100 * (base - other) / base }
+	fmt.Printf("\nin-situ is %.0f%% faster (paper: 51%%)\n",
+		pct(float64(post.Time), float64(insitu.Time)))
+	fmt.Printf("in-situ uses %.0f%% less energy (paper: 50%%)\n",
+		pct(float64(post.Energy), float64(insitu.Energy)))
+	fmt.Printf("in-situ uses %.1f%% less disk (paper: >99.5%%)\n",
+		pct(float64(post.Storage), float64(insitu.Storage)))
+	fmt.Printf("power difference: %.1f%% (paper: practically none)\n",
+		pct(float64(post.Power), float64(insitu.Power)))
+
+	fmt.Printf("\nfitted model: t = %.0f s + %.2f s/GB * S_io + %.2f s/set * N_viz at %v\n",
+		float64(st.Model.TSimRef), st.Model.Alpha, st.Model.Beta, st.Model.Power)
+	fmt.Printf("model max validation error: %.3f%% (paper: < 0.5%%)\n", st.Validation.MaxAPE)
+}

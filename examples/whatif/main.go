@@ -1,0 +1,65 @@
+// What-if analysis: the paper's Section VII scenario planning.
+//
+// A climate scientist wants to track ocean eddies — which live for
+// hundreds of days while traveling hundreds of kilometers — through a
+// hundred-year simulation, and must choose an output sampling rate under
+// a 2 TB storage allocation. This example fits the model from a short
+// characterization run (exactly as the paper prescribes: "data collected
+// from one short run of the simulation") and answers the question for both
+// pipelines, reproducing the Fig. 9 and Fig. 10 analyses.
+//
+// Run with: go run ./examples/whatif
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"insituviz"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// One short characterization gives the model.
+	st, err := insituviz.ReproduceStudy(insituviz.CaddyPlatform())
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := st.Model
+
+	century := insituviz.Years(100)
+	timestep := insituviz.Minutes(30)
+	budget := insituviz.Terabytes(2)
+
+	fmt.Println("Scenario: 100-year ocean simulation, 2 TB storage allocation.")
+	fmt.Println("Science requirement: daily (ideally hourly) output to track eddies.")
+	fmt.Println()
+
+	for _, kind := range []insituviz.Kind{insituviz.PostProcessing, insituviz.InSitu} {
+		iv, err := model.FinestIntervalUnderStorageBudget(kind, century, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16v finest sampling under 2 TB: one output every %v\n", kind, iv)
+	}
+	fmt.Println()
+
+	daily, err := model.SweepRates(century, timestep, []insituviz.Seconds{
+		insituviz.Hours(1), insituviz.Hours(12), insituviz.Hours(24),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range daily {
+		fmt.Printf("output every %-8v post needs %9v / %v; in-situ needs %9v / %v (saves %.1f%% energy)\n",
+			p.Interval, p.PostStorage, p.PostEnergy, p.InSituStorage, p.InSituEnergy,
+			p.EnergySavings*100)
+	}
+
+	fmt.Println()
+	fmt.Println("Conclusion (paper Section VII): with post-processing the scientist is")
+	fmt.Println("forced to one output per ~8 days; adopting in-situ visualization makes")
+	fmt.Println("daily — even hourly — imaging fit the allocation, and saves 67.2% / 49%")
+	fmt.Println("/ 38% of workflow energy at hourly / 12-hourly / daily sampling.")
+}

@@ -1,0 +1,3 @@
+module insituviz
+
+go 1.22

@@ -1,0 +1,331 @@
+package insituviz
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"insituviz/internal/ncfile"
+	"insituviz/internal/render"
+)
+
+func TestReproduceStudy(t *testing.T) {
+	st, err := ReproduceStudy(CaddyPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Characterization.Points) != 6 {
+		t.Fatalf("points = %d", len(st.Characterization.Points))
+	}
+	// Headline results of the paper's abstract: the in-situ pipeline runs
+	// ~51% faster, uses ~50% less energy, and ~99.5% less disk at the
+	// 8-hour sampling rate, while power stays flat.
+	post, ok1 := st.Characterization.Find(PostProcessing, Hours(8))
+	insitu, ok2 := st.Characterization.Find(InSitu, Hours(8))
+	if !ok1 || !ok2 {
+		t.Fatal("missing 8h configurations")
+	}
+	timeSaving := 1 - float64(insitu.Time)/float64(post.Time)
+	if timeSaving < 0.45 || timeSaving > 0.58 {
+		t.Errorf("time saving = %.1f%%, paper says 51%%", timeSaving*100)
+	}
+	energySaving := 1 - float64(insitu.Energy)/float64(post.Energy)
+	if energySaving < 0.45 || energySaving > 0.58 {
+		t.Errorf("energy saving = %.1f%%, paper says 50%%", energySaving*100)
+	}
+	storageSaving := 1 - float64(insitu.Storage)/float64(post.Storage)
+	if storageSaving < 0.995 {
+		t.Errorf("storage saving = %.3f%%, paper says > 99.5%%", storageSaving*100)
+	}
+	powerDiff := math.Abs(float64(post.Power-insitu.Power)) / float64(insitu.Power)
+	if powerDiff > 0.03 {
+		t.Errorf("power difference = %.2f%%, paper says none", powerDiff*100)
+	}
+	// Model validation matches the paper's <0.5% absolute error.
+	if st.Validation.MaxAPE > 0.5 {
+		t.Errorf("model max APE = %.3f%%", st.Validation.MaxAPE)
+	}
+	if math.Abs(st.Model.Alpha-6.25) > 0.3 || math.Abs(st.Model.Beta-1.2) > 0.1 {
+		t.Errorf("model coefficients = (%.3g, %.3g), want ~(6.25, 1.2)", st.Model.Alpha, st.Model.Beta)
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	if Hours(2) != 7200 || Minutes(1) != 60 || Days(1) != 86400 || Years(1) != 365*86400 {
+		t.Error("time helpers wrong")
+	}
+	if Gigabytes(1) != 1e9 || Terabytes(1) != 1e12 {
+		t.Error("size helpers wrong")
+	}
+	w := ReferenceWorkload(Hours(8))
+	if w.Outputs() != 540 {
+		t.Errorf("reference outputs = %d", w.Outputs())
+	}
+	if _, err := RunPipeline(InSitu, w, CaddyPlatform()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveRunValidation(t *testing.T) {
+	if _, err := LiveRun(LiveConfig{}); err == nil {
+		t.Error("missing output dir accepted")
+	}
+	if _, err := LiveRun(LiveConfig{OutputDir: t.TempDir(), Steps: -1}); err == nil {
+		t.Error("negative steps accepted")
+	}
+	if _, err := LiveRun(LiveConfig{OutputDir: t.TempDir(), Mode: Kind(9), Steps: 1, SampleEverySteps: 1, MeshSubdivisions: 1}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestLiveRunInSitu(t *testing.T) {
+	dir := t.TempDir()
+	res, err := LiveRun(LiveConfig{
+		Mode:             InSitu,
+		MeshSubdivisions: 2, // 162 cells: fast
+		Steps:            24,
+		SampleEverySteps: 8,
+		OutputDir:        dir,
+		ImageWidth:       96,
+		ImageHeight:      48,
+		RenderRanks:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 3 || res.Images != 3 {
+		t.Errorf("samples = %d, images = %d, want 3 each", res.Samples, res.Images)
+	}
+	if res.ImageBytes <= 0 {
+		t.Error("no image bytes written")
+	}
+	if res.RawBytes != 0 {
+		t.Error("in-situ mode wrote raw dumps")
+	}
+	if res.MaxVelocity <= 0 || res.MaxVelocity > 300 {
+		t.Errorf("max velocity = %v", res.MaxVelocity)
+	}
+	// The Cinema database must exist and index all images.
+	entries, err := render.ReadCinemaIndex(filepath.Join(dir, "cinema"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Errorf("cinema index has %d entries", len(entries))
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, "cinema", e.File))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) < 8 || string(data[1:4]) != "PNG" {
+			t.Errorf("%s is not a PNG", e.File)
+		}
+	}
+	if len(res.EddiesPerSample) != 3 {
+		t.Errorf("eddy census has %d samples", len(res.EddiesPerSample))
+	}
+}
+
+func TestLiveRunPostProcessing(t *testing.T) {
+	dir := t.TempDir()
+	res, err := LiveRun(LiveConfig{
+		Mode:             PostProcessing,
+		MeshSubdivisions: 2,
+		Steps:            16,
+		SampleEverySteps: 8,
+		OutputDir:        dir,
+		ImageWidth:       96,
+		ImageHeight:      48,
+		RenderRanks:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 2 || res.Images != 2 {
+		t.Errorf("samples = %d, images = %d", res.Samples, res.Images)
+	}
+	if res.RawBytes <= 0 {
+		t.Error("no raw dumps written")
+	}
+	// Raw dumps dominate images in size, the core asymmetry of the study:
+	// here each dump is 3 doubles per cell while a PNG is tiny.
+	if res.RawBytes < res.ImageBytes {
+		t.Logf("note: raw %v vs images %v (small grid)", res.RawBytes, res.ImageBytes)
+	}
+	// The dumps must be genuine netCDF files that decode.
+	matches, err := filepath.Glob(filepath.Join(dir, "raw", "*.nc"))
+	if err != nil || len(matches) != 2 {
+		t.Fatalf("raw dumps = %v (%v)", matches, err)
+	}
+	f, err := ncfile.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.VarID("okuboWeiss"); err != nil {
+		t.Error("dump missing okuboWeiss variable")
+	}
+	if _, err := f.VarID("latCell"); err != nil {
+		t.Error("dump missing latCell variable")
+	}
+}
+
+func TestLiveRunModesProduceSameImages(t *testing.T) {
+	// In-situ and post-processing visualize the same physics; with
+	// identical configuration the rendered images must be byte-identical —
+	// the "cognitive fidelity" equivalence the paper's abstract claims.
+	mk := func(mode Kind) []byte {
+		dir := t.TempDir()
+		_, err := LiveRun(LiveConfig{
+			Mode:             mode,
+			MeshSubdivisions: 2,
+			Steps:            8,
+			SampleEverySteps: 8,
+			OutputDir:        dir,
+			ImageWidth:       64,
+			ImageHeight:      32,
+			RenderRanks:      2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries, err := render.ReadCinemaIndex(filepath.Join(dir, "cinema"))
+		if err != nil || len(entries) != 1 {
+			t.Fatalf("index = %v (%v)", entries, err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "cinema", entries[0].File))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a := mk(InSitu)
+	b := mk(PostProcessing)
+	if len(a) != len(b) {
+		t.Fatalf("image sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("images differ at byte %d", i)
+		}
+	}
+}
+
+func TestLiveRunOrthoViews(t *testing.T) {
+	dir := t.TempDir()
+	res, err := LiveRun(LiveConfig{
+		Mode:             InSitu,
+		MeshSubdivisions: 2,
+		Steps:            8,
+		SampleEverySteps: 8,
+		OutputDir:        dir,
+		ImageWidth:       64,
+		ImageHeight:      32,
+		RenderRanks:      2,
+		OrthoViews:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One equirectangular image plus three globe views per sample.
+	if res.Images != 4 {
+		t.Errorf("images = %d, want 4 (1 map + 3 views)", res.Images)
+	}
+	entries, err := render.ReadCinemaIndex(filepath.Join(dir, "cinema"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := map[string]int{}
+	for _, e := range entries {
+		fields[e.Field]++
+	}
+	if fields["okubo_weiss"] != 1 || fields["okubo_weiss_view0"] != 1 || fields["okubo_weiss_view2"] != 1 {
+		t.Errorf("cinema fields = %v", fields)
+	}
+}
+
+func TestLiveRunEddyCoreImages(t *testing.T) {
+	dir := t.TempDir()
+	res, err := LiveRun(LiveConfig{
+		Mode:             InSitu,
+		MeshSubdivisions: 2,
+		Steps:            16,
+		SampleEverySteps: 8,
+		OutputDir:        dir,
+		ImageWidth:       64,
+		ImageHeight:      32,
+		RenderRanks:      2,
+		EddyCoreImages:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := render.ReadCinemaIndex(filepath.Join(dir, "cinema"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := map[string]int{}
+	for _, e := range entries {
+		fields[e.Field]++
+	}
+	if fields["okubo_weiss"] != 2 {
+		t.Errorf("base images = %d, want 2", fields["okubo_weiss"])
+	}
+	if fields["okubo_weiss_cores"] != 2 {
+		t.Errorf("core images = %d, want 2", fields["okubo_weiss_cores"])
+	}
+	if res.Images != 4 {
+		t.Errorf("total images = %d, want 4", res.Images)
+	}
+	if res.HaloBytesPerField <= 0 {
+		t.Errorf("halo bytes = %v", res.HaloBytesPerField)
+	}
+}
+
+func TestLiveRunRossbyScenario(t *testing.T) {
+	res, err := LiveRun(LiveConfig{
+		Mode:             InSitu,
+		Scenario:         "rossby",
+		MeshSubdivisions: 2,
+		Steps:            8,
+		SampleEverySteps: 4,
+		OutputDir:        t.TempDir(),
+		ImageWidth:       64,
+		ImageHeight:      32,
+		RenderRanks:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 2 {
+		t.Errorf("samples = %d", res.Samples)
+	}
+	// The Rossby-Haurwitz wave spins fast from the start.
+	if res.MaxVelocity < 20 {
+		t.Errorf("rossby max velocity = %v, expected a vigorous wave", res.MaxVelocity)
+	}
+	if _, err := LiveRun(LiveConfig{Scenario: "bogus", OutputDir: t.TempDir(),
+		MeshSubdivisions: 1, Steps: 1, SampleEverySteps: 1}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestFacadeInTransit(t *testing.T) {
+	w := ReferenceWorkload(Hours(72))
+	p := CaddyPlatform()
+	p.StagingNodes = 50
+	m, err := RunPipeline(InTransit, w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != InTransit {
+		t.Errorf("kind = %v", m.Kind)
+	}
+	if m.Kind.String() != "in-transit" {
+		t.Errorf("kind name = %q", m.Kind.String())
+	}
+	if m.Outputs != 60 {
+		t.Errorf("outputs = %d", m.Outputs)
+	}
+}

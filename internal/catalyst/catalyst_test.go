@@ -1,0 +1,133 @@
+package catalyst
+
+import (
+	"errors"
+	"testing"
+
+	"insituviz/internal/units"
+)
+
+func TestNewAdaptorValidation(t *testing.T) {
+	if _, err := NewAdaptor(0); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := NewAdaptor(-2); err == nil {
+		t.Error("negative period accepted")
+	}
+}
+
+func TestShouldProcess(t *testing.T) {
+	a, err := NewAdaptor(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ShouldProcess(0) {
+		t.Error("step 0 should not fire")
+	}
+	if a.ShouldProcess(15) {
+		t.Error("step 15 should not fire")
+	}
+	if !a.ShouldProcess(16) || !a.ShouldProcess(32) {
+		t.Error("multiples of the period should fire")
+	}
+}
+
+func TestCoProcessDeliversDeepCopy(t *testing.T) {
+	a, _ := NewAdaptor(2)
+	var got *FieldData
+	a.AddPipeline(PipelineFunc(func(fd *FieldData) error {
+		got = fd
+		return nil
+	}))
+	sim := []float64{1, 2, 3}
+	fired, err := a.CoProcess(2, 3600, "okubo_weiss", sim)
+	if err != nil || !fired {
+		t.Fatalf("fired=%v err=%v", fired, err)
+	}
+	if got == nil || got.Name != "okubo_weiss" || got.Step != 2 || got.Time != 3600 {
+		t.Fatalf("delivered = %+v", got)
+	}
+	// Mutating the simulation buffer must not affect the snapshot.
+	sim[0] = 99
+	if got.Values[0] != 1 {
+		t.Error("adaptor did not deep-copy the field")
+	}
+	if got.Bytes() != units.Bytes(24) {
+		t.Errorf("Bytes = %v, want 24", got.Bytes())
+	}
+}
+
+func TestCoProcessSkipsOffSteps(t *testing.T) {
+	a, _ := NewAdaptor(3)
+	calls := 0
+	a.AddPipeline(PipelineFunc(func(fd *FieldData) error {
+		calls++
+		return nil
+	}))
+	for step := 0; step <= 9; step++ {
+		fired, err := a.CoProcess(step, float64(step), "f", []float64{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fired != (step > 0 && step%3 == 0) {
+			t.Errorf("step %d fired=%v", step, fired)
+		}
+	}
+	if calls != 3 {
+		t.Errorf("pipeline ran %d times, want 3", calls)
+	}
+	if a.Invocations() != 3 {
+		t.Errorf("Invocations = %d", a.Invocations())
+	}
+	if a.BytesCopied() != units.Bytes(3*8) {
+		t.Errorf("BytesCopied = %v", a.BytesCopied())
+	}
+}
+
+func TestCoProcessFansOut(t *testing.T) {
+	a, _ := NewAdaptor(1)
+	n1, n2 := 0, 0
+	a.AddPipeline(PipelineFunc(func(fd *FieldData) error { n1++; return nil }))
+	a.AddPipeline(PipelineFunc(func(fd *FieldData) error { n2++; return nil }))
+	if a.Pipelines() != 2 {
+		t.Errorf("Pipelines = %d", a.Pipelines())
+	}
+	if _, err := a.CoProcess(1, 0, "f", []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if n1 != 1 || n2 != 1 {
+		t.Errorf("fan-out = %d, %d", n1, n2)
+	}
+}
+
+func TestCoProcessErrors(t *testing.T) {
+	a, _ := NewAdaptor(1)
+	if err := a.AddPipeline(nil); err == nil {
+		t.Error("nil pipeline accepted")
+	}
+	boom := errors.New("render failed")
+	a.AddPipeline(PipelineFunc(func(fd *FieldData) error { return boom }))
+	fired, err := a.CoProcess(1, 0, "f", []float64{1})
+	if !fired || !errors.Is(err, boom) {
+		t.Errorf("fired=%v err=%v", fired, err)
+	}
+	if _, err := a.CoProcess(1, 0, "f", nil); err == nil {
+		t.Error("empty field accepted")
+	}
+}
+
+func TestExpectedInvocations(t *testing.T) {
+	a, _ := NewAdaptor(16)
+	// The paper's reference run: 8640 half-hour steps, output every
+	// 8 simulated hours (16 steps) = 540 outputs.
+	if got := a.ExpectedInvocations(8640); got != 540 {
+		t.Errorf("ExpectedInvocations(8640) = %d, want 540", got)
+	}
+	if got := a.ExpectedInvocations(-5); got != 0 {
+		t.Errorf("negative steps = %d", got)
+	}
+	a144, _ := NewAdaptor(144)
+	if got := a144.ExpectedInvocations(8640); got != 60 {
+		t.Errorf("72-hour sampling = %d outputs, want 60", got)
+	}
+}

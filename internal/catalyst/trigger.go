@@ -1,0 +1,172 @@
+package catalyst
+
+import (
+	"fmt"
+	"math"
+)
+
+// Trigger decides at which steps co-processing fires. Beyond the paper's
+// fixed sampling rates, data-driven triggers are the natural next step for
+// the automated framework Section VII envisions: sample densely while the
+// flow changes and sparsely while it is quiescent.
+type Trigger interface {
+	// ShouldFire inspects the current step and field and decides whether
+	// to co-process. Implementations may keep state (the last fired
+	// field).
+	ShouldFire(step int, field []float64) bool
+	// Name identifies the trigger in logs.
+	Name() string
+}
+
+// PeriodicTrigger fires every Every steps (step 0 never fires) — the
+// paper's fixed output sampling rate.
+type PeriodicTrigger struct {
+	Every int
+}
+
+// Name implements Trigger.
+func (p *PeriodicTrigger) Name() string { return fmt.Sprintf("periodic(%d)", p.Every) }
+
+// ShouldFire implements Trigger.
+func (p *PeriodicTrigger) ShouldFire(step int, _ []float64) bool {
+	return p.Every > 0 && step > 0 && step%p.Every == 0
+}
+
+// AdaptiveTrigger fires when the field has drifted by more than RelChange
+// (relative L2 norm) since the last fired snapshot, but never more often
+// than MinInterval steps nor less often than MaxInterval steps.
+type AdaptiveTrigger struct {
+	// MinInterval is the minimum number of steps between firings (>= 1).
+	MinInterval int
+	// MaxInterval forces a firing after this many steps even without
+	// change (>= MinInterval).
+	MaxInterval int
+	// RelChange is the relative L2 drift that triggers a firing.
+	RelChange float64
+
+	lastField []float64
+	lastStep  int
+	fired     bool
+}
+
+// NewAdaptiveTrigger validates and builds an adaptive trigger.
+func NewAdaptiveTrigger(minInterval, maxInterval int, relChange float64) (*AdaptiveTrigger, error) {
+	if minInterval < 1 {
+		return nil, fmt.Errorf("catalyst: minimum interval %d must be >= 1", minInterval)
+	}
+	if maxInterval < minInterval {
+		return nil, fmt.Errorf("catalyst: maximum interval %d below minimum %d", maxInterval, minInterval)
+	}
+	if relChange <= 0 {
+		return nil, fmt.Errorf("catalyst: relative change threshold %g must be positive", relChange)
+	}
+	return &AdaptiveTrigger{MinInterval: minInterval, MaxInterval: maxInterval, RelChange: relChange}, nil
+}
+
+// Name implements Trigger.
+func (a *AdaptiveTrigger) Name() string {
+	return fmt.Sprintf("adaptive(%d..%d, %.2g)", a.MinInterval, a.MaxInterval, a.RelChange)
+}
+
+// ShouldFire implements Trigger. A positive decision records the field as
+// the new reference snapshot.
+func (a *AdaptiveTrigger) ShouldFire(step int, field []float64) bool {
+	if step <= 0 || len(field) == 0 {
+		return false
+	}
+	if !a.fired {
+		// First opportunity at or after MinInterval.
+		if step < a.MinInterval {
+			return false
+		}
+		a.remember(step, field)
+		return true
+	}
+	elapsed := step - a.lastStep
+	if elapsed < a.MinInterval {
+		return false
+	}
+	if elapsed >= a.MaxInterval {
+		a.remember(step, field)
+		return true
+	}
+	if len(field) != len(a.lastField) {
+		// Field shape changed: treat as full drift.
+		a.remember(step, field)
+		return true
+	}
+	var diff2, ref2 float64
+	for i, v := range field {
+		d := v - a.lastField[i]
+		diff2 += d * d
+		ref2 += a.lastField[i] * a.lastField[i]
+	}
+	if ref2 == 0 {
+		if diff2 == 0 {
+			return false
+		}
+		a.remember(step, field)
+		return true
+	}
+	if math.Sqrt(diff2/ref2) >= a.RelChange {
+		a.remember(step, field)
+		return true
+	}
+	return false
+}
+
+func (a *AdaptiveTrigger) remember(step int, field []float64) {
+	a.lastStep = step
+	a.fired = true
+	a.lastField = append(a.lastField[:0], field...)
+}
+
+// TriggeredAdaptor couples a Trigger with co-processing pipelines; unlike
+// the fixed-rate Adaptor it inspects the field at every step.
+type TriggeredAdaptor struct {
+	trigger   Trigger
+	pipelines []Pipeline
+
+	copied      int64
+	invocations int
+}
+
+// NewTriggeredAdaptor builds an adaptor around a trigger.
+func NewTriggeredAdaptor(tr Trigger) (*TriggeredAdaptor, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("catalyst: nil trigger")
+	}
+	return &TriggeredAdaptor{trigger: tr}, nil
+}
+
+// AddPipeline registers a co-processing pipeline.
+func (a *TriggeredAdaptor) AddPipeline(p Pipeline) error {
+	if p == nil {
+		return fmt.Errorf("catalyst: nil pipeline")
+	}
+	a.pipelines = append(a.pipelines, p)
+	return nil
+}
+
+// CoProcess offers the field at one step; when the trigger fires, a deep
+// copy is dispatched to every pipeline. Returns whether it fired.
+func (a *TriggeredAdaptor) CoProcess(step int, simTime float64, name string, simValues []float64) (bool, error) {
+	if len(simValues) == 0 {
+		return false, fmt.Errorf("catalyst: empty field %q at step %d", name, step)
+	}
+	if !a.trigger.ShouldFire(step, simValues) {
+		return false, nil
+	}
+	fd := &FieldData{Name: name, Step: step, Time: simTime, Values: append([]float64(nil), simValues...)}
+	a.copied += int64(fd.Bytes())
+	a.invocations++
+	for i, p := range a.pipelines {
+		if err := p.CoProcess(fd); err != nil {
+			return true, fmt.Errorf("catalyst: pipeline %d at step %d: %w", i, step, err)
+		}
+	}
+	return true, nil
+}
+
+// Invocations returns how many times the trigger fired.
+func (a *TriggeredAdaptor) Invocations() int { return a.invocations }

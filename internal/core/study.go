@@ -1,0 +1,279 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"insituviz/internal/pipeline"
+	"insituviz/internal/stats"
+	"insituviz/internal/units"
+)
+
+// Characterization is the result of the paper's measurement campaign
+// (Section IV): both pipelines run at several sampling rates on an
+// instrumented platform, with all four metrics recorded per configuration.
+type Characterization struct {
+	Platform pipeline.Platform
+	Base     pipeline.Workload // the workload, sans sampling interval
+	Points   []Measurement
+	Metrics  []*pipeline.Metrics
+}
+
+// Characterize runs both pipelines at each sampling interval on the
+// platform, reproducing the paper's six measured configurations when given
+// the 8/24/72-hour intervals.
+func Characterize(p pipeline.Platform, base pipeline.Workload, intervals []units.Seconds) (*Characterization, error) {
+	if len(intervals) == 0 {
+		return nil, fmt.Errorf("core: no sampling intervals")
+	}
+	ch := &Characterization{Platform: p, Base: base}
+	for _, iv := range intervals {
+		w := base
+		w.SamplingInterval = iv
+		for _, kind := range []pipeline.Kind{pipeline.InSitu, pipeline.PostProcessing} {
+			m, err := pipeline.Run(kind, w, p)
+			if err != nil {
+				return nil, fmt.Errorf("core: %v at %v: %w", kind, iv, err)
+			}
+			ch.Points = append(ch.Points, FromMetrics(m))
+			ch.Metrics = append(ch.Metrics, m)
+		}
+	}
+	return ch, nil
+}
+
+// Find returns the measurement for a pipeline kind and sampling interval.
+func (ch *Characterization) Find(kind pipeline.Kind, interval units.Seconds) (Measurement, bool) {
+	for _, p := range ch.Points {
+		if p.Kind == kind && p.Sampling == interval {
+			return p, true
+		}
+	}
+	return Measurement{}, false
+}
+
+// MeanPower returns the average of the measured total powers — legitimate
+// because the characterization shows power is flat across configurations
+// (Fig. 5).
+func (ch *Characterization) MeanPower() (units.Watts, error) {
+	vals := make([]float64, len(ch.Points))
+	for i, p := range ch.Points {
+		vals[i] = float64(p.Power)
+	}
+	m, err := stats.Mean(vals)
+	return units.Watts(m), err
+}
+
+// intervalsOf returns the distinct sampling intervals, ascending.
+func (ch *Characterization) intervalsOf() []units.Seconds {
+	seen := map[units.Seconds]bool{}
+	var out []units.Seconds
+	for _, p := range ch.Points {
+		if !seen[p.Sampling] {
+			seen[p.Sampling] = true
+			out = append(out, p.Sampling)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// buildModel assembles a Model around fitted coefficients.
+func (ch *Characterization) buildModel(tsim units.Seconds, alpha, beta float64) (*Model, error) {
+	power, err := ch.MeanPower()
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{
+		TSimRef:        tsim,
+		Alpha:          alpha,
+		Beta:           beta,
+		Power:          power,
+		RefIterations:  ch.Base.Steps(),
+		RawGBPerOutput: float64(ch.Base.RawBytesPerOutput()) / 1e9,
+		ImgGBPerOutput: float64(ch.Base.ImageBytesPerOutput()) / 1e9,
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// FitPaperModel fits the model with the paper's exact recipe: a linear
+// solve over (i) in-situ at the finest rate, (ii) in-situ at the coarsest
+// rate, and (iii) post-processing at an intermediate rate (Eq. 5 used
+// in-situ@8h, in-situ@72h, post@24h).
+func (ch *Characterization) FitPaperModel() (*Model, error) {
+	ivs := ch.intervalsOf()
+	if len(ivs) < 3 {
+		return nil, fmt.Errorf("core: paper fit needs >= 3 sampling intervals, have %d", len(ivs))
+	}
+	p1, ok1 := ch.Find(pipeline.InSitu, ivs[0])
+	p2, ok2 := ch.Find(pipeline.InSitu, ivs[len(ivs)-1])
+	p3, ok3 := ch.Find(pipeline.PostProcessing, ivs[len(ivs)/2])
+	if !ok1 || !ok2 || !ok3 {
+		return nil, fmt.Errorf("core: characterization is missing required configurations")
+	}
+	tsim, alpha, beta, err := FitExact([3]Measurement{p1, p2, p3})
+	if err != nil {
+		return nil, err
+	}
+	return ch.buildModel(tsim, alpha, beta)
+}
+
+// FitRegressionModel fits the model by least squares over every measured
+// configuration.
+func (ch *Characterization) FitRegressionModel() (*Model, error) {
+	tsim, alpha, beta, err := FitRegression(ch.Points)
+	if err != nil {
+		return nil, err
+	}
+	return ch.buildModel(tsim, alpha, beta)
+}
+
+// Validate evaluates a model against all of this characterization's
+// measurements (Fig. 8).
+func (ch *Characterization) Validate(m *Model) (*ValidationReport, error) {
+	return m.ValidateAgainst(ch.Points, ch.Base.SimulatedDuration, ch.Base.Timestep)
+}
+
+// RatePoint is one sampling rate in a what-if sweep (the rows behind
+// Figs. 9 and 10).
+type RatePoint struct {
+	Interval units.Seconds
+
+	PostStorage   units.Bytes
+	InSituStorage units.Bytes
+	PostTime      units.Seconds
+	InSituTime    units.Seconds
+	PostEnergy    units.Joules
+	InSituEnergy  units.Joules
+
+	// EnergySavings is the fraction of workflow energy in-situ saves at
+	// this rate (67.2% at hourly sampling in the paper's Fig. 10 analysis).
+	EnergySavings float64
+}
+
+// SweepRates evaluates both pipelines across sampling intervals for a run
+// of simDuration (the paper sweeps a hundred-year simulation).
+func (m *Model) SweepRates(simDuration, timestep units.Seconds, intervals []units.Seconds) ([]RatePoint, error) {
+	if len(intervals) == 0 {
+		return nil, fmt.Errorf("core: no intervals to sweep")
+	}
+	out := make([]RatePoint, 0, len(intervals))
+	for _, iv := range intervals {
+		var rp RatePoint
+		rp.Interval = iv
+		var err error
+		if rp.PostStorage, err = m.Storage(pipeline.PostProcessing, simDuration, iv); err != nil {
+			return nil, err
+		}
+		if rp.InSituStorage, err = m.Storage(pipeline.InSitu, simDuration, iv); err != nil {
+			return nil, err
+		}
+		if rp.PostTime, err = m.Time(pipeline.PostProcessing, simDuration, timestep, iv); err != nil {
+			return nil, err
+		}
+		if rp.InSituTime, err = m.Time(pipeline.InSitu, simDuration, timestep, iv); err != nil {
+			return nil, err
+		}
+		rp.PostEnergy = units.Energy(m.Power, rp.PostTime)
+		rp.InSituEnergy = units.Energy(m.Power, rp.InSituTime)
+		if rp.PostEnergy > 0 {
+			rp.EnergySavings = float64(rp.PostEnergy-rp.InSituEnergy) / float64(rp.PostEnergy)
+		}
+		out = append(out, rp)
+	}
+	return out, nil
+}
+
+// FinestIntervalUnderStorageBudget returns the smallest sampling interval
+// whose predicted storage footprint fits the budget — the paper's Fig. 9
+// question ("with a 2 TB budget, post-processing is forced to once every
+// 8 days, while in-situ sustains at least daily images").
+func (m *Model) FinestIntervalUnderStorageBudget(kind pipeline.Kind, simDuration units.Seconds, budget units.Bytes) (units.Seconds, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if simDuration <= 0 {
+		return 0, fmt.Errorf("core: non-positive duration %v", simDuration)
+	}
+	if budget <= 0 {
+		return 0, fmt.Errorf("core: non-positive budget %v", budget)
+	}
+	perGB := m.StorageGB(kind, 1)
+	if perGB == 0 {
+		return 0, fmt.Errorf("core: pipeline writes nothing; any rate fits")
+	}
+	// outputs <= budgetGB/perGB  and  outputs = duration/interval.
+	maxOutputs := float64(budget) / 1e9 / perGB
+	if maxOutputs < 1 {
+		return 0, fmt.Errorf("core: budget %v cannot hold even one output (%.3g GB each)", budget, perGB)
+	}
+	return units.Seconds(float64(simDuration) / maxOutputs), nil
+}
+
+// FinestIntervalUnderEnergyBudget returns the smallest sampling interval
+// whose predicted workflow energy fits the budget ("such constraints can
+// also be specified in terms of time", Section VII).
+func (m *Model) FinestIntervalUnderEnergyBudget(kind pipeline.Kind, simDuration, timestep units.Seconds, budget units.Joules) (units.Seconds, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if budget <= 0 {
+		return 0, fmt.Errorf("core: non-positive energy budget %v", budget)
+	}
+	iters, err := m.iterationsFor(simDuration, timestep)
+	if err != nil {
+		return 0, err
+	}
+	// t = tsim' + outputs*(alpha*perGB + beta) <= budget/P.
+	tsim := float64(m.TSimRef) * iters / float64(m.RefIterations)
+	tBudget := float64(budget) / float64(m.Power)
+	perOutput := m.Alpha*m.StorageGB(kind, 1) + m.Beta
+	slack := tBudget - tsim
+	if slack <= 0 {
+		return 0, fmt.Errorf("core: budget %v cannot cover the simulation alone (needs %v)",
+			budget, units.Energy(m.Power, units.Seconds(tsim)))
+	}
+	maxOutputs := slack / perOutput
+	if maxOutputs < 1 {
+		return 0, fmt.Errorf("core: budget %v cannot cover even one output", budget)
+	}
+	return units.Seconds(float64(simDuration) / maxOutputs), nil
+}
+
+// WriteCSV emits the characterization's measurements as CSV (one row per
+// configuration), for analysis outside the harness.
+func (ch *Characterization) WriteCSV(w io.Writer) error {
+	if w == nil {
+		return fmt.Errorf("core: nil writer")
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"pipeline", "sampling_s", "output_gb", "images",
+		"time_s", "power_w", "energy_j", "storage_bytes",
+	}); err != nil {
+		return err
+	}
+	for _, p := range ch.Points {
+		rec := []string{
+			p.Kind.String(),
+			strconv.FormatFloat(float64(p.Sampling), 'g', -1, 64),
+			strconv.FormatFloat(p.OutputGB, 'g', -1, 64),
+			strconv.Itoa(p.Images),
+			strconv.FormatFloat(float64(p.Time), 'g', -1, 64),
+			strconv.FormatFloat(float64(p.Power), 'g', -1, 64),
+			strconv.FormatFloat(float64(p.Energy), 'g', -1, 64),
+			strconv.FormatInt(int64(p.Storage), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

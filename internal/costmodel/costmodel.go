@@ -1,0 +1,138 @@
+// Package costmodel converts the study's power and energy numbers into the
+// economic quantities that motivate it. The paper's introduction anchors
+// the analysis in two facts: a "typical estimate of one million dollars
+// per megawatt[-year] means that over 40% of the acquisition cost of a
+// supercomputer goes towards paying energy bills", and production machines
+// "use only 40-55% of their budgeted power" — leaving more than 45% of
+// provisioned capacity trapped. This package prices energy, computes
+// energy's share of total cost of ownership, and quantifies power
+// utilization and trapped capacity.
+package costmodel
+
+import (
+	"errors"
+	"fmt"
+
+	"insituviz/internal/units"
+)
+
+// JoulesPerMegawattYear is the energy of one megawatt sustained for a
+// 365-day year.
+const JoulesPerMegawattYear = 1e6 * 365 * 86400
+
+// Assumptions parameterizes the economics.
+type Assumptions struct {
+	// DollarsPerMegawattYear is the electricity price; the paper's rule of
+	// thumb is one million dollars per megawatt-year.
+	DollarsPerMegawattYear float64
+	// MachineLifetimeYears is the machine's service life.
+	MachineLifetimeYears float64
+	// AcquisitionDollars is the machine's purchase cost.
+	AcquisitionDollars float64
+}
+
+// Default returns the paper's rule-of-thumb assumptions with a five-year
+// lifetime; the acquisition cost must be set by the caller for TCO
+// analyses.
+func Default() Assumptions {
+	return Assumptions{
+		DollarsPerMegawattYear: 1e6,
+		MachineLifetimeYears:   5,
+	}
+}
+
+// Validate checks the assumptions needed for energy pricing.
+func (a Assumptions) Validate() error {
+	if a.DollarsPerMegawattYear <= 0 {
+		return fmt.Errorf("costmodel: non-positive energy price %g", a.DollarsPerMegawattYear)
+	}
+	if a.MachineLifetimeYears < 0 {
+		return fmt.Errorf("costmodel: negative lifetime %g", a.MachineLifetimeYears)
+	}
+	return nil
+}
+
+// EnergyCost prices an amount of energy in dollars.
+func (a Assumptions) EnergyCost(e units.Joules) (float64, error) {
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	if e < 0 {
+		return 0, errors.New("costmodel: negative energy")
+	}
+	return float64(e) / JoulesPerMegawattYear * a.DollarsPerMegawattYear, nil
+}
+
+// LifetimeEnergyCost prices sustaining avgPower for the machine's whole
+// service life.
+func (a Assumptions) LifetimeEnergyCost(avgPower units.Watts) (float64, error) {
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	if avgPower < 0 {
+		return 0, errors.New("costmodel: negative power")
+	}
+	e := units.Energy(avgPower, units.Years(a.MachineLifetimeYears))
+	return a.EnergyCost(e)
+}
+
+// EnergyShareOfTCO returns lifetime energy cost as a fraction of total
+// cost of ownership (acquisition + lifetime energy). The paper's claim is
+// that this exceeds 0.4 for typical machines.
+func (a Assumptions) EnergyShareOfTCO(avgPower units.Watts) (float64, error) {
+	if a.AcquisitionDollars <= 0 {
+		return 0, errors.New("costmodel: acquisition cost not set")
+	}
+	energy, err := a.LifetimeEnergyCost(avgPower)
+	if err != nil {
+		return 0, err
+	}
+	return energy / (a.AcquisitionDollars + energy), nil
+}
+
+// CampaignCost prices one simulation campaign's measured energy and the
+// saving from choosing in-situ.
+type CampaignCost struct {
+	PostDollars   float64
+	InSituDollars float64
+	SavedDollars  float64
+}
+
+// CompareCampaigns prices two measured workflow energies.
+func (a Assumptions) CompareCampaigns(postEnergy, inSituEnergy units.Joules) (CampaignCost, error) {
+	p, err := a.EnergyCost(postEnergy)
+	if err != nil {
+		return CampaignCost{}, err
+	}
+	i, err := a.EnergyCost(inSituEnergy)
+	if err != nil {
+		return CampaignCost{}, err
+	}
+	return CampaignCost{PostDollars: p, InSituDollars: i, SavedDollars: p - i}, nil
+}
+
+// PowerUtilization returns the fraction of the provisioned power budget an
+// observed average draw uses. Production machines sit at 0.40-0.55 per the
+// paper's citation of Pakin et al.
+func PowerUtilization(observed, budget units.Watts) (float64, error) {
+	if budget <= 0 {
+		return 0, fmt.Errorf("costmodel: non-positive budget %v", budget)
+	}
+	if observed < 0 {
+		return 0, errors.New("costmodel: negative observed power")
+	}
+	return float64(observed) / float64(budget), nil
+}
+
+// TrappedCapacity returns the provisioned power an observed draw leaves
+// unused (never negative).
+func TrappedCapacity(observed, budget units.Watts) (units.Watts, error) {
+	u, err := PowerUtilization(observed, budget)
+	if err != nil {
+		return 0, err
+	}
+	if u >= 1 {
+		return 0, nil
+	}
+	return budget - observed, nil
+}

@@ -1,0 +1,362 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("dims = %dx%d, want 2x3", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Errorf("At(1,2) = %v, want 5", m.At(1, 2))
+	}
+	c := m.Clone()
+	c.Set(1, 2, 7)
+	if m.At(1, 2) != 5 {
+		t.Error("Clone aliases the original backing store")
+	}
+}
+
+func TestNewMatrixPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMatrix(0, 3) did not panic")
+		}
+	}()
+	NewMatrix(0, 3)
+}
+
+func TestAtPanicsOutOfBounds(t *testing.T) {
+	m := NewMatrix(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("At(2,0) did not panic")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Errorf("FromRows content wrong: %v", m)
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrShape) {
+		t.Errorf("ragged rows: err = %v, want ErrShape", err)
+	}
+	if _, err := FromRows(nil); !errors.Is(err, ErrShape) {
+		t.Errorf("nil rows: err = %v, want ErrShape", err)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose dims = %dx%d", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	p, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if p.At(i, j) != want[i][j] {
+				t.Errorf("Mul[%d][%d] = %v, want %v", i, j, p.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := a.Mul(NewMatrix(3, 2)); !errors.Is(err, ErrShape) {
+		t.Errorf("shape mismatch err = %v", err)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	a, _ := FromRows([][]float64{{2, -1, 0}, {4, 3, 1}, {0, 5, 9}})
+	p, err := a.Mul(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if p.At(i, j) != a.At(i, j) {
+				t.Fatalf("A*I != A at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y, err := a.MulVec([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 6 || y[1] != 15 {
+		t.Errorf("MulVec = %v, want [6 15]", y)
+	}
+	if _, err := a.MulVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("shape mismatch err = %v", err)
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// The paper's Eq. 5 system: columns are (t_sim coefficient, S_io, N_viz).
+	a, _ := FromRows([][]float64{
+		{1, 0.1, 60},
+		{1, 0.6, 540},
+		{1, 80, 180},
+	})
+	b := []float64{676, 1261, 1322}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact solution of this system: t_sim ~= 602.6, alpha ~= 6.29, beta ~= 1.21.
+	if !almostEq(x[0], 603, 2) {
+		t.Errorf("t_sim = %v, want ~603", x[0])
+	}
+	if !almostEq(x[1], 6.3, 0.1) {
+		t.Errorf("alpha = %v, want ~6.3", x[1])
+	}
+	if !almostEq(x[2], 1.2, 0.05) {
+		t.Errorf("beta = %v, want ~1.2", x[2])
+	}
+	// Residual must be ~0 for an exact solve.
+	r, err := Residual(a, x, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Norm2(r) > 1e-9 {
+		t.Errorf("residual norm = %g, want ~0", Norm2(r))
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("singular solve err = %v, want ErrSingular", err)
+	}
+	z := NewMatrix(2, 2)
+	if _, err := Factor(z); !errors.Is(err, ErrSingular) {
+		t.Errorf("zero-matrix factor err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveNonSquare(t *testing.T) {
+	if _, err := Factor(NewMatrix(2, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("non-square factor err = %v, want ErrShape", err)
+	}
+}
+
+func TestSolveRHSLength(t *testing.T) {
+	f, err := Factor(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Errorf("bad rhs err = %v, want ErrShape", err)
+	}
+}
+
+func TestDet(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 3}, {6, 3}})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Det(), -6, 1e-9) {
+		t.Errorf("det = %v, want -6", f.Det())
+	}
+	if !almostEq(mustDet(t, Identity(4)), 1, 1e-12) {
+		t.Error("det(I) != 1")
+	}
+}
+
+func mustDet(t *testing.T, m *Matrix) float64 {
+	t.Helper()
+	f, err := Factor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.Det()
+}
+
+func TestSolveRandomSystemsProperty(t *testing.T) {
+	// For random diagonally dominant systems, Solve must satisfy A*x = b.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			var rowSum float64
+			for j := 0; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				rowSum += math.Abs(v)
+			}
+			a.Set(i, i, a.At(i, i)+rowSum+1) // ensure non-singular
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64() * 100
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		r, _ := Residual(a, x, b)
+		if Norm2(r) > 1e-8*(1+Norm2(b)) {
+			t.Fatalf("trial %d: residual %g too large", trial, Norm2(r))
+		}
+	}
+}
+
+func TestLeastSquaresExactSystem(t *testing.T) {
+	// When the system is square and consistent, least squares must agree
+	// with the direct solve.
+	a, _ := FromRows([][]float64{
+		{1, 0.1, 60},
+		{1, 0.6, 540},
+		{1, 80, 180},
+	})
+	b := []float64{676, 1261, 1322}
+	direct, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct {
+		if !almostEq(direct[i], ls[i], 1e-6*math.Max(1, math.Abs(direct[i]))) {
+			t.Errorf("component %d: direct %v vs least-squares %v", i, direct[i], ls[i])
+		}
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 2 + 3x to noisy points; with symmetric exact points the fit
+	// is exact.
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	a := NewMatrix(len(xs), 2)
+	b := make([]float64, len(xs))
+	for i, x := range xs {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, x)
+		b[i] = 2 + 3*x
+	}
+	coef, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(coef[0], 2, 1e-10) || !almostEq(coef[1], 3, 1e-10) {
+		t.Errorf("fit = %v, want [2 3]", coef)
+	}
+}
+
+func TestLeastSquaresResidualOrthogonality(t *testing.T) {
+	// The least-squares residual must be orthogonal to the column space:
+	// A' * (b - A*x) = 0.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		m := 4 + rng.Intn(10)
+		n := 1 + rng.Intn(3)
+		a := NewMatrix(m, n)
+		b := make([]float64, m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			b[i] = rng.NormFloat64() * 10
+		}
+		x, err := LeastSquares(a, b)
+		if err != nil {
+			continue // rank-deficient random draw; acceptable to skip
+		}
+		r, _ := Residual(a, x, b)
+		atr, _ := a.Transpose().MulVec(r)
+		if Norm2(atr) > 1e-8*(1+Norm2(b)) {
+			t.Fatalf("trial %d: A'r = %v not ~0", trial, atr)
+		}
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := LeastSquares(a, []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Errorf("underdetermined err = %v, want ErrShape", err)
+	}
+	sq := Identity(3)
+	if _, err := LeastSquares(sq, []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Errorf("bad rhs err = %v, want ErrShape", err)
+	}
+	// Rank-deficient: duplicate columns.
+	rd, _ := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	if _, err := LeastSquares(rd, []float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Errorf("rank-deficient err = %v, want ErrSingular", err)
+	}
+	if _, err := LeastSquares(NewMatrix(3, 2), []float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Errorf("zero design matrix err = %v, want ErrSingular", err)
+	}
+}
+
+func TestResidualShape(t *testing.T) {
+	a := Identity(2)
+	if _, err := Residual(a, []float64{1, 2}, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("residual shape err = %v, want ErrShape", err)
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	if !almostEq(Norm2([]float64{3, 4}), 5, 1e-12) {
+		t.Errorf("Norm2([3 4]) = %v", Norm2([]float64{3, 4}))
+	}
+	if Norm2(nil) != 0 {
+		t.Error("Norm2(nil) != 0")
+	}
+}
+
+func TestTransposeInvolutionProperty(t *testing.T) {
+	f := func(vals [6]float64) bool {
+		m, _ := FromRows([][]float64{vals[0:3], vals[3:6]})
+		tt := m.Transpose().Transpose()
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 3; j++ {
+				if m.At(i, j) != tt.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,215 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// LU holds an LU factorization with partial pivoting: P*A = L*U.
+type LU struct {
+	lu   *Matrix // combined L (unit lower, implicit diagonal) and U
+	piv  []int   // row permutation
+	sign int     // permutation parity, for determinants
+}
+
+// Factor computes the LU factorization of the square matrix a with partial
+// pivoting. It returns ErrSingular if a pivot is exactly zero or smaller
+// than a conservative numerical threshold relative to the matrix scale.
+func Factor(a *Matrix) (*LU, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("%w: Factor requires a square matrix, got %dx%d", ErrShape, a.rows, a.cols)
+	}
+	n := a.rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	scale := lu.MaxAbs()
+	tol := scale * 1e-14 * float64(n)
+	if scale == 0 {
+		return nil, fmt.Errorf("%w: zero matrix", ErrSingular)
+	}
+	for k := 0; k < n; k++ {
+		// Find the pivot row.
+		p := k
+		mx := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu.At(i, k)); a > mx {
+				mx, p = a, i
+			}
+		}
+		if mx <= tol {
+			return nil, fmt.Errorf("%w: pivot %d is %g (tolerance %g)", ErrSingular, k, mx, tol)
+		}
+		if p != k {
+			swapRows(lu, p, k)
+			piv[p], piv[k] = piv[k], piv[p]
+			sign = -sign
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := lu.At(i, k) / pivot
+			lu.Set(i, k, f)
+			if f == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.Set(i, j, lu.At(i, j)-f*lu.At(k, j))
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+func swapRows(m *Matrix, a, b int) {
+	ra := m.data[a*m.cols : (a+1)*m.cols]
+	rb := m.data[b*m.cols : (b+1)*m.cols]
+	for j := range ra {
+		ra[j], rb[j] = rb[j], ra[j]
+	}
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.lu.rows; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Solve solves A*x = b for x using the factorization.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n := f.lu.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: rhs length %d, want %d", ErrShape, len(b), n)
+	}
+	// Apply the permutation.
+	x := make([]float64, n)
+	for i, p := range f.piv {
+		x[i] = b[p]
+	}
+	// Forward substitution (L has implicit unit diagonal).
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			x[i] -= f.lu.At(i, j) * x[j]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		for j := i + 1; j < n; j++ {
+			x[i] -= f.lu.At(i, j) * x[j]
+		}
+		x[i] /= f.lu.At(i, i)
+	}
+	return x, nil
+}
+
+// Solve solves the square system A*x = b in one call.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// LeastSquares solves the overdetermined system A*x ~= b in the
+// least-squares sense using Householder QR. A must have at least as many
+// rows as columns and full column rank.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	m, n := a.rows, a.cols
+	if len(b) != m {
+		return nil, fmt.Errorf("%w: rhs length %d, want %d", ErrShape, len(b), m)
+	}
+	if m < n {
+		return nil, fmt.Errorf("%w: underdetermined system %dx%d", ErrShape, m, n)
+	}
+	r := a.Clone()
+	qtb := make([]float64, m)
+	copy(qtb, b)
+	scale := r.MaxAbs()
+	if scale == 0 {
+		return nil, fmt.Errorf("%w: zero design matrix", ErrSingular)
+	}
+	tol := scale * 1e-13 * float64(m)
+	for k := 0; k < n; k++ {
+		// Householder reflection zeroing column k below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, r.At(i, k))
+		}
+		if norm <= tol {
+			return nil, fmt.Errorf("%w: column %d is numerically rank deficient", ErrSingular, k)
+		}
+		if r.At(k, k) > 0 {
+			norm = -norm
+		}
+		// v = x - norm*e1, stored in-place (column k, rows k..m-1).
+		for i := k; i < m; i++ {
+			r.Set(i, k, r.At(i, k)/norm)
+		}
+		r.Set(k, k, r.At(k, k)-1) // note: now r[k][k] = x_k/norm - 1 <= -1
+		vkk := r.At(k, k)
+		// Apply the reflector to the remaining columns and to qtb:
+		// y <- y - (v'y / v_k) * v  where v_k = r[k][k].
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += r.At(i, k) * r.At(i, j)
+			}
+			s /= vkk
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)+s*r.At(i, k))
+			}
+		}
+		var s float64
+		for i := k; i < m; i++ {
+			s += r.At(i, k) * qtb[i]
+		}
+		s /= vkk
+		for i := k; i < m; i++ {
+			qtb[i] += s * r.At(i, k)
+		}
+		// Store the R diagonal value in place of the reflector head; the
+		// sub-diagonal reflector entries are no longer needed for solving.
+		r.Set(k, k, norm)
+	}
+	// Back substitution with the upper-triangular R (rows 0..n-1).
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := qtb[i]
+		for j := i + 1; j < n; j++ {
+			s -= r.At(i, j) * x[j]
+		}
+		x[i] = s / r.At(i, i)
+	}
+	return x, nil
+}
+
+// Residual returns b - A*x, useful for assessing fit quality.
+func Residual(a *Matrix, x, b []float64) ([]float64, error) {
+	ax, err := a.MulVec(x)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) != len(ax) {
+		return nil, fmt.Errorf("%w: rhs length %d, want %d", ErrShape, len(b), len(ax))
+	}
+	out := make([]float64, len(b))
+	for i := range out {
+		out[i] = b[i] - ax[i]
+	}
+	return out, nil
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var n float64
+	for _, x := range v {
+		n = math.Hypot(n, x)
+	}
+	return n
+}

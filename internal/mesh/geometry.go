@@ -1,0 +1,148 @@
+package mesh
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a point or direction in 3-space. Mesh geometry is done in
+// Cartesian coordinates on the unit sphere and scaled by the sphere radius
+// only when physical lengths and areas are reported.
+type Vec3 [3]float64
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v[0] + w[0], v[1] + w[1], v[2] + w[2]} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v[0] - w[0], v[1] - w[1], v[2] - w[2]} }
+
+// Scale returns s*v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v[0], s * v[1], s * v[2]} }
+
+// Dot returns the inner product v . w.
+func (v Vec3) Dot(w Vec3) float64 { return v[0]*w[0] + v[1]*w[1] + v[2]*w[2] }
+
+// Cross returns the cross product v x w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v[1]*w[2] - v[2]*w[1],
+		v[2]*w[0] - v[0]*w[2],
+		v[0]*w[1] - v[1]*w[0],
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Normalize returns v scaled to unit length. It panics on the zero vector,
+// which always indicates a geometry bug in this package.
+func (v Vec3) Normalize() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		panic("mesh: normalizing zero vector")
+	}
+	return v.Scale(1 / n)
+}
+
+// String formats the vector for debugging.
+func (v Vec3) String() string { return fmt.Sprintf("(%.4g, %.4g, %.4g)", v[0], v[1], v[2]) }
+
+// LatLon returns the geographic latitude and longitude (radians) of the
+// direction v. Latitude is in [-pi/2, pi/2], longitude in (-pi, pi].
+func (v Vec3) LatLon() (lat, lon float64) {
+	u := v.Normalize()
+	lat = math.Asin(math.Max(-1, math.Min(1, u[2])))
+	lon = math.Atan2(u[1], u[0])
+	return lat, lon
+}
+
+// FromLatLon returns the unit vector at geographic coordinates (radians).
+func FromLatLon(lat, lon float64) Vec3 {
+	cl := math.Cos(lat)
+	return Vec3{cl * math.Cos(lon), cl * math.Sin(lon), math.Sin(lat)}
+}
+
+// ArcLength returns the great-circle distance between unit vectors a and b
+// on a sphere of radius r.
+func ArcLength(a, b Vec3, r float64) float64 {
+	// atan2 form is accurate for both small and near-antipodal separations.
+	return r * math.Atan2(a.Cross(b).Norm(), a.Dot(b))
+}
+
+// SphericalTriangleArea returns the signed area of the spherical triangle
+// with unit-vector corners a, b, c on a sphere of radius r, positive when
+// a->b->c is counterclockwise seen from outside the sphere
+// (van Oosterom-Strackee formula).
+func SphericalTriangleArea(a, b, c Vec3, r float64) float64 {
+	num := a.Dot(b.Cross(c))
+	den := 1 + a.Dot(b) + b.Dot(c) + c.Dot(a)
+	return 2 * math.Atan2(num, den) * r * r
+}
+
+// SphericalPolygonArea returns the area of the spherical polygon with
+// ordered unit-vector corners on a sphere of radius r, via the spherical
+// Gauss-Bonnet theorem: A = r^2 * (2*pi - sum of exterior turning angles).
+// Corners must be ordered counterclockwise to obtain the enclosed area; a
+// clockwise ordering yields the area of the complement.
+func SphericalPolygonArea(corners []Vec3, r float64) float64 {
+	n := len(corners)
+	if n < 3 {
+		return 0
+	}
+	var turnSum float64
+	for i := 0; i < n; i++ {
+		prev := corners[(i+n-1)%n]
+		cur := corners[i]
+		next := corners[(i+1)%n]
+		up := cur.Normalize()
+		in := ProjectToTangent(cur, cur.Sub(prev))
+		out := ProjectToTangent(cur, next.Sub(cur))
+		if in.Norm() == 0 || out.Norm() == 0 {
+			continue // repeated corner contributes no turn
+		}
+		in = in.Normalize()
+		out = out.Normalize()
+		turnSum += math.Atan2(in.Cross(out).Dot(up), in.Dot(out))
+	}
+	return (2*math.Pi - turnSum) * r * r
+}
+
+// TangentBasis returns local unit east and north vectors at the unit
+// direction p. At the poles, where east is degenerate, a fixed but
+// consistent basis is returned.
+func TangentBasis(p Vec3) (east, north Vec3) {
+	up := p.Normalize()
+	z := Vec3{0, 0, 1}
+	e := z.Cross(up)
+	if e.Norm() < 1e-12 {
+		// At a pole: pick east along +y, north toward -x (consistent with
+		// the limit approaching the north pole along the prime meridian).
+		e = Vec3{0, 1, 0}
+	}
+	east = e.Normalize()
+	north = up.Cross(east)
+	return east, north
+}
+
+// ProjectToTangent removes the radial component of w at unit direction p,
+// returning the tangent-plane part.
+func ProjectToTangent(p, w Vec3) Vec3 {
+	up := p.Normalize()
+	return w.Sub(up.Scale(w.Dot(up)))
+}
+
+// Circumcenter returns the circumcenter direction of the spherical triangle
+// with unit corners a, b, c: the point equidistant from all three, on the
+// same side of the sphere as the triangle.
+func Circumcenter(a, b, c Vec3) Vec3 {
+	n := b.Sub(a).Cross(c.Sub(a))
+	if n.Norm() == 0 {
+		panic("mesh: degenerate triangle has no circumcenter")
+	}
+	n = n.Normalize()
+	// Orient toward the triangle's side of the sphere.
+	if n.Dot(a.Add(b).Add(c)) < 0 {
+		n = n.Scale(-1)
+	}
+	return n
+}

@@ -1,0 +1,195 @@
+package mesh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVec3Arithmetic(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, 5, 6}
+	if a.Add(b) != (Vec3{5, 7, 9}) {
+		t.Errorf("Add = %v", a.Add(b))
+	}
+	if b.Sub(a) != (Vec3{3, 3, 3}) {
+		t.Errorf("Sub = %v", b.Sub(a))
+	}
+	if a.Scale(2) != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %v", a.Scale(2))
+	}
+	if a.Dot(b) != 32 {
+		t.Errorf("Dot = %v", a.Dot(b))
+	}
+	if got := (Vec3{1, 0, 0}).Cross(Vec3{0, 1, 0}); got != (Vec3{0, 0, 1}) {
+		t.Errorf("Cross = %v", got)
+	}
+	if math.Abs((Vec3{3, 4, 0}).Norm()-5) > 1e-12 {
+		t.Errorf("Norm = %v", (Vec3{3, 4, 0}).Norm())
+	}
+	n := (Vec3{0, 0, 9}).Normalize()
+	if n != (Vec3{0, 0, 1}) {
+		t.Errorf("Normalize = %v", n)
+	}
+}
+
+func TestNormalizeZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Normalize of zero vector did not panic")
+		}
+	}()
+	Vec3{}.Normalize()
+}
+
+func TestLatLonRoundTrip(t *testing.T) {
+	f := func(latRaw, lonRaw float64) bool {
+		lat := math.Mod(latRaw, math.Pi/2*0.999)
+		lon := math.Mod(lonRaw, math.Pi*0.999)
+		if math.IsNaN(lat) || math.IsNaN(lon) {
+			return true
+		}
+		v := FromLatLon(lat, lon)
+		gotLat, gotLon := v.LatLon()
+		return math.Abs(gotLat-lat) < 1e-9 && math.Abs(gotLon-lon) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromLatLonIsUnit(t *testing.T) {
+	for _, lat := range []float64{-math.Pi / 2, -0.3, 0, 1.1, math.Pi / 2} {
+		for _, lon := range []float64{-3, -1, 0, 2, 3.1} {
+			if n := FromLatLon(lat, lon).Norm(); math.Abs(n-1) > 1e-12 {
+				t.Fatalf("FromLatLon(%v,%v) norm = %v", lat, lon, n)
+			}
+		}
+	}
+}
+
+func TestArcLength(t *testing.T) {
+	a := Vec3{1, 0, 0}
+	b := Vec3{0, 1, 0}
+	if d := ArcLength(a, b, 1); math.Abs(d-math.Pi/2) > 1e-12 {
+		t.Errorf("quarter arc = %v, want pi/2", d)
+	}
+	if d := ArcLength(a, a.Scale(-1).Normalize(), 2); math.Abs(d-2*math.Pi) > 1e-12 {
+		t.Errorf("antipodal arc on r=2 = %v, want 2pi", d)
+	}
+	if d := ArcLength(a, a, 1); d != 0 {
+		t.Errorf("zero arc = %v", d)
+	}
+}
+
+func TestSphericalTriangleAreaOctant(t *testing.T) {
+	a, b, c := Vec3{1, 0, 0}, Vec3{0, 1, 0}, Vec3{0, 0, 1}
+	got := SphericalTriangleArea(a, b, c, 1)
+	if math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Errorf("octant area = %v, want pi/2", got)
+	}
+	// Reversed orientation gives the negated area.
+	if rev := SphericalTriangleArea(a, c, b, 1); math.Abs(rev+got) > 1e-12 {
+		t.Errorf("reversed area = %v, want %v", rev, -got)
+	}
+	// Radius scaling is quadratic.
+	if s := SphericalTriangleArea(a, b, c, 3); math.Abs(s-9*got) > 1e-9 {
+		t.Errorf("scaled area = %v, want %v", s, 9*got)
+	}
+}
+
+func TestSphericalPolygonArea(t *testing.T) {
+	// The equatorial "belt" quadrilateral covering a hemisphere boundary:
+	// four points around the equator bound the northern hemisphere when
+	// traversed CCW seen from the north pole.
+	corners := []Vec3{{1, 0, 0}, {0, 1, 0}, {-1, 0, 0}, {0, -1, 0}}
+	got := SphericalPolygonArea(corners, 1)
+	if math.Abs(got-2*math.Pi) > 1e-12 {
+		t.Errorf("hemisphere area = %v, want 2pi", got)
+	}
+	if SphericalPolygonArea(corners[:2], 1) != 0 {
+		t.Error("degenerate polygon should have zero area")
+	}
+}
+
+func TestTangentBasis(t *testing.T) {
+	pts := []Vec3{
+		FromLatLon(0.3, 1.2),
+		FromLatLon(-1.2, -2.5),
+		{0, 0, 1},  // north pole
+		{0, 0, -1}, // south pole
+	}
+	for _, p := range pts {
+		e, n := TangentBasis(p)
+		if math.Abs(e.Norm()-1) > 1e-12 || math.Abs(n.Norm()-1) > 1e-12 {
+			t.Fatalf("basis at %v not unit", p)
+		}
+		if math.Abs(e.Dot(n)) > 1e-12 {
+			t.Fatalf("basis at %v not orthogonal", p)
+		}
+		if math.Abs(e.Dot(p.Normalize())) > 1e-12 || math.Abs(n.Dot(p.Normalize())) > 1e-12 {
+			t.Fatalf("basis at %v not tangent", p)
+		}
+		// Right-handed: east x north = up.
+		if e.Cross(n).Sub(p.Normalize()).Norm() > 1e-9 {
+			t.Fatalf("basis at %v not right-handed", p)
+		}
+	}
+	// Away from the poles, north must point toward +z.
+	_, n := TangentBasis(FromLatLon(0.1, 0.7))
+	if n[2] <= 0 {
+		t.Error("north does not point northward")
+	}
+}
+
+func TestProjectToTangent(t *testing.T) {
+	p := FromLatLon(0.4, -1.1)
+	w := Vec3{1, 2, 3}
+	tproj := ProjectToTangent(p, w)
+	if math.Abs(tproj.Dot(p)) > 1e-12 {
+		t.Errorf("projection has radial component %v", tproj.Dot(p))
+	}
+}
+
+func TestCircumcenterEquidistant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		a := randUnit(rng)
+		b := ProjectToTangent(a, randUnit(rng)).Normalize().Scale(0.2).Add(a).Normalize()
+		c := ProjectToTangent(a, randUnit(rng)).Normalize().Scale(0.2).Add(a).Normalize()
+		if b.Sub(a).Cross(c.Sub(a)).Norm() < 1e-6 {
+			continue // nearly collinear draw
+		}
+		cc := Circumcenter(a, b, c)
+		da := ArcLength(cc, a, 1)
+		db := ArcLength(cc, b, 1)
+		dc := ArcLength(cc, c, 1)
+		if math.Abs(da-db) > 1e-9 || math.Abs(da-dc) > 1e-9 {
+			t.Fatalf("trial %d: circumcenter distances %v %v %v", trial, da, db, dc)
+		}
+		// The circumcenter must lie on the triangle's side of the sphere.
+		if cc.Dot(a.Add(b).Add(c)) < 0 {
+			t.Fatalf("trial %d: circumcenter on wrong hemisphere", trial)
+		}
+	}
+}
+
+func TestCircumcenterDegeneratePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("degenerate circumcenter did not panic")
+		}
+	}()
+	a := Vec3{1, 0, 0}
+	Circumcenter(a, a, a)
+}
+
+func randUnit(rng *rand.Rand) Vec3 {
+	for {
+		v := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if v.Norm() > 1e-6 {
+			return v.Normalize()
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package ncfile
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DumpCDL renders the dataset's header in CDL, the textual notation
+// `ncdump -h` produces, so dumps written by the pipelines can be inspected
+// without netCDF tooling.
+func DumpCDL(f *File, name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "netcdf %s {\n", name)
+
+	if len(f.Dims) > 0 {
+		sb.WriteString("dimensions:\n")
+		for _, d := range f.Dims {
+			if d.Unlimited() {
+				fmt.Fprintf(&sb, "\t%s = UNLIMITED ; // (%d currently)\n", d.Name, f.NumRecords())
+			} else {
+				fmt.Fprintf(&sb, "\t%s = %d ;\n", d.Name, d.Length)
+			}
+		}
+	}
+
+	if len(f.Vars) > 0 {
+		sb.WriteString("variables:\n")
+		for _, v := range f.Vars {
+			dims := make([]string, len(v.Dims))
+			for i, di := range v.Dims {
+				dims[i] = f.Dims[di].Name
+			}
+			fmt.Fprintf(&sb, "\t%s %s(%s) ;\n", cdlType(v.Type), v.Name, strings.Join(dims, ", "))
+			for _, a := range v.Attrs {
+				fmt.Fprintf(&sb, "\t\t%s:%s = %s ;\n", v.Name, a.Name, cdlValue(a))
+			}
+		}
+	}
+
+	if len(f.GlobalAttrs) > 0 {
+		sb.WriteString("\n// global attributes:\n")
+		for _, a := range f.GlobalAttrs {
+			fmt.Fprintf(&sb, "\t\t:%s = %s ;\n", a.Name, cdlValue(a))
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func cdlType(t Type) string {
+	switch t {
+	case Byte:
+		return "byte"
+	case Char:
+		return "char"
+	case Short:
+		return "short"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Double:
+		return "double"
+	}
+	return "unknown"
+}
+
+func cdlValue(a Attribute) string {
+	if a.Type == Char {
+		return fmt.Sprintf("%q", a.Text)
+	}
+	parts := make([]string, len(a.Values))
+	for i, v := range a.Values {
+		switch a.Type {
+		case Float:
+			parts[i] = fmt.Sprintf("%gf", v)
+		case Double:
+			parts[i] = fmt.Sprintf("%g", v)
+		default:
+			parts[i] = fmt.Sprintf("%d", int64(v))
+		}
+	}
+	return strings.Join(parts, ", ")
+}

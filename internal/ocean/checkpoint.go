@@ -1,0 +1,121 @@
+package ocean
+
+import (
+	"fmt"
+
+	"insituviz/internal/ncfile"
+)
+
+// Checkpointing serializes the prognostic state to netCDF classic files —
+// the restart-dump role raw output plays in production MPAS runs (and one
+// of the reasons post-processing workflows write so much data). Because the
+// state is stored as NC_DOUBLE, a restore is bit-exact and a restarted run
+// reproduces the original trajectory identically.
+
+// checkpointVersion guards the on-disk layout.
+const checkpointVersion = 1
+
+// WriteCheckpoint saves the state and simulated time for the model's mesh,
+// returning the file size in bytes.
+func WriteCheckpoint(path string, md *Model, s *State, simTime float64) (int64, error) {
+	m := md.Mesh
+	if len(s.Thickness) != m.NCells() || len(s.NormalVelocity) != m.NEdges() {
+		return 0, fmt.Errorf("ocean: state sized %d/%d does not match mesh %d/%d",
+			len(s.Thickness), len(s.NormalVelocity), m.NCells(), m.NEdges())
+	}
+	f := ncfile.New()
+	cellDim, err := f.AddDimension("nCells", m.NCells())
+	if err != nil {
+		return 0, err
+	}
+	edgeDim, err := f.AddDimension("nEdges", m.NEdges())
+	if err != nil {
+		return 0, err
+	}
+	attrs := []ncfile.Attribute{
+		ncfile.TextAttribute("title", "insituviz shallow-water restart"),
+		ncfile.NumericAttribute("checkpoint_version", ncfile.Int, checkpointVersion),
+		ncfile.NumericAttribute("sim_time_seconds", ncfile.Double, simTime),
+		ncfile.NumericAttribute("mesh_subdivisions", ncfile.Int, float64(m.Subdivisions)),
+		ncfile.NumericAttribute("sphere_radius_m", ncfile.Double, m.Radius),
+	}
+	for _, a := range attrs {
+		if err := f.AddGlobalAttribute(a); err != nil {
+			return 0, err
+		}
+	}
+	hID, err := f.AddVariable("layerThickness", ncfile.Double, []int{cellDim})
+	if err != nil {
+		return 0, err
+	}
+	uID, err := f.AddVariable("normalVelocity", ncfile.Double, []int{edgeDim})
+	if err != nil {
+		return 0, err
+	}
+	if err := f.SetData(hID, s.Thickness); err != nil {
+		return 0, err
+	}
+	if err := f.SetData(uID, s.NormalVelocity); err != nil {
+		return 0, err
+	}
+	return f.WriteFile(path)
+}
+
+// ReadCheckpoint restores a state previously written for a compatible
+// mesh, returning the state and its simulated time.
+func ReadCheckpoint(path string, md *Model) (*State, float64, error) {
+	f, err := ncfile.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	version, ok := findNumericAttr(f.GlobalAttrs, "checkpoint_version")
+	if !ok || int(version) != checkpointVersion {
+		return nil, 0, fmt.Errorf("ocean: %s: unsupported checkpoint version %v", path, version)
+	}
+	m := md.Mesh
+	if sub, ok := findNumericAttr(f.GlobalAttrs, "mesh_subdivisions"); !ok || int(sub) != m.Subdivisions {
+		return nil, 0, fmt.Errorf("ocean: %s: checkpoint mesh (subdivisions %v) does not match model (%d)",
+			path, sub, m.Subdivisions)
+	}
+	if r, ok := findNumericAttr(f.GlobalAttrs, "sphere_radius_m"); !ok || r != m.Radius {
+		return nil, 0, fmt.Errorf("ocean: %s: checkpoint radius %v does not match model %v", path, r, m.Radius)
+	}
+	simTime, ok := findNumericAttr(f.GlobalAttrs, "sim_time_seconds")
+	if !ok {
+		return nil, 0, fmt.Errorf("ocean: %s: missing sim_time_seconds", path)
+	}
+	hID, err := f.VarID("layerThickness")
+	if err != nil {
+		return nil, 0, err
+	}
+	uID, err := f.VarID("normalVelocity")
+	if err != nil {
+		return nil, 0, err
+	}
+	h, err := f.Data(hID)
+	if err != nil {
+		return nil, 0, err
+	}
+	u, err := f.Data(uID)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(h) != m.NCells() || len(u) != m.NEdges() {
+		return nil, 0, fmt.Errorf("ocean: %s: checkpoint sized %d/%d for mesh %d/%d",
+			path, len(h), len(u), m.NCells(), m.NEdges())
+	}
+	s := &State{Thickness: h, NormalVelocity: u}
+	if err := s.CheckFinite(); err != nil {
+		return nil, 0, fmt.Errorf("ocean: %s: %w", path, err)
+	}
+	return s, simTime, nil
+}
+
+func findNumericAttr(attrs []ncfile.Attribute, name string) (float64, bool) {
+	for _, a := range attrs {
+		if a.Name == name && len(a.Values) > 0 {
+			return a.Values[0], true
+		}
+	}
+	return 0, false
+}

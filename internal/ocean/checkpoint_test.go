@@ -1,0 +1,140 @@
+package ocean
+
+import (
+	"path/filepath"
+	"testing"
+
+	"insituviz/internal/mesh"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	md := testModel(t, 2, Config{Viscosity: 1e5})
+	s, err := UnstableJet(md, DefaultGalewsky())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := md.SuggestedTimestep(10000)
+	for i := 0; i < 3; i++ {
+		if err := md.Step(s, dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "restart.nc")
+	n, err := WriteCheckpoint(path, md, s, 3*dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatalf("checkpoint size = %d", n)
+	}
+	restored, simTime, err := ReadCheckpoint(path, md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simTime != 3*dt {
+		t.Errorf("sim time = %v, want %v", simTime, 3*dt)
+	}
+	for i := range s.Thickness {
+		if restored.Thickness[i] != s.Thickness[i] {
+			t.Fatalf("thickness differs at cell %d", i)
+		}
+	}
+	for i := range s.NormalVelocity {
+		if restored.NormalVelocity[i] != s.NormalVelocity[i] {
+			t.Fatalf("velocity differs at edge %d", i)
+		}
+	}
+}
+
+func TestCheckpointRestartReproducesTrajectory(t *testing.T) {
+	// Running 6 steps straight must equal running 3, checkpointing,
+	// restoring, and running 3 more — bit for bit, since the dump is
+	// NC_DOUBLE.
+	md := testModel(t, 2, Config{Viscosity: 1e5})
+	dt := md.SuggestedTimestep(10000)
+
+	straight, err := UnstableJet(md, DefaultGalewsky())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := md.Step(straight, dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	half, err := UnstableJet(md, DefaultGalewsky())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := md.Step(half, dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "restart.nc")
+	if _, err := WriteCheckpoint(path, md, half, 3*dt); err != nil {
+		t.Fatal(err)
+	}
+	resumed, _, err := ReadCheckpoint(path, md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := md.Step(resumed, dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range straight.Thickness {
+		if straight.Thickness[i] != resumed.Thickness[i] {
+			t.Fatalf("restart diverged at cell %d: %v vs %v",
+				i, straight.Thickness[i], resumed.Thickness[i])
+		}
+	}
+	for i := range straight.NormalVelocity {
+		if straight.NormalVelocity[i] != resumed.NormalVelocity[i] {
+			t.Fatalf("restart diverged at edge %d", i)
+		}
+	}
+}
+
+func TestCheckpointValidation(t *testing.T) {
+	md := testModel(t, 2, Config{})
+	s, _ := RestState(md, 1000)
+	dir := t.TempDir()
+
+	// Mis-sized state refused on write.
+	bad := NewState(3, 4)
+	if _, err := WriteCheckpoint(filepath.Join(dir, "x.nc"), md, bad, 0); err == nil {
+		t.Error("mis-sized state accepted")
+	}
+
+	path := filepath.Join(dir, "ok.nc")
+	if _, err := WriteCheckpoint(path, md, s, 42); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong mesh refused on read.
+	other := testModel(t, 1, Config{})
+	if _, _, err := ReadCheckpoint(path, other); err == nil {
+		t.Error("checkpoint restored onto mismatched mesh")
+	}
+
+	// Wrong radius refused.
+	m2, err := mesh.NewIcosphere(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdSmall, err := NewModel(m2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadCheckpoint(path, mdSmall); err == nil {
+		t.Error("checkpoint restored onto mismatched radius")
+	}
+
+	// Missing file.
+	if _, _, err := ReadCheckpoint(filepath.Join(dir, "missing.nc"), md); err == nil {
+		t.Error("missing checkpoint accepted")
+	}
+}

@@ -1,0 +1,251 @@
+package ocean
+
+import (
+	"fmt"
+
+	"insituviz/internal/mesh"
+)
+
+// Diagnostics holds the derived fields computed from a state during a
+// tendency evaluation. They are also what the visualization pipeline
+// consumes.
+type Diagnostics struct {
+	Divergence    []float64   // velocity divergence at cells (1/s)
+	Vorticity     []float64   // relative vorticity at dual vertices (1/s)
+	KineticEnergy []float64   // kinetic energy at cells (m^2/s^2)
+	CellVelocity  []mesh.Vec3 // reconstructed tangent velocity at cells (m/s)
+}
+
+// ComputeDiagnostics evaluates the derived fields of s.
+func (md *Model) ComputeDiagnostics(s *State) *Diagnostics {
+	m := md.Mesh
+	d := &Diagnostics{
+		Divergence:    make([]float64, m.NCells()),
+		Vorticity:     make([]float64, m.NVertices()),
+		KineticEnergy: make([]float64, m.NCells()),
+		CellVelocity:  make([]mesh.Vec3, m.NCells()),
+	}
+
+	md.parallelFor(m.NCells(), func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			c := &m.Cells[ci]
+			var div, ke float64
+			var vel mesh.Vec3
+			for k, ei := range c.Edges {
+				e := &m.Edges[ei]
+				u := s.NormalVelocity[ei]
+				div += float64(c.EdgeSigns[k]) * u * e.Dv
+				ke += e.Dc * e.Dv * 0.25 * u * u
+				vel = vel.Add(md.recon[ci][k].Scale(u))
+			}
+			d.Divergence[ci] = div / c.Area
+			d.KineticEnergy[ci] = ke / c.Area
+			d.CellVelocity[ci] = vel
+		}
+	})
+
+	md.parallelFor(m.NVertices(), func(lo, hi int) {
+		for vi := lo; vi < hi; vi++ {
+			v := &m.Vertices[vi]
+			var circ float64
+			for k, ei := range v.Edges {
+				circ += float64(v.EdgeSigns[k]) * s.NormalVelocity[ei] * m.Edges[ei].Dc
+			}
+			d.Vorticity[vi] = circ / v.Area
+		}
+	})
+	return d
+}
+
+// Tendency evaluates the right-hand side of the shallow-water equations at
+// state s, writing the result into out (which must be sized for the mesh).
+//
+// Continuity:  dh/dt = -div(h u)
+// Momentum:    du/dt = q u_perp - grad_n(K + g h) + nu del2(u)
+//
+// where q = f + zeta is the absolute vorticity interpolated to edges and
+// u_perp is the tangential velocity from the cell-centered reconstruction.
+func (md *Model) Tendency(s *State, out *State) error {
+	m := md.Mesh
+	if len(out.Thickness) != m.NCells() || len(out.NormalVelocity) != m.NEdges() {
+		return fmt.Errorf("ocean: tendency output sized %d/%d, want %d/%d",
+			len(out.Thickness), len(out.NormalVelocity), m.NCells(), m.NEdges())
+	}
+	d := md.ComputeDiagnostics(s)
+
+	// Continuity equation.
+	md.parallelFor(m.NCells(), func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			c := &m.Cells[ci]
+			var flux float64
+			for k, ei := range c.Edges {
+				e := &m.Edges[ei]
+				he := 0.5 * (s.Thickness[e.Cells[0]] + s.Thickness[e.Cells[1]])
+				flux += float64(c.EdgeSigns[k]) * s.NormalVelocity[ei] * he * e.Dv
+			}
+			out.Thickness[ci] = -flux / c.Area
+		}
+	})
+
+	// Momentum equation.
+	md.parallelFor(m.NEdges(), func(lo, hi int) {
+		for ei := lo; ei < hi; ei++ {
+			e := &m.Edges[ei]
+			c0, c1 := e.Cells[0], e.Cells[1]
+			v0, v1 := e.Vertices[0], e.Vertices[1]
+
+			// Absolute vorticity at the edge.
+			zeta := 0.5 * (d.Vorticity[v0] + d.Vorticity[v1])
+			q := md.coriolisEdge[ei] + zeta
+
+			// Tangential velocity from the averaged cell reconstructions.
+			vbar := d.CellVelocity[c0].Add(d.CellVelocity[c1]).Scale(0.5)
+			uperp := vbar.Dot(e.Tangent)
+
+			// Bernoulli gradient along the normal; with topography the
+			// pressure term uses the free-surface height h+b.
+			eta0, eta1 := s.Thickness[c0], s.Thickness[c1]
+			if md.topography != nil {
+				eta0 += md.topography[c0]
+				eta1 += md.topography[c1]
+			}
+			bern0 := d.KineticEnergy[c0] + Gravity*eta0
+			bern1 := d.KineticEnergy[c1] + Gravity*eta1
+			grad := (bern1 - bern0) / e.Dc
+
+			tend := q*uperp - grad
+			if md.windAccel != nil {
+				tend += md.windAccel[ei]
+			}
+			if md.bottomDrag > 0 {
+				tend -= md.bottomDrag * s.NormalVelocity[ei]
+			}
+
+			if md.Viscosity > 0 {
+				// del2(u) = grad_n(div) - grad_t(zeta).
+				lap := (d.Divergence[c1]-d.Divergence[c0])/e.Dc -
+					md.vertexTangentSign[ei]*(d.Vorticity[v1]-d.Vorticity[v0])/e.Dv
+				tend += md.Viscosity * lap
+			}
+			out.NormalVelocity[ei] = tend
+		}
+	})
+	return nil
+}
+
+// Step advances s by one RK4 step of size dt seconds, in place.
+func (md *Model) Step(s *State, dt float64) error {
+	if dt <= 0 {
+		return fmt.Errorf("ocean: non-positive timestep %g", dt)
+	}
+	m := md.Mesh
+	k1 := NewState(m.NCells(), m.NEdges())
+	k2 := NewState(m.NCells(), m.NEdges())
+	k3 := NewState(m.NCells(), m.NEdges())
+	k4 := NewState(m.NCells(), m.NEdges())
+
+	if err := md.Tendency(s, k1); err != nil {
+		return err
+	}
+	tmp := s.Clone()
+	if err := tmp.AddScaled(k1, dt/2); err != nil {
+		return err
+	}
+	if err := md.Tendency(tmp, k2); err != nil {
+		return err
+	}
+	tmp = s.Clone()
+	if err := tmp.AddScaled(k2, dt/2); err != nil {
+		return err
+	}
+	if err := md.Tendency(tmp, k3); err != nil {
+		return err
+	}
+	tmp = s.Clone()
+	if err := tmp.AddScaled(k3, dt); err != nil {
+		return err
+	}
+	if err := md.Tendency(tmp, k4); err != nil {
+		return err
+	}
+
+	if err := s.AddScaled(k1, dt/6); err != nil {
+		return err
+	}
+	if err := s.AddScaled(k2, dt/3); err != nil {
+		return err
+	}
+	if err := s.AddScaled(k3, dt/3); err != nil {
+		return err
+	}
+	return s.AddScaled(k4, dt/6)
+}
+
+// TotalMass returns the area-integrated thickness (m^3), conserved exactly
+// by the discrete continuity equation.
+func (md *Model) TotalMass(s *State) float64 {
+	var mass float64
+	for ci := range md.Mesh.Cells {
+		mass += s.Thickness[ci] * md.Mesh.Cells[ci].Area
+	}
+	return mass
+}
+
+// TotalEnergy returns the area-integrated total (kinetic + potential)
+// energy per unit density (m^5/s^2).
+func (md *Model) TotalEnergy(s *State) float64 {
+	d := md.ComputeDiagnostics(s)
+	var en float64
+	for ci := range md.Mesh.Cells {
+		h := s.Thickness[ci]
+		en += (h*d.KineticEnergy[ci] + 0.5*Gravity*h*h) * md.Mesh.Cells[ci].Area
+	}
+	return en
+}
+
+// CellVorticity interpolates the relative vorticity from the dual vertices
+// to cell centers (area-weighted over each cell's corners). The eddy
+// classifier uses it to separate cyclonic from anticyclonic cores.
+func (md *Model) CellVorticity(s *State) []float64 {
+	d := md.ComputeDiagnostics(s)
+	return md.cellVorticityFromDiagnostics(d)
+}
+
+func (md *Model) cellVorticityFromDiagnostics(d *Diagnostics) []float64 {
+	m := md.Mesh
+	out := make([]float64, m.NCells())
+	for ci := range m.Cells {
+		c := &m.Cells[ci]
+		var num, den float64
+		for _, vi := range c.Vertices {
+			a := m.Vertices[vi].Area
+			num += d.Vorticity[vi] * a
+			den += a
+		}
+		if den > 0 {
+			out[ci] = num / den
+		}
+	}
+	return out
+}
+
+// PotentialVorticity returns the shallow-water potential vorticity
+// q = (zeta + f) / h at the dual vertices, with the layer thickness
+// interpolated from the vertex's three cells. PV is materially conserved
+// by the continuous equations and is MPAS-O's standard dynamical
+// diagnostic alongside Okubo-Weiss.
+func (md *Model) PotentialVorticity(s *State) []float64 {
+	d := md.ComputeDiagnostics(s)
+	m := md.Mesh
+	out := make([]float64, m.NVertices())
+	for vi := range m.Vertices {
+		v := &m.Vertices[vi]
+		h := (s.Thickness[v.Cells[0]] + s.Thickness[v.Cells[1]] + s.Thickness[v.Cells[2]]) / 3
+		if h <= 0 {
+			out[vi] = 0
+			continue
+		}
+		out[vi] = (d.Vorticity[vi] + md.coriolisVertex[vi]) / h
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package ocean
+
+import (
+	"fmt"
+	"math"
+
+	"insituviz/internal/mesh"
+)
+
+// Forcing and topography extensions to the shallow-water core. MPAS-O runs
+// with bathymetry, surface wind stress, and bottom friction; these are the
+// minimal equivalents that let long live runs sustain eddy activity
+// instead of freely decaying.
+
+// SetTopography installs bottom topography b (m) at each cell. The
+// momentum equation then uses the free-surface height h+b in its pressure
+// gradient, keeping a resting fluid with flat free surface exactly at rest
+// (the well-balanced property). Pass nil to clear.
+func (md *Model) SetTopography(b []float64) error {
+	if b == nil {
+		md.topography = nil
+		return nil
+	}
+	if len(b) != md.Mesh.NCells() {
+		return fmt.Errorf("ocean: topography has %d cells, mesh has %d", len(b), md.Mesh.NCells())
+	}
+	for ci, v := range b {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("ocean: non-finite topography at cell %d", ci)
+		}
+	}
+	md.topography = append([]float64(nil), b...)
+	return nil
+}
+
+// Topography returns a copy of the installed bottom topography, or nil.
+func (md *Model) Topography() []float64 {
+	if md.topography == nil {
+		return nil
+	}
+	return append([]float64(nil), md.topography...)
+}
+
+// RidgeTopography returns a Gaussian ridge centered at (lat0, lon0) with
+// the given angular half-width (radians) and height (m) — the isolated
+// mountain of the standard shallow-water test suite.
+func RidgeTopography(md *Model, lat0, lon0, width, height float64) ([]float64, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("ocean: non-positive ridge width %g", width)
+	}
+	m := md.Mesh
+	b := make([]float64, m.NCells())
+	center := mesh.FromLatLon(lat0, lon0)
+	for ci := range m.Cells {
+		d := mesh.ArcLength(center, m.Cells[ci].Center, 1)
+		b[ci] = height * math.Exp(-(d*d)/(width*width))
+	}
+	return b, nil
+}
+
+// SetZonalWind installs a steady zonal wind-stress acceleration profile
+// accel(lat) (m/s^2, positive eastward), applied to the momentum equation
+// as the projection of the eastward acceleration onto each edge normal.
+// Pass nil to clear.
+func (md *Model) SetZonalWind(accel func(lat float64) float64) {
+	if accel == nil {
+		md.windAccel = nil
+		return
+	}
+	m := md.Mesh
+	md.windAccel = make([]float64, m.NEdges())
+	for ei := range m.Edges {
+		e := &m.Edges[ei]
+		east, _ := mesh.TangentBasis(e.Midpoint)
+		md.windAccel[ei] = accel(e.Lat) * east.Dot(e.Normal)
+	}
+}
+
+// SetBottomDrag installs linear (Rayleigh) bottom friction with rate r
+// (1/s): du/dt -= r*u. Negative rates are rejected.
+func (md *Model) SetBottomDrag(r float64) error {
+	if r < 0 {
+		return fmt.Errorf("ocean: negative drag rate %g", r)
+	}
+	md.bottomDrag = r
+	return nil
+}
+
+// TradeWindProfile returns a simple two-cell zonal wind acceleration:
+// easterlies in the tropics, westerlies at mid-latitudes, scaled to peak
+// (m/s^2).
+func TradeWindProfile(peak float64) func(lat float64) float64 {
+	return func(lat float64) float64 {
+		return -peak * math.Cos(3*lat) * math.Cos(lat)
+	}
+}

@@ -1,0 +1,221 @@
+package ocean
+
+import (
+	"fmt"
+	"math"
+
+	"insituviz/internal/linalg"
+	"insituviz/internal/mesh"
+)
+
+// Gravity is the standard gravitational acceleration (m/s^2), the value
+// used by the shallow-water test suite of Williamson et al.
+const Gravity = 9.80616
+
+// EarthOmega is the Earth's rotation rate (rad/s).
+const EarthOmega = 7.292e-5
+
+// Config selects the physical parameters of a Model.
+type Config struct {
+	// Omega is the planetary rotation rate (rad/s). Defaults to EarthOmega
+	// when zero; set to a negative tiny value to disable rotation entirely.
+	Omega float64
+	// Viscosity is the harmonic (del^2) dissipation coefficient (m^2/s).
+	// Coarse meshes need some dissipation to stay stable under the
+	// under-resolved jets that spawn eddies.
+	Viscosity float64
+	// Workers is the shared-memory parallelism of the tendency and
+	// diagnostic loops: 0 uses GOMAXPROCS, negative forces serial
+	// execution. Results are bit-identical at any worker count (chunks are
+	// disjoint and each index writes only its own slot).
+	Workers int
+}
+
+// Model couples a mesh with physical parameters and the precomputed
+// operators (velocity reconstruction, gradients, Coriolis fields) needed to
+// evaluate tendencies efficiently.
+type Model struct {
+	Mesh      *mesh.Mesh
+	Omega     float64
+	Viscosity float64
+
+	workers int
+
+	// Optional physics (see forcing.go): bottom topography at cells,
+	// zonal wind acceleration projected onto edge normals, and linear
+	// bottom-drag rate.
+	topography []float64
+	windAccel  []float64
+	bottomDrag float64
+
+	coriolisEdge   []float64 // f at edge midpoints
+	coriolisVertex []float64 // f at dual vertices
+
+	// vertexTangentSign[e] is +1 when Edges[e].Vertices[1] lies in the
+	// +Tangent direction from Vertices[0]; used by the del2 operator.
+	vertexTangentSign []float64
+
+	// recon[c] reconstructs the tangent velocity vector at cell c from the
+	// normal velocities on its edges: V = sum_k recon[c][k] * u(Edges[k]),
+	// where recon[c][k] is a 3-vector (least-squares pseudo-inverse).
+	recon [][]mesh.Vec3
+
+	// gradWeights[c][k] are least-squares gradient weights: the tangent-
+	// plane gradient of a cell field F at cell c is
+	// sum_k gradWeights[c][k] * (F[Neighbors[k]] - F[c]) in the local
+	// (east, north) basis. Each weight is a 2-vector (gx, gy).
+	gradWeights [][][2]float64
+}
+
+// NewModel builds a model on m with the given configuration, precomputing
+// the reconstruction and gradient operators.
+func NewModel(m *mesh.Mesh, cfg Config) (*Model, error) {
+	if m == nil || m.NCells() == 0 {
+		return nil, fmt.Errorf("ocean: nil or empty mesh")
+	}
+	if cfg.Viscosity < 0 {
+		return nil, fmt.Errorf("ocean: negative viscosity %g", cfg.Viscosity)
+	}
+	omega := cfg.Omega
+	if omega == 0 {
+		omega = EarthOmega
+	} else if omega < 0 {
+		omega = 0
+	}
+	md := &Model{Mesh: m, Omega: omega, Viscosity: cfg.Viscosity, workers: resolveWorkers(cfg.Workers)}
+
+	md.coriolisEdge = make([]float64, m.NEdges())
+	md.vertexTangentSign = make([]float64, m.NEdges())
+	for ei := range m.Edges {
+		e := &m.Edges[ei]
+		md.coriolisEdge[ei] = 2 * omega * math.Sin(e.Lat)
+		v0 := m.Vertices[e.Vertices[0]].Pos
+		v1 := m.Vertices[e.Vertices[1]].Pos
+		if v1.Sub(v0).Dot(e.Tangent) >= 0 {
+			md.vertexTangentSign[ei] = 1
+		} else {
+			md.vertexTangentSign[ei] = -1
+		}
+	}
+	md.coriolisVertex = make([]float64, m.NVertices())
+	for vi := range m.Vertices {
+		lat, _ := m.Vertices[vi].Pos.LatLon()
+		md.coriolisVertex[vi] = 2 * omega * math.Sin(lat)
+	}
+
+	if err := md.buildReconstruction(); err != nil {
+		return nil, err
+	}
+	if err := md.buildGradients(); err != nil {
+		return nil, err
+	}
+	return md, nil
+}
+
+// buildReconstruction precomputes, for every cell, the least-squares
+// pseudo-inverse mapping edge normal velocities to the cell-centered tangent
+// velocity vector. The system per cell is
+//
+//	n_e . V = u_e   for each edge e of the cell
+//	r  . V = 0      (tangency constraint)
+//
+// solved in the least-squares sense; the solution is linear in the u_e, so
+// we store one 3-vector of coefficients per edge.
+func (md *Model) buildReconstruction() error {
+	m := md.Mesh
+	md.recon = make([][]mesh.Vec3, m.NCells())
+	for ci := range m.Cells {
+		c := &m.Cells[ci]
+		ne := len(c.Edges)
+		// Normal equations: (A^T A) X = A^T, where A is (ne+1) x 3 with
+		// edge normals and the radial constraint row.
+		ata := linalg.NewMatrix(3, 3)
+		rows := make([]mesh.Vec3, ne+1)
+		for k, ei := range c.Edges {
+			rows[k] = m.Edges[ei].Normal
+		}
+		rows[ne] = c.Center
+		for _, r := range rows {
+			for a := 0; a < 3; a++ {
+				for b := 0; b < 3; b++ {
+					ata.Set(a, b, ata.At(a, b)+r[a]*r[b])
+				}
+			}
+		}
+		f, err := linalg.Factor(ata)
+		if err != nil {
+			return fmt.Errorf("ocean: reconstruction at cell %d: %w", ci, err)
+		}
+		coeffs := make([]mesh.Vec3, ne)
+		for k := 0; k < ne; k++ {
+			// Column of the pseudo-inverse for edge k: solve (A^T A) x = n_k.
+			n := rows[k]
+			x, err := f.Solve([]float64{n[0], n[1], n[2]})
+			if err != nil {
+				return fmt.Errorf("ocean: reconstruction at cell %d: %w", ci, err)
+			}
+			coeffs[k] = mesh.Vec3{x[0], x[1], x[2]}
+		}
+		md.recon[ci] = coeffs
+	}
+	return nil
+}
+
+// buildGradients precomputes least-squares tangent-plane gradient weights
+// for cell-centered fields, used by the Okubo-Weiss diagnostic.
+func (md *Model) buildGradients() error {
+	m := md.Mesh
+	md.gradWeights = make([][][2]float64, m.NCells())
+	for ci := range m.Cells {
+		c := &m.Cells[ci]
+		east, north := mesh.TangentBasis(c.Center)
+		nn := len(c.Neighbors)
+		// Design matrix rows: displacement of each neighbor center in the
+		// local (east, north) frame, scaled to physical meters.
+		dx := make([][2]float64, nn)
+		var sxx, sxy, syy float64
+		for k, nb := range c.Neighbors {
+			d := mesh.ProjectToTangent(c.Center, m.Cells[nb].Center.Sub(c.Center))
+			x := d.Dot(east) * m.Radius
+			y := d.Dot(north) * m.Radius
+			dx[k] = [2]float64{x, y}
+			sxx += x * x
+			sxy += x * y
+			syy += y * y
+		}
+		det := sxx*syy - sxy*sxy
+		if det == 0 {
+			return fmt.Errorf("ocean: degenerate gradient stencil at cell %d", ci)
+		}
+		w := make([][2]float64, nn)
+		for k := range dx {
+			x, y := dx[k][0], dx[k][1]
+			// (X^T X)^{-1} X^T row by row.
+			w[k] = [2]float64{
+				(syy*x - sxy*y) / det,
+				(sxx*y - sxy*x) / det,
+			}
+		}
+		md.gradWeights[ci] = w
+	}
+	return nil
+}
+
+// CoriolisAtEdge returns the Coriolis parameter at edge ei.
+func (md *Model) CoriolisAtEdge(ei int) float64 { return md.coriolisEdge[ei] }
+
+// SuggestedTimestep returns a timestep (s) satisfying an RK4 gravity-wave
+// CFL condition for the given mean layer depth, with a safety factor.
+func (md *Model) SuggestedTimestep(meanDepth float64) float64 {
+	if meanDepth <= 0 {
+		return 0
+	}
+	c := math.Sqrt(Gravity * meanDepth)
+	minDc := math.Inf(1)
+	for i := range md.Mesh.Edges {
+		if d := md.Mesh.Edges[i].Dc; d < minDc {
+			minDc = d
+		}
+	}
+	return 0.8 * minDc / (c * math.Sqrt2)
+}

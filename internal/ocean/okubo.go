@@ -1,0 +1,74 @@
+package ocean
+
+import (
+	"insituviz/internal/mesh"
+	"insituviz/internal/stats"
+)
+
+// OkuboWeiss computes the Okubo-Weiss parameter at every cell:
+//
+//	W = s_n^2 + s_s^2 - omega^2
+//
+// where s_n is the normal strain, s_s the shear strain, and omega the
+// relative vorticity of the reconstructed cell velocity field. Negative
+// values indicate rotation-dominated flow (eddy cores, rendered green in
+// the paper's Fig. 2); positive values indicate strain-dominated shear
+// regions (rendered blue).
+func (md *Model) OkuboWeiss(s *State) []float64 {
+	d := md.ComputeDiagnostics(s)
+	return md.okuboWeissFromDiagnostics(d)
+}
+
+func (md *Model) okuboWeissFromDiagnostics(d *Diagnostics) []float64 {
+	m := md.Mesh
+	w := make([]float64, m.NCells())
+
+	// Local (east, north) components of the reconstructed velocities,
+	// evaluated once per cell in each cell's own basis.
+	type uv struct{ u, v float64 }
+	comp := make([]uv, m.NCells())
+	for ci := range m.Cells {
+		east, north := mesh.TangentBasis(m.Cells[ci].Center)
+		vel := d.CellVelocity[ci]
+		comp[ci] = uv{u: vel.Dot(east), v: vel.Dot(north)}
+	}
+
+	md.parallelFor(m.NCells(), func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			c := &m.Cells[ci]
+			east, north := mesh.TangentBasis(c.Center)
+			// Express the center and neighbor velocities in the center cell's
+			// basis; for neighbors the 3D tangent vector is projected, which is
+			// accurate to O(spacing/R).
+			u0 := comp[ci].u
+			v0 := comp[ci].v
+			var ux, uy, vx, vy float64
+			for k, nb := range c.Neighbors {
+				vel := d.CellVelocity[nb]
+				du := vel.Dot(east) - u0
+				dv := vel.Dot(north) - v0
+				gw := md.gradWeights[ci][k]
+				ux += gw[0] * du
+				uy += gw[1] * du
+				vx += gw[0] * dv
+				vy += gw[1] * dv
+			}
+			sn := ux - vy
+			ss := vx + uy
+			om := vx - uy
+			w[ci] = sn*sn + ss*ss - om*om
+		}
+	})
+	return w
+}
+
+// OkuboWeissThreshold returns the conventional eddy-detection threshold
+// -0.2 * stddev(W) for the given Okubo-Weiss field (Woodring et al.): cells
+// with W below the threshold are rotation-dominated eddy candidates.
+func OkuboWeissThreshold(w []float64) float64 {
+	sd, err := stats.StdDev(w)
+	if err != nil {
+		return 0
+	}
+	return -0.2 * sd
+}

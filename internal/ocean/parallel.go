@@ -1,0 +1,50 @@
+package ocean
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelMinWork is the smallest index range worth fanning out to
+// goroutines; below it the scheduling overhead exceeds the arithmetic.
+const parallelMinWork = 2048
+
+// parallelFor runs fn over [0, n) split into contiguous chunks across the
+// model's worker count. Each index is processed exactly once and chunks
+// are disjoint, so loops whose bodies write only to their own index are
+// race-free and bit-identical to the serial execution.
+func (md *Model) parallelFor(n int, fn func(lo, hi int)) {
+	workers := md.workers
+	if workers <= 1 || n < parallelMinWork {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// resolveWorkers maps a configured worker count to an effective one.
+func resolveWorkers(cfg int) int {
+	if cfg < 0 {
+		return 1
+	}
+	if cfg == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return cfg
+}

@@ -1,0 +1,120 @@
+package ocean
+
+import (
+	"testing"
+
+	"insituviz/internal/mesh"
+)
+
+func TestParallelMatchesSerialBitwise(t *testing.T) {
+	// Chunked parallel loops write disjoint indices from a consistent
+	// snapshot, so any worker count must reproduce the serial run exactly.
+	serial := testModel(t, 4, Config{Viscosity: 1e5, Workers: -1})
+	parallel := testModel(t, 4, Config{Viscosity: 1e5, Workers: 8})
+
+	s1, err := UnstableJet(serial, DefaultGalewsky())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := UnstableJet(parallel, DefaultGalewsky())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := serial.SuggestedTimestep(10000)
+	for i := 0; i < 5; i++ {
+		if err := serial.Step(s1, dt); err != nil {
+			t.Fatal(err)
+		}
+		if err := parallel.Step(s2, dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range s1.Thickness {
+		if s1.Thickness[i] != s2.Thickness[i] {
+			t.Fatalf("thickness differs at cell %d: %v vs %v", i, s1.Thickness[i], s2.Thickness[i])
+		}
+	}
+	for i := range s1.NormalVelocity {
+		if s1.NormalVelocity[i] != s2.NormalVelocity[i] {
+			t.Fatalf("velocity differs at edge %d", i)
+		}
+	}
+	// Okubo-Weiss too.
+	w1 := serial.OkuboWeiss(s1)
+	w2 := parallel.OkuboWeiss(s2)
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatalf("OW differs at cell %d", i)
+		}
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if resolveWorkers(-3) != 1 {
+		t.Error("negative should force serial")
+	}
+	if resolveWorkers(0) < 1 {
+		t.Error("default should be at least 1")
+	}
+	if resolveWorkers(5) != 5 {
+		t.Error("explicit count ignored")
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	md := testModel(t, 1, Config{Workers: 4})
+	hits := make([]int, 5000)
+	md.parallelFor(len(hits), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hits[i]++
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+	// Small ranges run serially but still cover everything.
+	small := make([]int, 10)
+	md.parallelFor(len(small), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			small[i]++
+		}
+	})
+	for i, h := range small {
+		if h != 1 {
+			t.Fatalf("small index %d visited %d times", i, h)
+		}
+	}
+}
+
+func BenchmarkStepParallel10242Cells(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		name := map[int]string{1: "serial", 4: "workers4"}[workers]
+		b.Run(name, func(b *testing.B) {
+			m, err := mesh.NewIcosphere(5, mesh.EarthRadius)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := Config{Viscosity: 1e5, Workers: workers}
+			if workers == 1 {
+				cfg.Workers = -1
+			}
+			md, err := NewModel(m, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := UnstableJet(md, DefaultGalewsky())
+			if err != nil {
+				b.Fatal(err)
+			}
+			dt := md.SuggestedTimestep(10000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := md.Step(s, dt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

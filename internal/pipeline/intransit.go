@@ -1,0 +1,193 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"insituviz/internal/clustersim"
+	"insituviz/internal/lustre"
+	"insituviz/internal/power"
+	"insituviz/internal/units"
+)
+
+// InTransit is the third workflow the in-situ literature studies (Bennett
+// et al., SC'12, discussed in the paper's related work): a subset of the
+// machine's nodes is set aside as a staging partition; the simulation
+// ships each sampled field over the interconnect to the staging nodes,
+// which render asynchronously and write images, while the simulation
+// partition continues. This is an extension beyond the paper's measured
+// pipelines, provided for the what-if analyses its model enables.
+const InTransit Kind = 2
+
+// DefaultStagingNodes is the staging partition size used when a platform
+// does not specify one (two monitoring cages' worth).
+const DefaultStagingNodes = 20
+
+// runInTransit executes the in-transit workflow. The machine is split into
+// a simulation partition and a staging partition, each metered by its own
+// cages; the reported compute power is their sum, as the paper's cage
+// monitors would report it.
+func runInTransit(w Workload, p Platform, storage *lustre.Cluster) (*Metrics, error) {
+	staging := p.StagingNodes
+	if staging == 0 {
+		staging = DefaultStagingNodes
+	}
+	if staging < p.Compute.NodesPerCage || staging >= p.Compute.Nodes {
+		return nil, fmt.Errorf("pipeline: staging partition %d of %d nodes must cover at least one cage and leave simulation nodes",
+			staging, p.Compute.Nodes)
+	}
+	simNodes := p.Compute.Nodes - staging
+
+	simCfg := p.Compute
+	simCfg.Nodes = simNodes
+	simM, err := clustersim.New(simCfg)
+	if err != nil {
+		return nil, err
+	}
+	stgCfg := p.Compute
+	stgCfg.Nodes = staging
+	stgM, err := clustersim.New(stgCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	sps, err := w.StepsPerSample()
+	if err != nil {
+		return nil, err
+	}
+	perStep, err := w.SimSecondsPerStep(simNodes)
+	if err != nil {
+		return nil, err
+	}
+	steps := w.Steps()
+	outputs := w.Outputs()
+	raw := w.RawBytesPerOutput()
+	imgBytes := w.ImageBytesPerOutput()
+
+	// Staging-side render time strong-scales from the 150-node calibrated
+	// beta.
+	renderDur := units.Seconds(RenderSecondsPerSet * float64(RefNodes) / float64(staging))
+	// Transfer is limited by the staging partition's aggregate ingest.
+	ingest := units.BytesPerSecond(float64(p.Compute.Fabric.Bandwidth) * float64(staging))
+	transferDur := ingest.TimeToTransfer(raw)
+
+	// stagingFree is the simulated time at which the staging partition's
+	// single receive buffer frees up (previous render finished).
+	var stagingFree units.Seconds
+	type renderJob struct {
+		start units.Seconds
+		out   int
+	}
+	var jobs []renderJob
+
+	for out := 0; out < outputs; out++ {
+		if err := simM.Run(clustersim.PhaseSimulate, perStep*units.Seconds(sps), "ocean step window"); err != nil {
+			return nil, err
+		}
+		// Backpressure: the transfer cannot start until the staging buffer
+		// is free.
+		if stagingFree > simM.Clock() {
+			if err := simM.RunUntil(clustersim.PhaseIOWait, stagingFree, "staging backpressure"); err != nil {
+				return nil, err
+			}
+		}
+		if err := simM.Run(clustersim.PhaseIOWait, transferDur, "in-transit transfer"); err != nil {
+			return nil, err
+		}
+		renderStart := simM.Clock()
+		jobs = append(jobs, renderJob{start: renderStart, out: out})
+		stagingFree = renderStart + renderDur
+	}
+	if rem := steps - outputs*sps; rem > 0 {
+		if err := simM.Run(clustersim.PhaseSimulate, perStep*units.Seconds(rem), "ocean tail window"); err != nil {
+			return nil, err
+		}
+	}
+
+	// Replay the staging partition's schedule: idle gaps between renders,
+	// with image writes issued at each render's completion.
+	for _, job := range jobs {
+		if job.start > stgM.Clock() {
+			if err := stgM.RunUntil(clustersim.PhaseIdle, job.start, "awaiting data"); err != nil {
+				return nil, err
+			}
+		}
+		if err := stgM.Run(clustersim.PhaseVisualize, renderDur, "staging render"); err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("images/intransit_%05d.png", job.out)
+		if _, err := storage.Write(name, imgBytes, stgM.Clock()); err != nil {
+			return nil, fmt.Errorf("pipeline: image %d: %w", job.out, err)
+		}
+	}
+
+	// Pad both partitions to the common end time so the cage profiles
+	// align.
+	end := simM.Clock()
+	if stgM.Clock() > end {
+		end = stgM.Clock()
+	}
+	if err := simM.RunUntil(clustersim.PhaseIdle, end, "drain"); err != nil {
+		return nil, err
+	}
+	if err := stgM.RunUntil(clustersim.PhaseIdle, end, "drain"); err != nil {
+		return nil, err
+	}
+
+	return collectInTransit(w, p, simM, stgM, storage, outputs)
+}
+
+// collectInTransit assembles metrics for the two-partition run.
+func collectInTransit(w Workload, p Platform, simM, stgM *clustersim.Machine, storage *lustre.Cluster, outputs int) (*Metrics, error) {
+	interval := p.meterInterval()
+	simProf, err := simM.MeterAllCages(interval)
+	if err != nil {
+		return nil, err
+	}
+	stgProf, err := stgM.MeterAllCages(interval)
+	if err != nil {
+		return nil, err
+	}
+	computeProf, err := power.SumProfiles(simProf, stgProf)
+	if err != nil {
+		return nil, err
+	}
+	end := simM.Clock()
+	storageTrace, err := storage.PowerTrace(end)
+	if err != nil {
+		return nil, err
+	}
+	pdu := power.Meter{Interval: interval, Name: "storage-pdu"}
+	storageProf, err := pdu.Sample(storageTrace)
+	if err != nil {
+		return nil, err
+	}
+	avgC, err := computeProf.Average()
+	if err != nil {
+		return nil, err
+	}
+	avgS, err := storageProf.Average()
+	if err != nil {
+		return nil, err
+	}
+	computeTrace := power.SumTraces(simM.PowerTrace(), stgM.PowerTrace())
+	return &Metrics{
+		Kind:            InTransit,
+		Workload:        w,
+		ExecutionTime:   end,
+		SimTime:         simM.PhaseTime(clustersim.PhaseSimulate),
+		IOTime:          simM.PhaseTime(clustersim.PhaseIOWait),
+		VizTime:         stgM.PhaseTime(clustersim.PhaseVisualize),
+		AvgComputePower: avgC,
+		AvgStoragePower: avgS,
+		AvgTotalPower:   avgC + avgS,
+		Energy:          computeProf.Energy() + storageProf.Energy(),
+		StorageUsed:     storage.Used(),
+		Outputs:         outputs,
+		Images:          outputs,
+		ComputeProfile:  computeProf,
+		StorageProfile:  storageProf,
+		ComputeTrace:    computeTrace,
+		StorageTrace:    storageTrace,
+		Phases:          append(simM.Phases(), stgM.Phases()...),
+	}, nil
+}

@@ -1,0 +1,315 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"insituviz/internal/clustersim"
+	"insituviz/internal/lustre"
+	"insituviz/internal/power"
+	"insituviz/internal/units"
+)
+
+// Kind selects a visualization pipeline.
+type Kind int
+
+// The two pipelines of the study (Fig. 1).
+const (
+	PostProcessing Kind = iota
+	InSitu
+)
+
+// String names the pipeline as in the paper's figures.
+func (k Kind) String() string {
+	switch k {
+	case PostProcessing:
+		return "post-processing"
+	case InSitu:
+		return "in-situ"
+	case InTransit:
+		return "in-transit"
+	}
+	return fmt.Sprintf("pipeline(%d)", int(k))
+}
+
+// Platform bundles the machine models a pipeline runs on. Each Run builds
+// fresh instances from these configurations, so runs never share state.
+type Platform struct {
+	Compute clustersim.Config
+	Storage lustre.Config
+	// MeterInterval is the power meters' reporting period (one minute on
+	// the paper's hardware). Zero selects one minute.
+	MeterInterval units.Seconds
+	// ReadRateFactor is the effective post-processing read speed as a
+	// multiple of the rack's (random-I/O) bandwidth; parallel sequential
+	// reads with client caching run faster than the 160 MB/s random
+	// figure. Zero selects the calibrated default of 3.
+	ReadRateFactor float64
+	// StagingNodes is the staging partition size for the in-transit
+	// workflow (ignored by the other pipelines). Zero selects
+	// DefaultStagingNodes.
+	StagingNodes int
+	// IdleDuringIO enables Section VIII's proposed power management: the
+	// compute nodes drop to idle power while waiting on storage instead of
+	// polling near full power. Today's systems cannot do this at the
+	// millisecond granularity the I/O stalls have; the flag exists for the
+	// ablation quantifying what the proposal would save.
+	IdleDuringIO bool
+}
+
+// ioPhase returns the phase kind charged while the machine waits on
+// storage, honoring the IdleDuringIO ablation.
+func (p Platform) ioPhase() clustersim.PhaseKind {
+	if p.IdleDuringIO {
+		return clustersim.PhaseIdle
+	}
+	return clustersim.PhaseIOWait
+}
+
+// CaddyPlatform returns the paper's measured platform.
+func CaddyPlatform() Platform {
+	return Platform{
+		Compute:       clustersim.Caddy(),
+		Storage:       lustre.CaddyStorage(),
+		MeterInterval: units.Minutes(1),
+	}
+}
+
+func (p Platform) meterInterval() units.Seconds {
+	if p.MeterInterval > 0 {
+		return p.MeterInterval
+	}
+	return units.Minutes(1)
+}
+
+func (p Platform) readRate() units.BytesPerSecond {
+	f := p.ReadRateFactor
+	if f <= 0 {
+		f = 3
+	}
+	if f < 1 {
+		f = 1
+	}
+	return units.BytesPerSecond(float64(p.Storage.Bandwidth) * f)
+}
+
+// Metrics reports everything the study measures about one pipeline run.
+type Metrics struct {
+	Kind     Kind
+	Workload Workload
+
+	// Execution-time breakdown (simulated seconds).
+	ExecutionTime units.Seconds
+	SimTime       units.Seconds
+	IOTime        units.Seconds
+	VizTime       units.Seconds
+
+	// Power and energy, derived from the metered profiles exactly as the
+	// paper derives them from its PDU and cage-monitor streams.
+	AvgComputePower units.Watts
+	AvgStoragePower units.Watts
+	AvgTotalPower   units.Watts
+	Energy          units.Joules
+
+	// Storage footprint and output counts.
+	StorageUsed units.Bytes
+	Outputs     int
+	Images      int
+
+	// Raw observability: metered profiles, ground-truth traces, and the
+	// machine's phase log (the ingredients of the paper's Fig. 4).
+	ComputeProfile *power.Profile
+	StorageProfile *power.Profile
+	ComputeTrace   *power.Trace
+	StorageTrace   *power.Trace
+	Phases         []clustersim.Phase
+}
+
+// Run executes the selected pipeline for workload w on platform p.
+func Run(k Kind, w Workload, p Platform) (*Metrics, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	storage, err := lustre.New(p.Storage)
+	if err != nil {
+		return nil, err
+	}
+	switch k {
+	case PostProcessing, InSitu:
+		machine, err := clustersim.New(p.Compute)
+		if err != nil {
+			return nil, err
+		}
+		if k == PostProcessing {
+			return runPostProcessing(w, p, machine, storage)
+		}
+		return runInSitu(w, p, machine, storage)
+	case InTransit:
+		return runInTransit(w, p, storage)
+	default:
+		return nil, fmt.Errorf("pipeline: unknown kind %d", int(k))
+	}
+}
+
+// runPostProcessing simulates, dumping raw data at every sampling point,
+// then reads everything back and renders it (Fig. 1a).
+func runPostProcessing(w Workload, p Platform, machine *clustersim.Machine, storage *lustre.Cluster) (*Metrics, error) {
+	sps, err := w.StepsPerSample()
+	if err != nil {
+		return nil, err
+	}
+	perStep, err := w.SimSecondsPerStep(p.Compute.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	steps := w.Steps()
+	outputs := w.Outputs()
+	raw := w.RawBytesPerOutput()
+
+	// Simulation with interleaved raw dumps.
+	for out := 0; out < outputs; out++ {
+		if err := machine.Run(clustersim.PhaseSimulate, perStep*units.Seconds(sps), "ocean step window"); err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("raw/output_%05d.nc", out)
+		done, err := storage.Write(name, raw, machine.Clock())
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: dump %d: %w", out, err)
+		}
+		if err := machine.RunUntil(p.ioPhase(), done, "PIO raw dump"); err != nil {
+			return nil, err
+		}
+	}
+	// Trailing steps that produce no output.
+	if rem := steps - outputs*sps; rem > 0 {
+		if err := machine.Run(clustersim.PhaseSimulate, perStep*units.Seconds(rem), "ocean tail window"); err != nil {
+			return nil, err
+		}
+	}
+
+	// Visualization: read each dump back and render, then write the
+	// resulting image set.
+	imgBytes := w.ImageBytesPerOutput()
+	readRate := p.readRate()
+	for out := 0; out < outputs; out++ {
+		name := fmt.Sprintf("raw/output_%05d.nc", out)
+		start := machine.Clock()
+		readDone, err := storage.ReadAt(name, start, readRate)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: readback %d: %w", out, err)
+		}
+		vizEnd := start + units.Seconds(RenderSecondsPerSet)
+		if readDone > vizEnd {
+			vizEnd = readDone // under-resolved reads dominate rendering
+		}
+		if err := machine.RunUntil(clustersim.PhaseVisualize, vizEnd, "ParaView render"); err != nil {
+			return nil, err
+		}
+		imgName := fmt.Sprintf("images/post_%05d.png", out)
+		done, err := storage.Write(imgName, imgBytes, machine.Clock())
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: image %d: %w", out, err)
+		}
+		if err := machine.RunUntil(p.ioPhase(), done, "image write"); err != nil {
+			return nil, err
+		}
+	}
+	return collect(PostProcessing, w, p, machine, storage, outputs)
+}
+
+// runInSitu simulates with Catalyst co-processing: at every sampling point
+// the field is copied to the visualization pipeline, rendered on the spot,
+// and only the small image set is written (Fig. 1b).
+func runInSitu(w Workload, p Platform, machine *clustersim.Machine, storage *lustre.Cluster) (*Metrics, error) {
+	sps, err := w.StepsPerSample()
+	if err != nil {
+		return nil, err
+	}
+	perStep, err := w.SimSecondsPerStep(p.Compute.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	steps := w.Steps()
+	outputs := w.Outputs()
+	imgBytes := w.ImageBytesPerOutput()
+
+	// The Catalyst deep copy costs on-node memory traffic; at DRAM speeds
+	// it is microseconds per rank and is folded into the render phase.
+	for out := 0; out < outputs; out++ {
+		if err := machine.Run(clustersim.PhaseSimulate, perStep*units.Seconds(sps), "ocean step window"); err != nil {
+			return nil, err
+		}
+		if err := machine.Run(clustersim.PhaseVisualize, units.Seconds(RenderSecondsPerSet), "Catalyst render"); err != nil {
+			return nil, err
+		}
+		imgName := fmt.Sprintf("images/insitu_%05d.png", out)
+		done, err := storage.Write(imgName, imgBytes, machine.Clock())
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: image %d: %w", out, err)
+		}
+		if err := machine.RunUntil(p.ioPhase(), done, "image write"); err != nil {
+			return nil, err
+		}
+	}
+	if rem := steps - outputs*sps; rem > 0 {
+		if err := machine.Run(clustersim.PhaseSimulate, perStep*units.Seconds(rem), "ocean tail window"); err != nil {
+			return nil, err
+		}
+	}
+	return collect(InSitu, w, p, machine, storage, outputs)
+}
+
+// collect meters the finished run and assembles the Metrics.
+func collect(k Kind, w Workload, p Platform, machine *clustersim.Machine, storage *lustre.Cluster, outputs int) (*Metrics, error) {
+	interval := p.meterInterval()
+	computeProf, err := machine.MeterAllCages(interval)
+	if err != nil {
+		return nil, err
+	}
+	storageTrace, err := storage.PowerTrace(machine.Clock())
+	if err != nil {
+		return nil, err
+	}
+	pdu := power.Meter{Interval: interval, Name: "storage-pdu"}
+	storageProf, err := pdu.Sample(storageTrace)
+	if err != nil {
+		return nil, err
+	}
+	avgC, err := computeProf.Average()
+	if err != nil {
+		return nil, err
+	}
+	avgS, err := storageProf.Average()
+	if err != nil {
+		return nil, err
+	}
+	m := &Metrics{
+		Kind:            k,
+		Workload:        w,
+		ExecutionTime:   machine.Clock(),
+		SimTime:         machine.PhaseTime(clustersim.PhaseSimulate),
+		IOTime:          machine.PhaseTime(clustersim.PhaseIOWait),
+		VizTime:         machine.PhaseTime(clustersim.PhaseVisualize),
+		AvgComputePower: avgC,
+		AvgStoragePower: avgS,
+		AvgTotalPower:   avgC + avgS,
+		Energy:          computeProf.Energy() + storageProf.Energy(),
+		StorageUsed:     storage.Used(),
+		Outputs:         outputs,
+		Images:          outputs,
+		ComputeProfile:  computeProf,
+		StorageProfile:  storageProf,
+		ComputeTrace:    machine.PowerTrace(),
+		StorageTrace:    storageTrace,
+		Phases:          machine.Phases(),
+	}
+	return m, nil
+}
+
+// Improvement returns the fractional reduction of a metric going from
+// base to other: (base-other)/base.
+func Improvement(base, other float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - other) / base
+}

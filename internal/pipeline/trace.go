@@ -1,0 +1,47 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"insituviz/internal/clustersim"
+)
+
+// chromeEvent is one complete event in the Chrome tracing (catapult) JSON
+// format, loadable in chrome://tracing or Perfetto.
+type chromeEvent struct {
+	Name     string `json:"name"`
+	Category string `json:"cat"`
+	Phase    string `json:"ph"`
+	TsMicros int64  `json:"ts"`
+	DurMicro int64  `json:"dur"`
+	PID      int    `json:"pid"`
+	TID      int    `json:"tid"`
+}
+
+// WriteChromeTrace serializes a phase log as a Chrome tracing JSON
+// document, one complete ("X") event per phase with simulated microsecond
+// timestamps, so a run's timeline can be inspected interactively.
+func WriteChromeTrace(w io.Writer, phases []clustersim.Phase) error {
+	if w == nil {
+		return fmt.Errorf("pipeline: nil writer")
+	}
+	events := make([]chromeEvent, 0, len(phases))
+	for _, p := range phases {
+		events = append(events, chromeEvent{
+			Name:     p.Label,
+			Category: p.Kind.String(),
+			Phase:    "X",
+			TsMicros: int64(float64(p.Start) * 1e6),
+			DurMicro: int64(float64(p.Duration()) * 1e6),
+			PID:      1,
+			TID:      1,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,73 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"insituviz/internal/clustersim"
+	"insituviz/internal/units"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	w := ReferenceWorkload(units.Hours(72))
+	m, err := Run(InSitu, w, CaddyPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, m.Phases); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name     string `json:"name"`
+			Category string `json:"cat"`
+			Phase    string `json:"ph"`
+			TsMicros int64  `json:"ts"`
+			DurMicro int64  `json:"dur"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != len(m.Phases) {
+		t.Fatalf("events = %d, phases = %d", len(doc.TraceEvents), len(m.Phases))
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("display unit = %q", doc.DisplayTimeUnit)
+	}
+	// Events are complete, ordered, and categorized by phase kind.
+	prevEnd := int64(-1)
+	cats := map[string]bool{}
+	for i, e := range doc.TraceEvents {
+		if e.Phase != "X" {
+			t.Fatalf("event %d phase = %q", i, e.Phase)
+		}
+		if e.TsMicros < prevEnd {
+			t.Fatalf("event %d starts before the previous ends", i)
+		}
+		prevEnd = e.TsMicros + e.DurMicro
+		cats[e.Category] = true
+	}
+	if !cats[clustersim.PhaseSimulate.String()] || !cats[clustersim.PhaseVisualize.String()] {
+		t.Errorf("categories = %v", cats)
+	}
+}
+
+func TestWriteChromeTraceNilWriter(t *testing.T) {
+	if err := WriteChromeTrace(nil, nil); err == nil {
+		t.Error("nil writer accepted")
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("traceEvents")) {
+		t.Error("empty trace missing skeleton")
+	}
+}

@@ -1,0 +1,178 @@
+package power
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"insituviz/internal/stats"
+	"insituviz/internal/units"
+)
+
+// Profile is what a meter reports: one average-power sample per reporting
+// interval, the format both the Raritan PDUs and the Appro cage monitors
+// produce (the paper's meters report once per minute, averaging multiple
+// internal measurements within each interval).
+type Profile struct {
+	Start    units.Seconds // start of the first interval
+	Interval units.Seconds // reporting period
+	Powers   []units.Watts // average power of each interval
+	// LastPartial is the fraction (0 < f <= 1] of the final interval that
+	// was actually observed; 1 when the trace ended on an interval
+	// boundary.
+	LastPartial float64
+}
+
+// Duration returns the observed time span.
+func (p *Profile) Duration() units.Seconds {
+	if len(p.Powers) == 0 {
+		return 0
+	}
+	n := float64(len(p.Powers)-1) + p.LastPartial
+	return units.Seconds(n * float64(p.Interval))
+}
+
+// Average returns the time-weighted mean power of the profile.
+func (p *Profile) Average() (units.Watts, error) {
+	if len(p.Powers) == 0 {
+		return 0, fmt.Errorf("power: empty profile")
+	}
+	dur := p.Duration()
+	if dur <= 0 {
+		return 0, fmt.Errorf("power: profile has zero duration")
+	}
+	return units.Watts(float64(p.Energy()) / float64(dur)), nil
+}
+
+// Energy integrates the reported profile: each sample contributes
+// power x interval (the paper's energy computation from its measured
+// average-power profiles).
+func (p *Profile) Energy() units.Joules {
+	var e units.Joules
+	for i, w := range p.Powers {
+		frac := 1.0
+		if i == len(p.Powers)-1 {
+			frac = p.LastPartial
+		}
+		e += units.Energy(w, units.Seconds(float64(p.Interval)*frac))
+	}
+	return e
+}
+
+// Values returns the samples as float64 watts, for statistics.
+func (p *Profile) Values() []float64 {
+	out := make([]float64, len(p.Powers))
+	for i, w := range p.Powers {
+		out[i] = float64(w)
+	}
+	return out
+}
+
+// Summary returns descriptive statistics of the samples.
+func (p *Profile) Summary() (stats.Summary, error) {
+	return stats.Summarize(p.Values())
+}
+
+// Meter converts a ground-truth trace into a reported profile.
+type Meter struct {
+	// Interval is the reporting period; the paper's PDUs and cage monitors
+	// report once per minute (their fastest setting).
+	Interval units.Seconds
+	// Name identifies the meter in reports (e.g. "storage-pdu", "cage07").
+	Name string
+}
+
+// NewMinuteMeter returns a meter with the paper's one-minute reporting
+// period.
+func NewMinuteMeter(name string) Meter {
+	return Meter{Interval: units.Minutes(1), Name: name}
+}
+
+// Sample reads the trace and produces the reported profile: the exact
+// average power over each reporting interval starting at the trace start.
+// Within-interval variation is invisible to the consumer, exactly as with
+// the physical meters.
+func (m Meter) Sample(tr *Trace) (*Profile, error) {
+	if m.Interval <= 0 {
+		return nil, fmt.Errorf("power: meter %q has non-positive interval %v", m.Name, m.Interval)
+	}
+	start, end := tr.Start(), tr.End()
+	if end <= start {
+		return nil, fmt.Errorf("power: meter %q: empty trace", m.Name)
+	}
+	p := &Profile{Start: start, Interval: m.Interval, LastPartial: 1}
+	for t0 := start; t0 < end; t0 += m.Interval {
+		t1 := t0 + m.Interval
+		if t1 > end {
+			p.LastPartial = float64(end-t0) / float64(m.Interval)
+			t1 = end
+		}
+		avg, err := tr.AverageOver(t0, t1)
+		if err != nil {
+			return nil, err
+		}
+		p.Powers = append(p.Powers, avg)
+	}
+	return p, nil
+}
+
+// SumProfiles adds profiles sample-by-sample (e.g. the 15 cage monitors
+// covering the compute cluster, or compute plus storage). The profiles must
+// be aligned: same start, interval, sample count, and final-interval
+// coverage — which is what meters watching the same run produce.
+func SumProfiles(profiles ...*Profile) (*Profile, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("power: no profiles to sum")
+	}
+	first := profiles[0]
+	out := &Profile{
+		Start:       first.Start,
+		Interval:    first.Interval,
+		Powers:      make([]units.Watts, len(first.Powers)),
+		LastPartial: first.LastPartial,
+	}
+	for i, p := range profiles {
+		if p.Interval != out.Interval {
+			return nil, fmt.Errorf("power: profile %d interval %v != %v", i, p.Interval, out.Interval)
+		}
+		if p.Start != out.Start {
+			return nil, fmt.Errorf("power: profile %d starts at %v, want %v", i, p.Start, out.Start)
+		}
+		if len(p.Powers) != len(out.Powers) || p.LastPartial != out.LastPartial {
+			return nil, fmt.Errorf("power: profile %d not aligned (%d samples, partial %g; want %d, %g)",
+				i, len(p.Powers), p.LastPartial, len(out.Powers), out.LastPartial)
+		}
+		for k, w := range p.Powers {
+			out.Powers[k] += w
+		}
+	}
+	return out, nil
+}
+
+// WriteCSV emits the profile as CSV rows of (interval end time, average
+// watts), for plotting outside the harness.
+func (p *Profile) WriteCSV(w io.Writer) error {
+	if w == nil {
+		return fmt.Errorf("power: nil writer")
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_end_s", "avg_power_w"}); err != nil {
+		return err
+	}
+	for i, pw := range p.Powers {
+		frac := 1.0
+		if i == len(p.Powers)-1 {
+			frac = p.LastPartial
+		}
+		end := float64(p.Start) + (float64(i)+frac)*float64(p.Interval)
+		if err := cw.Write([]string{
+			strconv.FormatFloat(end, 'g', -1, 64),
+			strconv.FormatFloat(float64(pw), 'g', -1, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

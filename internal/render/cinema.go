@@ -1,0 +1,129 @@
+package render
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"image"
+	"image/png"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"insituviz/internal/units"
+)
+
+// EncodePNG encodes img as PNG and returns the bytes. PNG is what Cinema
+// image databases store; its size is what the in-situ pipeline commits to
+// disk in place of raw data.
+func EncodePNG(img image.Image) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := png.Encode(&buf, img); err != nil {
+		return nil, fmt.Errorf("render: png encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// CinemaEntry is one image record in a Cinema-style database index.
+type CinemaEntry struct {
+	File  string  `json:"file"`
+	Time  float64 `json:"time"`  // simulated time (s)
+	Field string  `json:"field"` // e.g. "okubo_weiss"
+	Bytes int64   `json:"bytes"`
+}
+
+// CinemaDB is a simplified ParaView Cinema image database: a directory of
+// small pre-rendered images plus a JSON index keyed by simulation time and
+// field (Ahrens et al., "An Image-based Approach to Extreme Scale In Situ
+// Visualization and Analysis"). The in-situ pipeline writes one of these
+// instead of raw netCDF dumps.
+type CinemaDB struct {
+	dir     string
+	entries []CinemaEntry
+	total   units.Bytes
+}
+
+// NewCinemaDB creates (or reuses) the database directory.
+func NewCinemaDB(dir string) (*CinemaDB, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("render: empty cinema directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("render: create cinema dir: %w", err)
+	}
+	return &CinemaDB{dir: dir}, nil
+}
+
+// Dir returns the database directory.
+func (db *CinemaDB) Dir() string { return db.dir }
+
+// AddImage encodes img and stores it under a name derived from the
+// simulated time and field, returning the encoded size.
+func (db *CinemaDB) AddImage(img image.Image, simTime float64, field string) (units.Bytes, error) {
+	if img == nil {
+		return 0, fmt.Errorf("render: nil image")
+	}
+	if field == "" {
+		return 0, fmt.Errorf("render: empty field name")
+	}
+	data, err := EncodePNG(img)
+	if err != nil {
+		return 0, err
+	}
+	name := fmt.Sprintf("t%012.0f_%s.png", simTime, field)
+	if err := os.WriteFile(filepath.Join(db.dir, name), data, 0o644); err != nil {
+		return 0, fmt.Errorf("render: write image: %w", err)
+	}
+	n := units.Bytes(len(data))
+	db.entries = append(db.entries, CinemaEntry{File: name, Time: simTime, Field: field, Bytes: int64(n)})
+	db.total += n
+	return n, nil
+}
+
+// Entries returns the index entries sorted by time then field.
+func (db *CinemaDB) Entries() []CinemaEntry {
+	out := append([]CinemaEntry(nil), db.entries...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		return out[i].Field < out[j].Field
+	})
+	return out
+}
+
+// TotalBytes returns the cumulative size of all stored images.
+func (db *CinemaDB) TotalBytes() units.Bytes { return db.total }
+
+// cinemaIndex is the on-disk JSON index layout.
+type cinemaIndex struct {
+	Type    string        `json:"type"`
+	Version string        `json:"version"`
+	Images  []CinemaEntry `json:"images"`
+}
+
+// WriteIndex writes the info.json database index and returns its size.
+func (db *CinemaDB) WriteIndex() (units.Bytes, error) {
+	idx := cinemaIndex{Type: "simple-image-database", Version: "1.0", Images: db.Entries()}
+	data, err := json.MarshalIndent(idx, "", "  ")
+	if err != nil {
+		return 0, fmt.Errorf("render: marshal index: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(db.dir, "info.json"), data, 0o644); err != nil {
+		return 0, fmt.Errorf("render: write index: %w", err)
+	}
+	return units.Bytes(len(data)), nil
+}
+
+// ReadCinemaIndex loads a previously written database index.
+func ReadCinemaIndex(dir string) ([]CinemaEntry, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "info.json"))
+	if err != nil {
+		return nil, fmt.Errorf("render: read index: %w", err)
+	}
+	var idx cinemaIndex
+	if err := json.Unmarshal(data, &idx); err != nil {
+		return nil, fmt.Errorf("render: parse index: %w", err)
+	}
+	return idx.Images, nil
+}

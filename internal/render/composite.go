@@ -1,0 +1,146 @@
+package render
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"math"
+)
+
+// PartitionCells splits nCells cells across nRanks ranks into contiguous
+// index ranges, the block decomposition MPAS uses per MPI rank. It returns
+// one ownership mask per rank; every cell is owned by exactly one rank.
+func PartitionCells(nCells, nRanks int) ([][]bool, error) {
+	if nCells <= 0 || nRanks <= 0 {
+		return nil, fmt.Errorf("render: invalid partition %d cells across %d ranks", nCells, nRanks)
+	}
+	if nRanks > nCells {
+		return nil, fmt.Errorf("render: more ranks (%d) than cells (%d)", nRanks, nCells)
+	}
+	masks := make([][]bool, nRanks)
+	per := nCells / nRanks
+	extra := nCells % nRanks
+	start := 0
+	for r := 0; r < nRanks; r++ {
+		n := per
+		if r < extra {
+			n++
+		}
+		mask := make([]bool, nCells)
+		for i := start; i < start+n; i++ {
+			mask[i] = true
+		}
+		masks[r] = mask
+		start += n
+	}
+	return masks, nil
+}
+
+// Composite merges per-rank partial images produced by RenderOwned into a
+// single image, the sort-last compositing step (the role IceT plays in
+// ParaView's parallel rendering). Pixels are taken from the first partial
+// with non-zero alpha; with a correct disjoint partition exactly one rank
+// contributes each pixel.
+func Composite(partials []*image.RGBA) (*image.RGBA, error) {
+	if len(partials) == 0 {
+		return nil, fmt.Errorf("render: nothing to composite")
+	}
+	bounds := partials[0].Bounds()
+	for i, p := range partials {
+		if p == nil {
+			return nil, fmt.Errorf("render: partial %d is nil", i)
+		}
+		if p.Bounds() != bounds {
+			return nil, fmt.Errorf("render: partial %d bounds %v != %v", i, p.Bounds(), bounds)
+		}
+	}
+	out := image.NewRGBA(bounds)
+	n := len(out.Pix)
+	for _, p := range partials {
+		for o := 0; o < n; o += 4 {
+			if out.Pix[o+3] == 0 && p.Pix[o+3] != 0 {
+				out.Pix[o] = p.Pix[o]
+				out.Pix[o+1] = p.Pix[o+1]
+				out.Pix[o+2] = p.Pix[o+2]
+				out.Pix[o+3] = p.Pix[o+3]
+			}
+		}
+	}
+	return out, nil
+}
+
+// FullyOpaque reports whether every pixel of img has full alpha — the
+// correctness condition after compositing a complete partition.
+func FullyOpaque(img *image.RGBA) bool {
+	for o := 3; o < len(img.Pix); o += 4 {
+		if img.Pix[o] != 255 {
+			return false
+		}
+	}
+	return true
+}
+
+// PSNR returns the peak signal-to-noise ratio between two equally sized
+// images in dB (+Inf for identical images) — the regression metric for
+// comparing renderings across pipeline implementations.
+func PSNR(a, b *image.RGBA) (float64, error) {
+	if a == nil || b == nil {
+		return 0, fmt.Errorf("render: nil image")
+	}
+	if a.Bounds() != b.Bounds() {
+		return 0, fmt.Errorf("render: bounds %v vs %v", a.Bounds(), b.Bounds())
+	}
+	var se float64
+	n := 0
+	for i := range a.Pix {
+		d := float64(a.Pix[i]) - float64(b.Pix[i])
+		se += d * d
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("render: empty images")
+	}
+	mse := se / float64(n)
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(255*255/mse), nil
+}
+
+// FillTransparent paints every fully transparent pixel of img with c,
+// turning a masked partial render into a presentable image.
+func FillTransparent(img *image.RGBA, c color.RGBA) {
+	for o := 0; o < len(img.Pix); o += 4 {
+		if img.Pix[o+3] == 0 {
+			img.Pix[o] = c.R
+			img.Pix[o+1] = c.G
+			img.Pix[o+2] = c.B
+			img.Pix[o+3] = c.A
+		}
+	}
+}
+
+// ResizeNearest rescales img to w x h by nearest-neighbor sampling — the
+// cheap rescale used when comparing image-database resolutions.
+func ResizeNearest(img *image.RGBA, w, h int) (*image.RGBA, error) {
+	if img == nil {
+		return nil, fmt.Errorf("render: nil image")
+	}
+	sw := img.Bounds().Dx()
+	sh := img.Bounds().Dy()
+	if sw == 0 || sh == 0 {
+		return nil, fmt.Errorf("render: empty source image")
+	}
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("render: invalid target size %dx%d", w, h)
+	}
+	out := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		sy := img.Bounds().Min.Y + y*sh/h
+		for x := 0; x < w; x++ {
+			sx := img.Bounds().Min.X + x*sw/w
+			out.SetRGBA(x, y, img.RGBAAt(sx, sy))
+		}
+	}
+	return out, nil
+}

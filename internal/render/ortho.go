@@ -1,0 +1,204 @@
+package render
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"math"
+	"runtime"
+	"sync"
+
+	"insituviz/internal/mesh"
+)
+
+// Camera is a viewpoint for orthographic globe rendering, given as the
+// geographic coordinates the camera looks down upon.
+type Camera struct {
+	Lat float64 // radians
+	Lon float64 // radians
+}
+
+// DefaultCameraSet returns the six-view camera rig a Cinema image database
+// typically stores per timestep: four equatorial views a quarter turn
+// apart plus the two poles. This is what turns one timestep into an
+// "image set" in the paper's accounting.
+func DefaultCameraSet() []Camera {
+	return []Camera{
+		{Lat: 0, Lon: 0},
+		{Lat: 0, Lon: math.Pi / 2},
+		{Lat: 0, Lon: math.Pi},
+		{Lat: 0, Lon: -math.Pi / 2},
+		{Lat: math.Pi / 2, Lon: 0},
+		{Lat: -math.Pi / 2, Lon: 0},
+	}
+}
+
+// OrthoRasterizer draws the visible hemisphere of a spherical mesh as an
+// orthographic globe, the way an interactive viewer presents Cinema
+// imagery. The pixel-to-cell mapping is precomputed per (mesh, size,
+// camera).
+type OrthoRasterizer struct {
+	Mesh   *mesh.Mesh
+	Width  int
+	Height int
+	View   Camera
+
+	pixelCell []int // cell per pixel; -1 = background (off-globe)
+}
+
+// Background is the color drawn outside the globe's disk.
+var Background = color.RGBA{R: 12, G: 12, B: 16, A: 255}
+
+// NewOrthoRasterizer builds an orthographic rasterizer for the given
+// camera.
+func NewOrthoRasterizer(m *mesh.Mesh, width, height int, view Camera) (*OrthoRasterizer, error) {
+	if m == nil || m.NCells() == 0 {
+		return nil, fmt.Errorf("render: nil or empty mesh")
+	}
+	if width < 2 || height < 2 {
+		return nil, fmt.Errorf("render: image size %dx%d too small", width, height)
+	}
+	if width*height > 64<<20 {
+		return nil, fmt.Errorf("render: image size %dx%d too large", width, height)
+	}
+	r := &OrthoRasterizer{Mesh: m, Width: width, Height: height, View: view}
+	r.pixelCell = make([]int, width*height)
+
+	dir := mesh.FromLatLon(view.Lat, view.Lon)
+	east, north := mesh.TangentBasis(dir)
+	half := float64(minInt(width, height)) / 2
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > height {
+		workers = height
+	}
+	var wg sync.WaitGroup
+	rowsPer := (height + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		y0 := w * rowsPer
+		y1 := minInt(y0+rowsPer, height)
+		if y0 >= y1 {
+			break
+		}
+		wg.Add(1)
+		go func(y0, y1 int) {
+			defer wg.Done()
+			last := 0
+			for y := y0; y < y1; y++ {
+				py := (float64(height)/2 - (float64(y) + 0.5)) / half
+				for x := 0; x < width; x++ {
+					px := ((float64(x) + 0.5) - float64(width)/2) / half
+					rr := px*px + py*py
+					idx := y*width + x
+					if rr > 1 {
+						r.pixelCell[idx] = -1
+						continue
+					}
+					z := math.Sqrt(1 - rr)
+					p := east.Scale(px).Add(north.Scale(py)).Add(dir.Scale(z))
+					last = m.NearestCell(p, last)
+					r.pixelCell[idx] = last
+				}
+			}
+		}(y0, y1)
+	}
+	wg.Wait()
+	return r, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// CellForPixel returns the mesh cell at pixel (x, y), or -1 for
+// background.
+func (r *OrthoRasterizer) CellForPixel(x, y int) (int, error) {
+	if x < 0 || x >= r.Width || y < 0 || y >= r.Height {
+		return 0, fmt.Errorf("render: pixel (%d,%d) outside %dx%d", x, y, r.Width, r.Height)
+	}
+	return r.pixelCell[y*r.Width+x], nil
+}
+
+// Render draws the field as an orthographic globe.
+func (r *OrthoRasterizer) Render(field []float64, cm *Colormap, n Normalizer) (*image.RGBA, error) {
+	if len(field) != r.Mesh.NCells() {
+		return nil, fmt.Errorf("render: field has %d cells, want %d", len(field), r.Mesh.NCells())
+	}
+	if cm == nil {
+		return nil, fmt.Errorf("render: nil colormap")
+	}
+	img := image.NewRGBA(image.Rect(0, 0, r.Width, r.Height))
+	colors := make([]color.RGBA, len(field))
+	for ci, v := range field {
+		colors[ci] = cm.At(n.Normalize(v))
+	}
+	for y := 0; y < r.Height; y++ {
+		row := img.Pix[y*img.Stride : y*img.Stride+4*r.Width]
+		for x := 0; x < r.Width; x++ {
+			c := Background
+			if ci := r.pixelCell[y*r.Width+x]; ci >= 0 {
+				c = colors[ci]
+			}
+			o := 4 * x
+			row[o] = c.R
+			row[o+1] = c.G
+			row[o+2] = c.B
+			row[o+3] = c.A
+		}
+	}
+	return img, nil
+}
+
+// ImageSet renders one field from every camera of a rig — the "set of
+// images corresponding to one timestep" of the paper's beta coefficient.
+// Rasterizers are built per call; callers rendering many timesteps should
+// hold an ImageSetRenderer instead.
+func ImageSet(m *mesh.Mesh, field []float64, cm *Colormap, n Normalizer,
+	width, height int, cameras []Camera) ([]*image.RGBA, error) {
+	r, err := NewImageSetRenderer(m, width, height, cameras)
+	if err != nil {
+		return nil, err
+	}
+	return r.Render(field, cm, n)
+}
+
+// ImageSetRenderer holds per-camera rasterizers for repeated image-set
+// rendering.
+type ImageSetRenderer struct {
+	rasters []*OrthoRasterizer
+}
+
+// NewImageSetRenderer precomputes rasterizers for every camera.
+func NewImageSetRenderer(m *mesh.Mesh, width, height int, cameras []Camera) (*ImageSetRenderer, error) {
+	if len(cameras) == 0 {
+		return nil, fmt.Errorf("render: empty camera rig")
+	}
+	out := &ImageSetRenderer{}
+	for _, cam := range cameras {
+		r, err := NewOrthoRasterizer(m, width, height, cam)
+		if err != nil {
+			return nil, err
+		}
+		out.rasters = append(out.rasters, r)
+	}
+	return out, nil
+}
+
+// Views returns the number of cameras.
+func (sr *ImageSetRenderer) Views() int { return len(sr.rasters) }
+
+// Render draws the field from every camera.
+func (sr *ImageSetRenderer) Render(field []float64, cm *Colormap, n Normalizer) ([]*image.RGBA, error) {
+	out := make([]*image.RGBA, len(sr.rasters))
+	for i, r := range sr.rasters {
+		img, err := r.Render(field, cm, n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = img
+	}
+	return out, nil
+}

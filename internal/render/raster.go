@@ -1,0 +1,155 @@
+package render
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"math"
+	"runtime"
+	"sync"
+
+	"insituviz/internal/mesh"
+)
+
+// Rasterizer draws cell-centered fields of a spherical mesh onto an
+// equirectangular (longitude-latitude) image, the projection the paper's
+// Fig. 2 uses. The pixel-to-cell mapping is precomputed once per
+// (mesh, size) pair since it depends only on geometry.
+type Rasterizer struct {
+	Mesh   *mesh.Mesh
+	Width  int
+	Height int
+
+	pixelCell []int // cell index per pixel, row-major
+}
+
+// NewRasterizer builds a rasterizer of the given image size. Typical sizes
+// are small — Cinema-style image databases trade resolution for
+// interactivity — so a few hundred pixels across is the norm.
+func NewRasterizer(m *mesh.Mesh, width, height int) (*Rasterizer, error) {
+	if m == nil || m.NCells() == 0 {
+		return nil, fmt.Errorf("render: nil or empty mesh")
+	}
+	if width < 2 || height < 2 {
+		return nil, fmt.Errorf("render: image size %dx%d too small", width, height)
+	}
+	if width*height > 64<<20 {
+		return nil, fmt.Errorf("render: image size %dx%d too large", width, height)
+	}
+	r := &Rasterizer{Mesh: m, Width: width, Height: height}
+	r.pixelCell = make([]int, width*height)
+
+	// Precompute the mapping in parallel row bands. Within a row the walk
+	// search starts from the previous pixel's cell, so lookups are O(1)
+	// amortized.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > height {
+		workers = height
+	}
+	var wg sync.WaitGroup
+	rowsPer := (height + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		y0 := w * rowsPer
+		y1 := y0 + rowsPer
+		if y1 > height {
+			y1 = height
+		}
+		if y0 >= y1 {
+			break
+		}
+		wg.Add(1)
+		go func(y0, y1 int) {
+			defer wg.Done()
+			last := 0
+			for y := y0; y < y1; y++ {
+				lat := math.Pi/2 - (float64(y)+0.5)/float64(height)*math.Pi
+				for x := 0; x < width; x++ {
+					lon := -math.Pi + (float64(x)+0.5)/float64(width)*2*math.Pi
+					last = m.NearestCell(mesh.FromLatLon(lat, lon), last)
+					r.pixelCell[y*width+x] = last
+				}
+			}
+		}(y0, y1)
+	}
+	wg.Wait()
+	return r, nil
+}
+
+// CellForPixel returns the mesh cell rendered at pixel (x, y).
+func (r *Rasterizer) CellForPixel(x, y int) (int, error) {
+	if x < 0 || x >= r.Width || y < 0 || y >= r.Height {
+		return 0, fmt.Errorf("render: pixel (%d,%d) outside %dx%d", x, y, r.Width, r.Height)
+	}
+	return r.pixelCell[y*r.Width+x], nil
+}
+
+// Render draws the field with the given colormap and normalization into a
+// new RGBA image, parallelizing across row bands.
+func (r *Rasterizer) Render(field []float64, cm *Colormap, n Normalizer) (*image.RGBA, error) {
+	return r.renderOwned(field, cm, n, nil)
+}
+
+// RenderOwned draws only the pixels whose cells are owned (owned[cell] ==
+// true), leaving the rest fully transparent. This is the per-rank render of
+// a sort-last parallel pipeline; Composite merges the partial images.
+func (r *Rasterizer) RenderOwned(field []float64, cm *Colormap, n Normalizer, owned []bool) (*image.RGBA, error) {
+	if len(owned) != r.Mesh.NCells() {
+		return nil, fmt.Errorf("render: ownership mask has %d cells, want %d", len(owned), r.Mesh.NCells())
+	}
+	return r.renderOwned(field, cm, n, owned)
+}
+
+func (r *Rasterizer) renderOwned(field []float64, cm *Colormap, n Normalizer, owned []bool) (*image.RGBA, error) {
+	if len(field) != r.Mesh.NCells() {
+		return nil, fmt.Errorf("render: field has %d cells, want %d", len(field), r.Mesh.NCells())
+	}
+	if cm == nil {
+		return nil, fmt.Errorf("render: nil colormap")
+	}
+	img := image.NewRGBA(image.Rect(0, 0, r.Width, r.Height))
+
+	// Color lookup is per cell, not per pixel: compute each cell's color
+	// once.
+	colors := make([]color.RGBA, len(field))
+	for ci, v := range field {
+		colors[ci] = cm.At(n.Normalize(v))
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > r.Height {
+		workers = r.Height
+	}
+	var wg sync.WaitGroup
+	rowsPer := (r.Height + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		y0 := w * rowsPer
+		y1 := y0 + rowsPer
+		if y1 > r.Height {
+			y1 = r.Height
+		}
+		if y0 >= y1 {
+			break
+		}
+		wg.Add(1)
+		go func(y0, y1 int) {
+			defer wg.Done()
+			for y := y0; y < y1; y++ {
+				row := img.Pix[y*img.Stride : y*img.Stride+4*r.Width]
+				for x := 0; x < r.Width; x++ {
+					ci := r.pixelCell[y*r.Width+x]
+					if owned != nil && !owned[ci] {
+						continue // transparent
+					}
+					c := colors[ci]
+					o := 4 * x
+					row[o] = c.R
+					row[o+1] = c.G
+					row[o+2] = c.B
+					row[o+3] = c.A
+				}
+			}
+		}(y0, y1)
+	}
+	wg.Wait()
+	return img, nil
+}

@@ -1,0 +1,120 @@
+// Package report renders the benchmark harness's tables and series in
+// plain text, one per paper figure, so `go test -bench` output can be
+// compared side by side with the published plots.
+package report
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table is a titled, column-aligned text table.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells and long
+// rows are truncated to the header width.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values.
+func (t *Table) AddRowf(format string, args ...any) {
+	t.AddRow(strings.Split(fmt.Sprintf(format, args...), "|")...)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = utf8.RuneCountInString(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if n := utf8.RuneCountInString(c); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.title != "" {
+		sb.WriteString(t.title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for p := utf8.RuneCountInString(c); p < widths[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	var rule []string
+	for _, w := range widths {
+		rule = append(rule, strings.Repeat("-", w))
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Pct formats a fraction as a percentage.
+func Pct(frac float64) string { return fmt.Sprintf("%.1f%%", frac*100) }
+
+// Sparkline renders values as a compact unicode bar series, used for the
+// Fig. 4-style power profiles in bench output.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	min, max := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range values {
+		idx := 0
+		if max > min {
+			idx = int((v - min) / (max - min) * float64(len(levels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		sb.WriteRune(levels[idx])
+	}
+	return sb.String()
+}

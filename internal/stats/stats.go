@@ -1,0 +1,255 @@
+// Package stats provides the summary statistics, regression helpers, and
+// error metrics used by the characterization and modeling layers: means and
+// deviations of power profiles, simple linear regression for scaling laws,
+// and the absolute/relative error metrics the paper reports for model
+// validation (Fig. 8 quotes an absolute error rate below 0.5%).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when a statistic is requested over no observations.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// ErrLength is returned when paired samples have different lengths.
+var ErrLength = errors.New("stats: mismatched sample lengths")
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	return Sum(xs) / float64(len(xs)), nil
+}
+
+// Variance returns the unbiased sample variance of xs (n-1 denominator).
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("%w: variance needs at least 2 samples, got %d", ErrEmpty, len(xs))
+	}
+	m, _ := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1), nil
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// MinMax returns the smallest and largest values in xs.
+func MinMax(xs []float64) (min, max float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, nil
+}
+
+// Median returns the median of xs without modifying it.
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2], nil
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2, nil
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %v out of range [0,100]", p)
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if len(cp) == 1 {
+		return cp[0], nil
+	}
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return cp[lo], nil
+	}
+	frac := rank - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac, nil
+}
+
+// LinearFit is the result of a simple least-squares line fit y = a + b*x.
+type LinearFit struct {
+	Intercept float64 // a
+	Slope     float64 // b
+	R2        float64 // coefficient of determination
+}
+
+// FitLine fits y = a + b*x by ordinary least squares.
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, fmt.Errorf("%w: %d xs vs %d ys", ErrLength, len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, fmt.Errorf("%w: line fit needs at least 2 points", ErrEmpty)
+	}
+	mx, _ := Mean(xs)
+	my, _ := Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, fmt.Errorf("stats: degenerate fit, all x identical")
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	r2 := 1.0
+	if syy > 0 {
+		var ssRes float64
+		for i := range xs {
+			r := ys[i] - (a + b*xs[i])
+			ssRes += r * r
+		}
+		r2 = 1 - ssRes/syy
+	}
+	return LinearFit{Intercept: a, Slope: b, R2: r2}, nil
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 { return f.Intercept + f.Slope*x }
+
+// AbsRelError returns |predicted-actual| / |actual|. It returns an error for
+// a zero actual value, where relative error is undefined.
+func AbsRelError(predicted, actual float64) (float64, error) {
+	if actual == 0 {
+		return 0, errors.New("stats: relative error undefined for zero actual value")
+	}
+	return math.Abs(predicted-actual) / math.Abs(actual), nil
+}
+
+// MAPE returns the mean absolute percentage error (in percent) between
+// paired predictions and actuals.
+func MAPE(predicted, actual []float64) (float64, error) {
+	if len(predicted) != len(actual) {
+		return 0, fmt.Errorf("%w: %d predictions vs %d actuals", ErrLength, len(predicted), len(actual))
+	}
+	if len(actual) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for i := range actual {
+		re, err := AbsRelError(predicted[i], actual[i])
+		if err != nil {
+			return 0, fmt.Errorf("stats: MAPE at index %d: %w", i, err)
+		}
+		s += re
+	}
+	return 100 * s / float64(len(actual)), nil
+}
+
+// MaxAPE returns the maximum absolute percentage error (in percent).
+func MaxAPE(predicted, actual []float64) (float64, error) {
+	if len(predicted) != len(actual) {
+		return 0, fmt.Errorf("%w: %d predictions vs %d actuals", ErrLength, len(predicted), len(actual))
+	}
+	if len(actual) == 0 {
+		return 0, ErrEmpty
+	}
+	var mx float64
+	for i := range actual {
+		re, err := AbsRelError(predicted[i], actual[i])
+		if err != nil {
+			return 0, fmt.Errorf("stats: MaxAPE at index %d: %w", i, err)
+		}
+		if re > mx {
+			mx = re
+		}
+	}
+	return 100 * mx, nil
+}
+
+// RMSE returns the root-mean-square error between paired samples.
+func RMSE(predicted, actual []float64) (float64, error) {
+	if len(predicted) != len(actual) {
+		return 0, fmt.Errorf("%w: %d predictions vs %d actuals", ErrLength, len(predicted), len(actual))
+	}
+	if len(actual) == 0 {
+		return 0, ErrEmpty
+	}
+	var ss float64
+	for i := range actual {
+		d := predicted[i] - actual[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(actual))), nil
+}
+
+// Summary bundles the descriptive statistics of one sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	m, _ := Mean(xs)
+	sd := 0.0
+	if len(xs) > 1 {
+		sd, _ = StdDev(xs)
+	}
+	min, max, _ := MinMax(xs)
+	med, _ := Median(xs)
+	return Summary{N: len(xs), Mean: m, StdDev: sd, Min: min, Max: max, Median: med}, nil
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g med=%.4g max=%.4g",
+		s.N, s.Mean, s.StdDev, s.Min, s.Median, s.Max)
+}

@@ -1,0 +1,262 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Sum(xs) != 10 {
+		t.Errorf("Sum = %v, want 10", Sum(xs))
+	}
+	m, err := Mean(xs)
+	if err != nil || m != 2.5 {
+		t.Errorf("Mean = %v (%v), want 2.5", m, err)
+	}
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Mean(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	v, err := Variance(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-4.571428571428571) > 1e-12 {
+		t.Errorf("Variance = %v", v)
+	}
+	sd, _ := StdDev(xs)
+	if math.Abs(sd-math.Sqrt(v)) > 1e-12 {
+		t.Errorf("StdDev = %v", sd)
+	}
+	if _, err := Variance([]float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Variance of 1 sample err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, err := MinMax([]float64{3, -1, 7, 0})
+	if err != nil || min != -1 || max != 7 {
+		t.Errorf("MinMax = %v,%v (%v)", min, max, err)
+	}
+	if _, _, err := MinMax(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("MinMax(nil) err = %v", err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m, _ := Median([]float64{5, 1, 3}); m != 3 {
+		t.Errorf("odd median = %v, want 3", m)
+	}
+	if m, _ := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("even median = %v, want 2.5", m)
+	}
+	// Median must not mutate its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated input: %v", xs)
+	}
+	if _, err := Median(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Median(nil) err = %v", err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {25, 20}, {50, 30}, {75, 40}, {100, 50}, {62.5, 35},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("Percentile(101) should error")
+	}
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Percentile(nil) err = %v", err)
+	}
+	if got, _ := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("single-sample percentile = %v, want 7", got)
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 603 + 6.3*x // the paper's storage-scaling flavor of line
+	}
+	f, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Intercept-603) > 1e-9 || math.Abs(f.Slope-6.3) > 1e-12 {
+		t.Errorf("fit = %+v", f)
+	}
+	if math.Abs(f.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1", f.R2)
+	}
+	if p := f.Predict(10); math.Abs(p-666) > 1e-9 {
+		t.Errorf("Predict(10) = %v, want 666", p)
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLength) {
+		t.Errorf("mismatched fit err = %v", err)
+	}
+	if _, err := FitLine([]float64{1}, []float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("short fit err = %v", err)
+	}
+	if _, err := FitLine([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("degenerate fit should error")
+	}
+}
+
+func TestFitLineNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 5 + 2*xs[i] + rng.NormFloat64()*0.01
+	}
+	f, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Slope-2) > 0.01 || math.Abs(f.Intercept-5) > 0.1 {
+		t.Errorf("noisy fit = %+v", f)
+	}
+	if f.R2 < 0.999 {
+		t.Errorf("R2 = %v too low", f.R2)
+	}
+}
+
+func TestErrorMetrics(t *testing.T) {
+	re, err := AbsRelError(101, 100)
+	if err != nil || math.Abs(re-0.01) > 1e-12 {
+		t.Errorf("AbsRelError = %v (%v)", re, err)
+	}
+	if _, err := AbsRelError(1, 0); err == nil {
+		t.Error("AbsRelError with zero actual should error")
+	}
+	m, err := MAPE([]float64{110, 90}, []float64{100, 100})
+	if err != nil || math.Abs(m-10) > 1e-12 {
+		t.Errorf("MAPE = %v (%v), want 10", m, err)
+	}
+	mx, err := MaxAPE([]float64{110, 99}, []float64{100, 100})
+	if err != nil || math.Abs(mx-10) > 1e-12 {
+		t.Errorf("MaxAPE = %v (%v), want 10", mx, err)
+	}
+	r, err := RMSE([]float64{3, 4}, []float64{0, 0})
+	if err != nil || math.Abs(r-math.Sqrt(12.5)) > 1e-12 {
+		t.Errorf("RMSE = %v (%v)", r, err)
+	}
+	if _, err := MAPE([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLength) {
+		t.Errorf("MAPE length err = %v", err)
+	}
+	if _, err := MAPE(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("MAPE empty err = %v", err)
+	}
+	if _, err := MaxAPE(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("MaxAPE empty err = %v", err)
+	}
+	if _, err := RMSE(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("RMSE empty err = %v", err)
+	}
+	if _, err := MaxAPE([]float64{1}, []float64{0}); err == nil {
+		t.Error("MaxAPE with zero actual should error")
+	}
+	if _, err := MAPE([]float64{1}, []float64{0}); err == nil {
+		t.Error("MAPE with zero actual should error")
+	}
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLength) {
+		t.Errorf("RMSE length err = %v", err)
+	}
+	if _, err := MaxAPE([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLength) {
+		t.Errorf("MaxAPE length err = %v", err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty summary string")
+	}
+	one, err := Summarize([]float64{7})
+	if err != nil || one.StdDev != 0 {
+		t.Errorf("single-sample summary = %+v (%v)", one, err)
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Summarize(nil) err = %v", err)
+	}
+}
+
+func TestMeanBoundsProperty(t *testing.T) {
+	// min <= mean <= max for any non-empty sample.
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(v, 1e9))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m, _ := Mean(xs)
+		min, max, _ := MinMax(xs)
+		return m >= min-1e-6 && m <= max+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pa := float64(a) / 255 * 100
+		pb := float64(b) / 255 * 100
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, _ := Percentile(xs, pa)
+		vb, _ := Percentile(xs, pb)
+		return va <= vb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,479 @@
+package insituviz
+
+import (
+	"fmt"
+	"image"
+	"math"
+	"os"
+	"path/filepath"
+
+	"insituviz/internal/catalyst"
+	"insituviz/internal/eddy"
+	"insituviz/internal/mesh"
+	"insituviz/internal/ncfile"
+	"insituviz/internal/ocean"
+	"insituviz/internal/partition"
+	"insituviz/internal/pio"
+	"insituviz/internal/render"
+	"insituviz/internal/units"
+	"insituviz/internal/vizpipe"
+)
+
+// LiveConfig configures a real (not simulated-machine) coupled run: the
+// shallow-water ocean solver produces genuine eddy-bearing fields, and the
+// selected pipeline visualizes them — in-situ through a Catalyst-style
+// adaptor into a Cinema image database, or post-processing through real
+// netCDF dumps that are read back and rendered afterwards.
+type LiveConfig struct {
+	// Mode selects the pipeline (InSitu or PostProcessing).
+	Mode Kind
+	// MeshSubdivisions controls resolution: 10*4^n+2 cells (default 3,
+	// i.e. 642 cells).
+	MeshSubdivisions int
+	// Steps is the number of solver timesteps (default 96).
+	Steps int
+	// SampleEverySteps is the co-processing / dump period (default 24).
+	SampleEverySteps int
+	// OutputDir receives the image database and raw dumps.
+	OutputDir string
+	// ImageWidth and ImageHeight size the rendered images (default
+	// 192x96).
+	ImageWidth, ImageHeight int
+	// RenderRanks is the number of simulated parallel rendering ranks
+	// composited sort-last (default 4).
+	RenderRanks int
+	// Viscosity is the solver dissipation in m^2/s (default 2e5, suited
+	// to coarse meshes).
+	Viscosity float64
+	// OrthoViews additionally renders each sample from the first N
+	// cameras of the standard six-view rig as orthographic globes — the
+	// multi-view "image sets" a Cinema database stores (0 disables).
+	OrthoViews int
+	// IORanks is the number of simulated compute ranks whose field blocks
+	// are gathered through the PIO aggregation layer before each raw dump
+	// in post-processing mode (default 8).
+	IORanks int
+	// EddyCoreImages additionally writes, per sample, an image showing
+	// only the rotation-dominated cores (W below the -0.2 sigma
+	// threshold), produced through the vizpipe threshold filter.
+	EddyCoreImages bool
+	// Scenario selects the initial condition: "jet" (default, the
+	// Galewsky barotropically unstable jet that rolls up into eddies) or
+	// "rossby" (the Williamson TC6 Rossby-Haurwitz wave).
+	Scenario string
+}
+
+func (c *LiveConfig) applyDefaults() {
+	if c.MeshSubdivisions == 0 {
+		c.MeshSubdivisions = 3
+	}
+	if c.Steps == 0 {
+		c.Steps = 96
+	}
+	if c.SampleEverySteps == 0 {
+		c.SampleEverySteps = 24
+	}
+	if c.ImageWidth == 0 {
+		c.ImageWidth = 192
+	}
+	if c.ImageHeight == 0 {
+		c.ImageHeight = 96
+	}
+	if c.RenderRanks == 0 {
+		c.RenderRanks = 4
+	}
+	if c.Viscosity == 0 {
+		c.Viscosity = 2e5
+	}
+	if c.IORanks == 0 {
+		c.IORanks = 8
+	}
+}
+
+// LiveResult summarizes a live coupled run.
+type LiveResult struct {
+	Steps   int
+	Samples int
+
+	Images     int
+	ImageBytes Bytes
+	RawBytes   Bytes // netCDF dump volume (post-processing mode)
+
+	// EddiesPerSample counts detected eddies at each sample point.
+	EddiesPerSample []int
+	// Tracks is the number of distinct eddy tracks observed.
+	Tracks int
+	// LongestTrackLifetime is the longest observed eddy life (simulated
+	// seconds).
+	LongestTrackLifetime Seconds
+
+	// MaxVelocity is the peak edge speed at the end of the run (m/s), a
+	// stability indicator.
+	MaxVelocity float64
+
+	// MeanTrackLifetime is the average observed eddy lifetime.
+	MeanTrackLifetime Seconds
+	// LongestTrackDistance is the farthest any eddy centroid traveled (m).
+	LongestTrackDistance float64
+
+	// HaloBytesPerField is the per-field halo-exchange volume of the
+	// render-rank decomposition — the on-fabric traffic a distributed run
+	// pays every refresh.
+	HaloBytesPerField Bytes
+
+	OutputDir string
+}
+
+// LiveRun executes a real coupled simulation-visualization run. Unlike
+// RunPipeline — which runs on the simulated 150-node machine with
+// calibrated timings — LiveRun actually computes: it integrates the
+// shallow-water equations, derives Okubo-Weiss, renders PNGs in parallel
+// with sort-last compositing, writes genuine netCDF (post-processing) or a
+// Cinema database (in-situ), and detects and tracks eddies.
+func LiveRun(cfg LiveConfig) (*LiveResult, error) {
+	cfg.applyDefaults()
+	if cfg.OutputDir == "" {
+		return nil, fmt.Errorf("insituviz: LiveConfig.OutputDir is required")
+	}
+	if cfg.Steps < 1 || cfg.SampleEverySteps < 1 {
+		return nil, fmt.Errorf("insituviz: invalid steps %d / sampling %d", cfg.Steps, cfg.SampleEverySteps)
+	}
+	if err := os.MkdirAll(cfg.OutputDir, 0o755); err != nil {
+		return nil, fmt.Errorf("insituviz: %w", err)
+	}
+
+	msh, err := mesh.NewIcosphere(cfg.MeshSubdivisions, mesh.EarthRadius)
+	if err != nil {
+		return nil, err
+	}
+	model, err := ocean.NewModel(msh, ocean.Config{Viscosity: cfg.Viscosity})
+	if err != nil {
+		return nil, err
+	}
+	var state *ocean.State
+	var meanDepth float64
+	switch cfg.Scenario {
+	case "", "jet":
+		meanDepth = 10000
+		state, err = ocean.UnstableJet(model, ocean.DefaultGalewsky())
+	case "rossby":
+		meanDepth = 8000
+		state, err = ocean.RossbyHaurwitzWave(model)
+	default:
+		return nil, fmt.Errorf("insituviz: unknown scenario %q (want jet or rossby)", cfg.Scenario)
+	}
+	if err != nil {
+		return nil, err
+	}
+	dt := model.SuggestedTimestep(meanDepth)
+
+	rast, err := render.NewRasterizer(msh, cfg.ImageWidth, cfg.ImageHeight)
+	if err != nil {
+		return nil, err
+	}
+	// Rendering ranks own spatially compact RCB blocks, as MPAS ranks do;
+	// the partition also yields the per-step halo-exchange volume.
+	part, err := partition.New(msh, cfg.RenderRanks)
+	if err != nil {
+		return nil, err
+	}
+	masks := part.Masks()
+	db, err := render.NewCinemaDB(filepath.Join(cfg.OutputDir, "cinema"))
+	if err != nil {
+		return nil, err
+	}
+	tracker, err := eddy.NewTracker(msh.Radius, 2e6)
+	if err != nil {
+		return nil, err
+	}
+	var setRenderer *render.ImageSetRenderer
+	if cfg.OrthoViews > 0 {
+		rig := render.DefaultCameraSet()
+		if cfg.OrthoViews < len(rig) {
+			rig = rig[:cfg.OrthoViews]
+		}
+		if setRenderer, err = render.NewImageSetRenderer(msh, cfg.ImageHeight, cfg.ImageHeight, rig); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &LiveResult{OutputDir: cfg.OutputDir}
+	res.HaloBytesPerField = Bytes(part.Exchange().BytesPerField)
+
+	// visualize renders one Okubo-Weiss snapshot with the parallel
+	// rank-partitioned renderer, stores it in the Cinema database, and
+	// feeds the eddy tracker.
+	visualize := func(simTime float64, field []float64) error {
+		norm := render.SymmetricRange(field)
+		cm := render.OkuboWeissMap()
+		images := make([]*image.RGBA, 0, len(masks))
+		for _, mask := range masks {
+			img, err := rast.RenderOwned(field, cm, norm, mask)
+			if err != nil {
+				return err
+			}
+			images = append(images, img)
+		}
+		final, err := render.Composite(images)
+		if err != nil {
+			return err
+		}
+		if !render.FullyOpaque(final) {
+			return fmt.Errorf("insituviz: composited image has holes")
+		}
+		n, err := db.AddImage(final, simTime, "okubo_weiss")
+		if err != nil {
+			return err
+		}
+		res.Images++
+		res.ImageBytes += n
+
+		if setRenderer != nil {
+			views, err := setRenderer.Render(field, cm, norm)
+			if err != nil {
+				return err
+			}
+			for v, img := range views {
+				n, err := db.AddImage(img, simTime, fmt.Sprintf("okubo_weiss_view%d", v))
+				if err != nil {
+					return err
+				}
+				res.Images++
+				res.ImageBytes += n
+			}
+		}
+
+		th := ocean.OkuboWeissThreshold(field)
+		var eddies []eddy.Eddy
+		if th < 0 {
+			if eddies, err = eddy.Detect(msh, field, th, 2); err != nil {
+				return err
+			}
+		}
+		if cfg.EddyCoreImages && th < 0 {
+			// The paper's selection as a vizpipe filter chain: threshold
+			// the rotation-dominated tail and render only those cells.
+			ds, err := vizpipe.NewDataset(msh, simTime)
+			if err != nil {
+				return err
+			}
+			if err := ds.AddField("okubo_weiss", field); err != nil {
+				return err
+			}
+			chain := &vizpipe.Pipeline{}
+			if err := chain.Append(&vizpipe.Threshold{
+				Field: "okubo_weiss", Min: math.Inf(-1), Max: th,
+			}); err != nil {
+				return err
+			}
+			sel, err := chain.Execute(ds)
+			if err != nil {
+				return err
+			}
+			coreImg, err := rast.RenderOwned(field, cm, norm, sel.Mask)
+			if err != nil {
+				return err
+			}
+			render.FillTransparent(coreImg, render.Background)
+			n, err := db.AddImage(coreImg, simTime, "okubo_weiss_cores")
+			if err != nil {
+				return err
+			}
+			res.Images++
+			res.ImageBytes += n
+		}
+		res.EddiesPerSample = append(res.EddiesPerSample, len(eddies))
+		return tracker.Advance(simTime, eddies)
+	}
+
+	switch cfg.Mode {
+	case InSitu:
+		if err := runLiveInSitu(cfg, model, state, dt, visualize); err != nil {
+			return nil, err
+		}
+	case PostProcessing:
+		raw, err := runLivePost(cfg, msh, model, state, dt, visualize)
+		if err != nil {
+			return nil, err
+		}
+		res.RawBytes = raw
+	default:
+		return nil, fmt.Errorf("insituviz: unknown mode %v", cfg.Mode)
+	}
+
+	if _, err := db.WriteIndex(); err != nil {
+		return nil, err
+	}
+	tracks := tracker.Finish()
+	res.Tracks = len(tracks)
+	res.LongestTrackLifetime = units.Seconds(eddy.LongestLifetime(tracks))
+	ts := eddy.SummarizeTracks(tracks, msh.Radius)
+	res.MeanTrackLifetime = units.Seconds(ts.MeanLifetime)
+	res.LongestTrackDistance = ts.LongestDistance
+	res.Steps = cfg.Steps
+	res.Samples = cfg.Steps / cfg.SampleEverySteps
+	res.MaxVelocity = state.MaxAbsVelocity()
+	return res, nil
+}
+
+// runLiveInSitu advances the solver, co-processing through a Catalyst
+// adaptor at the sampling period.
+func runLiveInSitu(cfg LiveConfig, model *ocean.Model, state *ocean.State, dt float64,
+	visualize func(simTime float64, field []float64) error) error {
+	adaptor, err := catalyst.NewAdaptor(cfg.SampleEverySteps)
+	if err != nil {
+		return err
+	}
+	if err := adaptor.AddPipeline(catalyst.PipelineFunc(func(fd *catalyst.FieldData) error {
+		return visualize(fd.Time, fd.Values)
+	})); err != nil {
+		return err
+	}
+	for step := 1; step <= cfg.Steps; step++ {
+		if err := model.Step(state, dt); err != nil {
+			return err
+		}
+		if err := state.CheckFinite(); err != nil {
+			return fmt.Errorf("insituviz: step %d: %w", step, err)
+		}
+		if adaptor.ShouldProcess(step) {
+			ow := model.OkuboWeiss(state)
+			if _, err := adaptor.CoProcess(step, float64(step)*dt, "okubo_weiss", ow); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runLivePost advances the solver writing real netCDF dumps, then reads
+// them back and visualizes — the Fig. 1a workflow — returning the raw dump
+// volume.
+func runLivePost(cfg LiveConfig, msh *mesh.Mesh, model *ocean.Model, state *ocean.State, dt float64,
+	visualize func(simTime float64, field []float64) error) (units.Bytes, error) {
+	rawDir := filepath.Join(cfg.OutputDir, "raw")
+	if err := os.MkdirAll(rawDir, 0o755); err != nil {
+		return 0, fmt.Errorf("insituviz: %w", err)
+	}
+	// Raw dumps go through the PIO aggregation layer: the field is block-
+	// decomposed across simulated compute ranks and gathered onto I/O
+	// aggregators before the netCDF write, as MPAS writes through
+	// PIO/parallel-netCDF.
+	ioRanks := cfg.IORanks
+	if ioRanks > msh.NCells() {
+		ioRanks = msh.NCells()
+	}
+	dec, err := pio.NewDecomposition(msh.NCells(), ioRanks)
+	if err != nil {
+		return 0, err
+	}
+	aggregators := ioRanks / 4
+	if aggregators < 1 {
+		aggregators = 1
+	}
+	plan, err := pio.NewPlan(dec, aggregators)
+	if err != nil {
+		return 0, err
+	}
+
+	var rawBytes units.Bytes
+	var dumps []string
+	var times []float64
+	for step := 1; step <= cfg.Steps; step++ {
+		if err := model.Step(state, dt); err != nil {
+			return 0, err
+		}
+		if err := state.CheckFinite(); err != nil {
+			return 0, fmt.Errorf("insituviz: step %d: %w", step, err)
+		}
+		if step%cfg.SampleEverySteps != 0 {
+			continue
+		}
+		simTime := float64(step) * dt
+		ow := model.OkuboWeiss(state)
+		// Rank-local blocks -> aggregators -> one global array for the
+		// writer.
+		parts, err := dec.Scatter(ow)
+		if err != nil {
+			return 0, err
+		}
+		gathered, _, err := plan.Gather(parts, 8)
+		if err != nil {
+			return 0, err
+		}
+		path := filepath.Join(rawDir, fmt.Sprintf("output_%05d.nc", step))
+		n, err := writeOkuboWeissDump(path, msh, simTime, gathered)
+		if err != nil {
+			return 0, err
+		}
+		rawBytes += units.Bytes(n)
+		dumps = append(dumps, path)
+		times = append(times, simTime)
+	}
+	// Post-processing phase: read every dump back and visualize.
+	for i, path := range dumps {
+		f, err := ncfile.ReadFile(path)
+		if err != nil {
+			return 0, err
+		}
+		id, err := f.VarID("okuboWeiss")
+		if err != nil {
+			return 0, err
+		}
+		field, err := f.Data(id)
+		if err != nil {
+			return 0, err
+		}
+		if err := visualize(times[i], field); err != nil {
+			return 0, err
+		}
+	}
+	return rawBytes, nil
+}
+
+// writeOkuboWeissDump writes one timestep's Okubo-Weiss field plus cell
+// coordinates as a classic netCDF file, returning its size.
+func writeOkuboWeissDump(path string, msh *mesh.Mesh, simTime float64, ow []float64) (int64, error) {
+	f := ncfile.New()
+	cellDim, err := f.AddDimension("nCells", msh.NCells())
+	if err != nil {
+		return 0, err
+	}
+	if err := f.AddGlobalAttribute(ncfile.TextAttribute("title", "insituviz Okubo-Weiss dump")); err != nil {
+		return 0, err
+	}
+	if err := f.AddGlobalAttribute(ncfile.NumericAttribute("sim_time_seconds", ncfile.Double, simTime)); err != nil {
+		return 0, err
+	}
+	latID, err := f.AddVariable("latCell", ncfile.Double, []int{cellDim})
+	if err != nil {
+		return 0, err
+	}
+	lonID, err := f.AddVariable("lonCell", ncfile.Double, []int{cellDim})
+	if err != nil {
+		return 0, err
+	}
+	owID, err := f.AddVariable("okuboWeiss", ncfile.Double, []int{cellDim})
+	if err != nil {
+		return 0, err
+	}
+	if err := f.AddVariableAttribute(owID, ncfile.TextAttribute("units", "s-2")); err != nil {
+		return 0, err
+	}
+	lat := make([]float64, msh.NCells())
+	lon := make([]float64, msh.NCells())
+	for ci := range msh.Cells {
+		lat[ci] = msh.Cells[ci].Lat
+		lon[ci] = msh.Cells[ci].Lon
+	}
+	if err := f.SetData(latID, lat); err != nil {
+		return 0, err
+	}
+	if err := f.SetData(lonID, lon); err != nil {
+		return 0, err
+	}
+	if err := f.SetData(owID, ow); err != nil {
+		return 0, err
+	}
+	return f.WriteFile(path)
+}
