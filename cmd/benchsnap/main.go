@@ -1,0 +1,95 @@
+// Command benchsnap records one point of the repository's performance
+// trajectory: it runs the hot-loop benchmarks with -benchmem, writes the
+// parsed results to the next BENCH_<n>.json snapshot, and prints a diff
+// against the previous snapshot so regressions in ns/op or allocs/op are
+// visible at the moment they are introduced.
+//
+// Usage (from the repository root):
+//
+//	benchsnap                      # run, snapshot, diff
+//	benchsnap -bench LiveCoupled   # restrict the benchmark set
+//	benchsnap -fail-over 0.10      # exit 1 on a >10% ns/op or allocs/op regression
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"strings"
+
+	"insituviz/internal/perf"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchsnap: ")
+
+	bench := flag.String("bench", "BenchmarkLiveCoupledRun|BenchmarkStepParallel10242Cells",
+		"benchmark regex passed to go test -bench")
+	pkgs := flag.String("pkgs", ".,./internal/ocean", "comma-separated packages holding the benchmarks")
+	dir := flag.String("dir", ".", "directory holding the BENCH_<n>.json trajectory")
+	benchtime := flag.String("benchtime", "", "optional -benchtime passed to go test (e.g. 10x, 2s)")
+	failOver := flag.Float64("fail-over", 0,
+		"exit 1 when ns/op or allocs/op regresses by more than this fraction vs the previous snapshot (0 = report only)")
+	flag.Parse()
+
+	prev, err := perf.LatestSnapshot(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var all []perf.Result
+	for _, pkg := range strings.Split(*pkgs, ",") {
+		pkg = strings.TrimSpace(pkg)
+		if pkg == "" {
+			continue
+		}
+		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-count", "1"}
+		if *benchtime != "" {
+			args = append(args, "-benchtime", *benchtime)
+		}
+		args = append(args, pkg)
+		fmt.Fprintf(os.Stderr, "benchsnap: go %s\n", strings.Join(args, " "))
+		cmd := exec.Command("go", args...)
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			log.Fatalf("go test %s: %v", pkg, err)
+		}
+		results, err := perf.ParseBenchOutput(&out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		all = append(all, results...)
+	}
+	if len(all) == 0 {
+		log.Fatalf("no benchmarks matched %q in %s", *bench, *pkgs)
+	}
+
+	snap := perf.NewSnapshot(all)
+	path, err := perf.WriteNext(*dir, snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rows := perf.Diff(prev, snap)
+	title := fmt.Sprintf("snapshot %s (first trajectory point)", path)
+	if prev != nil {
+		title = fmt.Sprintf("snapshot %s vs BENCH_%d.json", path, prev.Sequence)
+	}
+	fmt.Print(perf.FormatDiff(rows, title))
+
+	if *failOver > 0 {
+		if reg := perf.Regressions(rows, *failOver); len(reg) != 0 {
+			for _, r := range reg {
+				log.Printf("REGRESSION %s: %.0f -> %.0f ns/op, %d -> %d allocs/op",
+					r.Name, r.OldNs, r.NewNs, r.OldAllocs, r.NewAllocs)
+			}
+			os.Exit(1)
+		}
+	}
+}

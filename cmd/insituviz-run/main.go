@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"insituviz"
 	"insituviz/internal/pipeline"
@@ -30,7 +32,25 @@ func main() {
 	gridKM := flag.Float64("grid-km", 60, "mesh resolution in km")
 	timestepMin := flag.Float64("timestep-min", 30, "simulation timestep in simulated minutes")
 	tracePath := flag.String("trace", "", "write a Chrome-tracing JSON of the run's phases to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	var kind insituviz.Kind
 	switch *pipelineName {
@@ -54,6 +74,20 @@ func main() {
 	m, err := insituviz.RunPipeline(kind, w, platform)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC() // settle the heap so the profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	tb := report.NewTable(fmt.Sprintf("%v pipeline — %g km grid, %g months, output every %g h",

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"insituviz"
 	"insituviz/internal/report"
@@ -31,8 +33,27 @@ func main() {
 	height := flag.Int("height", 192, "image height")
 	ranks := flag.Int("render-ranks", 8, "parallel render ranks (RCB partition)")
 	orthoViews := flag.Int("ortho-views", 0, "extra orthographic globe views per sample (0-6)")
+	workers := flag.Int("workers", 0, "solver worker count (0 = GOMAXPROCS, negative = serial)")
 	out := flag.String("out", "", "output directory (default: temp dir)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	var kind insituviz.Kind
 	switch *mode {
@@ -61,9 +82,24 @@ func main() {
 		ImageHeight:      *height,
 		RenderRanks:      *ranks,
 		OrthoViews:       *orthoViews,
+		Workers:          *workers,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC() // settle the heap so the profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	tb := report.NewTable(fmt.Sprintf("live %v run — %d steps, sampled every %d", kind, res.Steps, *sample),
@@ -74,6 +110,9 @@ func main() {
 		tb.AddRow("raw netCDF dumps", res.RawBytes.String())
 	}
 	tb.AddRow("eddies per sample", fmt.Sprintf("%v", res.EddiesPerSample))
+	if res.CyclonicEddies+res.AnticyclonicEddies > 0 {
+		tb.AddRow("eddy spin census", fmt.Sprintf("%d cyclonic / %d anticyclonic", res.CyclonicEddies, res.AnticyclonicEddies))
+	}
 	tb.AddRow("eddy tracks", fmt.Sprintf("%d (longest life %v)", res.Tracks, res.LongestTrackLifetime))
 	tb.AddRow("longest eddy drift", fmt.Sprintf("%.0f km", res.LongestTrackDistance/1000))
 	tb.AddRow("peak flow speed", fmt.Sprintf("%.1f m/s", res.MaxVelocity))

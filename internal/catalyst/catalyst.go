@@ -50,6 +50,11 @@ type Adaptor struct {
 
 	copied      units.Bytes
 	invocations int
+
+	// reuse makes CoProcess deep-copy into one retained snapshot instead
+	// of allocating a fresh FieldData per invocation (see SetReuse).
+	reuse   bool
+	scratch FieldData
 }
 
 // NewAdaptor returns an adaptor that fires every everySteps timesteps
@@ -74,6 +79,16 @@ func (a *Adaptor) AddPipeline(p Pipeline) error {
 // Pipelines returns the number of registered pipelines.
 func (a *Adaptor) Pipelines() int { return len(a.pipelines) }
 
+// SetReuse selects the snapshot ownership contract. With reuse off (the
+// default) every invocation allocates a fresh FieldData that pipelines may
+// retain. With reuse on, the adaptor deep-copies into one retained
+// snapshot whose Values buffer is overwritten on the next invocation —
+// pipelines must consume the data synchronously, which is what the live
+// coupled loop does; in exchange the steady-state co-processing path stops
+// allocating. The copy semantics ("the simulation may overwrite its own
+// buffers immediately") are identical either way.
+func (a *Adaptor) SetReuse(reuse bool) { a.reuse = reuse }
+
 // ShouldProcess reports whether co-processing fires at the given step.
 func (a *Adaptor) ShouldProcess(step int) bool {
 	return step > 0 && step%a.everySteps == 0
@@ -90,11 +105,18 @@ func (a *Adaptor) CoProcess(step int, simTime float64, name string, simValues []
 	if len(simValues) == 0 {
 		return false, fmt.Errorf("catalyst: empty field %q at step %d", name, step)
 	}
-	fd := &FieldData{
-		Name:   name,
-		Step:   step,
-		Time:   simTime,
-		Values: append([]float64(nil), simValues...),
+	var fd *FieldData
+	if a.reuse {
+		fd = &a.scratch
+		fd.Name, fd.Step, fd.Time = name, step, simTime
+		fd.Values = append(fd.Values[:0], simValues...)
+	} else {
+		fd = &FieldData{
+			Name:   name,
+			Step:   step,
+			Time:   simTime,
+			Values: append([]float64(nil), simValues...),
+		}
 	}
 	a.copied += fd.Bytes()
 	a.invocations++

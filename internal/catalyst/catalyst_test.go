@@ -131,3 +131,54 @@ func TestExpectedInvocations(t *testing.T) {
 		t.Errorf("72-hour sampling = %d outputs, want 60", got)
 	}
 }
+
+func TestSetReuseSnapshotSemantics(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by race-detector instrumentation")
+	}
+	// With reuse on, successive invocations deliver the same retained
+	// snapshot (overwritten in place) and the steady-state path stops
+	// allocating; the deep-copy contract is unchanged.
+	a, _ := NewAdaptor(1)
+	a.SetReuse(true)
+	var seen []*FieldData
+	var values [][]float64
+	record := true
+	a.AddPipeline(PipelineFunc(func(fd *FieldData) error {
+		if record {
+			seen = append(seen, fd)
+			values = append(values, append([]float64(nil), fd.Values...))
+		}
+		return nil
+	}))
+
+	sim := []float64{1, 2, 3}
+	if _, err := a.CoProcess(1, 0.5, "ow", sim); err != nil {
+		t.Fatal(err)
+	}
+	sim[0] = 99 // the simulation overwrites its buffer; the snapshot must not change
+	if _, err := a.CoProcess(2, 1.0, "ow", sim); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[0] != seen[1] {
+		t.Fatalf("reuse should deliver the same retained snapshot, got %p and %p", seen[0], seen[1])
+	}
+	if values[0][0] != 1 || values[1][0] != 99 {
+		t.Errorf("snapshot values = %v then %v, want deep copies of the sim buffer at each invocation", values[0], values[1])
+	}
+	if seen[1].Step != 2 || seen[1].Time != 1.0 || seen[1].Name != "ow" {
+		t.Errorf("snapshot metadata not updated: %+v", seen[1])
+	}
+
+	record = false
+	step := 3
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := a.CoProcess(step, 1.5, "ow", sim); err != nil {
+			t.Fatal(err)
+		}
+		step++
+	})
+	if allocs != 0 {
+		t.Errorf("reused CoProcess allocates %.1f objects per run, want 0", allocs)
+	}
+}

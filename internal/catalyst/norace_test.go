@@ -1,0 +1,5 @@
+//go:build !race
+
+package catalyst
+
+const raceEnabled = false

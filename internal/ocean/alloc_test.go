@@ -1,0 +1,169 @@
+package ocean
+
+import (
+	"math"
+	"testing"
+)
+
+// allocReadyModel returns a warmed-up model/state pair: one Step has run so
+// every lazily allocated scratch buffer (RK stages, diagnostics, Okubo-Weiss
+// scratch, bound loop closures) exists before allocations are measured.
+func allocReadyModel(t *testing.T, workers int) (*Model, *State, float64) {
+	t.Helper()
+	md := testModel(t, 4, Config{Viscosity: 1e5, Workers: workers})
+	s, err := UnstableJet(md, DefaultGalewsky())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := md.SuggestedTimestep(10000)
+	if err := md.Step(s, dt); err != nil {
+		t.Fatal(err)
+	}
+	md.OkuboWeiss(s)
+	return md, s, dt
+}
+
+func TestStepSteadyStateAllocsSerial(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by race-detector instrumentation")
+	}
+	// The whole point of the scratch-state refactor: once warmed up, a
+	// serial-mode Step allocates nothing at all.
+	md, s, dt := allocReadyModel(t, -1)
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := md.Step(s, dt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("serial Step allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestStepSteadyStateAllocsParallel(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by race-detector instrumentation")
+	}
+	// Parallel-mode Step dispatches through the persistent worker pool.
+	// Steady state is also allocation-free: tasks are sent by value and
+	// completion counters come from a sync.Pool. A budget of 2 tolerates the
+	// GC clearing that sync.Pool between runs.
+	md, s, dt := allocReadyModel(t, 4)
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := md.Step(s, dt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("parallel Step allocates %.1f objects per run, want <= 2", allocs)
+	}
+}
+
+func TestDiagnosticsPathSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by race-detector instrumentation")
+	}
+	// The shared-diagnostics sampling path used by the live pipeline:
+	// one diagnostics evaluation feeding Okubo-Weiss and cell vorticity,
+	// all into caller-owned buffers.
+	md, s, _ := allocReadyModel(t, -1)
+	d := md.NewDiagnostics()
+	ow := make([]float64, md.Mesh.NCells())
+	cv := make([]float64, md.Mesh.NCells())
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := md.ComputeDiagnosticsInto(s, d); err != nil {
+			t.Fatal(err)
+		}
+		md.OkuboWeissFrom(d, ow)
+		md.CellVorticityFrom(d, cv)
+	})
+	if allocs != 0 {
+		t.Errorf("diagnostics sampling path allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestComputeDiagnosticsIntoMatchesCompute(t *testing.T) {
+	md, s, _ := allocReadyModel(t, -1)
+	want := md.ComputeDiagnostics(s)
+	got := md.NewDiagnostics()
+	if err := md.ComputeDiagnosticsInto(s, got); err != nil {
+		t.Fatal(err)
+	}
+	pairs := []struct {
+		name      string
+		got, want []float64
+	}{
+		{"Divergence", got.Divergence, want.Divergence},
+		{"Vorticity", got.Vorticity, want.Vorticity},
+		{"KineticEnergy", got.KineticEnergy, want.KineticEnergy},
+	}
+	for _, p := range pairs {
+		if len(p.got) != len(p.want) {
+			t.Fatalf("%s length %d != %d", p.name, len(p.got), len(p.want))
+		}
+		for i := range p.got {
+			if p.got[i] != p.want[i] {
+				t.Fatalf("%s differs at %d: %v vs %v", p.name, i, p.got[i], p.want[i])
+			}
+		}
+	}
+	if len(got.CellVelocity) != len(want.CellVelocity) {
+		t.Fatalf("CellVelocity length %d != %d", len(got.CellVelocity), len(want.CellVelocity))
+	}
+	for i := range got.CellVelocity {
+		if got.CellVelocity[i] != want.CellVelocity[i] {
+			t.Fatalf("CellVelocity differs at cell %d", i)
+		}
+	}
+}
+
+func TestSharedDiagnosticVariantsMatchAllocating(t *testing.T) {
+	// TotalEnergyFrom / CellVorticityFrom / PotentialVorticityFrom /
+	// OkuboWeissFrom reuse one diagnostics evaluation; each must reproduce
+	// its allocating counterpart bitwise.
+	md, s, _ := allocReadyModel(t, -1)
+	d := md.ComputeDiagnostics(s)
+	n := md.Mesh.NCells()
+
+	if got, want := md.TotalEnergyFrom(s, d), md.TotalEnergy(s); got != want {
+		t.Errorf("TotalEnergyFrom = %v, TotalEnergy = %v", got, want)
+	}
+
+	cv := md.CellVorticityFrom(d, make([]float64, n))
+	for i, want := range md.CellVorticity(s) {
+		if cv[i] != want {
+			t.Fatalf("CellVorticityFrom differs at cell %d: %v vs %v", i, cv[i], want)
+		}
+	}
+
+	pv := md.PotentialVorticityFrom(s, d, make([]float64, n))
+	for i, want := range md.PotentialVorticity(s) {
+		if pv[i] != want && !(math.IsNaN(pv[i]) && math.IsNaN(want)) {
+			t.Fatalf("PotentialVorticityFrom differs at cell %d: %v vs %v", i, pv[i], want)
+		}
+	}
+
+	ow := md.OkuboWeissFrom(d, make([]float64, n))
+	for i, want := range md.OkuboWeiss(s) {
+		if ow[i] != want {
+			t.Fatalf("OkuboWeissFrom differs at cell %d: %v vs %v", i, ow[i], want)
+		}
+	}
+
+	var into []float64 = make([]float64, n)
+	if err := md.OkuboWeissInto(s, into); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ow {
+		if into[i] != ow[i] {
+			t.Fatalf("OkuboWeissInto differs at cell %d", i)
+		}
+	}
+}
+
+func TestOkuboWeissIntoRejectsWrongSize(t *testing.T) {
+	md, s, _ := allocReadyModel(t, -1)
+	if err := md.OkuboWeissInto(s, make([]float64, 3)); err == nil {
+		t.Error("expected size-mismatch error")
+	}
+}

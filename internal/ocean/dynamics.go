@@ -8,7 +8,9 @@ import (
 
 // Diagnostics holds the derived fields computed from a state during a
 // tendency evaluation. They are also what the visualization pipeline
-// consumes.
+// consumes. A Diagnostics can be reused across evaluations through
+// ComputeDiagnosticsInto; every element of every field is overwritten on
+// each evaluation.
 type Diagnostics struct {
 	Divergence    []float64   // velocity divergence at cells (1/s)
 	Vorticity     []float64   // relative vorticity at dual vertices (1/s)
@@ -16,45 +18,52 @@ type Diagnostics struct {
 	CellVelocity  []mesh.Vec3 // reconstructed tangent velocity at cells (m/s)
 }
 
-// ComputeDiagnostics evaluates the derived fields of s.
-func (md *Model) ComputeDiagnostics(s *State) *Diagnostics {
+// NewDiagnostics allocates a diagnostics buffer sized for the model's mesh,
+// for reuse with ComputeDiagnosticsInto.
+func (md *Model) NewDiagnostics() *Diagnostics {
 	m := md.Mesh
-	d := &Diagnostics{
+	return &Diagnostics{
 		Divergence:    make([]float64, m.NCells()),
 		Vorticity:     make([]float64, m.NVertices()),
 		KineticEnergy: make([]float64, m.NCells()),
 		CellVelocity:  make([]mesh.Vec3, m.NCells()),
 	}
+}
 
-	md.parallelFor(m.NCells(), func(lo, hi int) {
-		for ci := lo; ci < hi; ci++ {
-			c := &m.Cells[ci]
-			var div, ke float64
-			var vel mesh.Vec3
-			for k, ei := range c.Edges {
-				e := &m.Edges[ei]
-				u := s.NormalVelocity[ei]
-				div += float64(c.EdgeSigns[k]) * u * e.Dv
-				ke += e.Dc * e.Dv * 0.25 * u * u
-				vel = vel.Add(md.recon[ci][k].Scale(u))
-			}
-			d.Divergence[ci] = div / c.Area
-			d.KineticEnergy[ci] = ke / c.Area
-			d.CellVelocity[ci] = vel
-		}
-	})
+// sizedFor reports whether d matches the mesh's cell and vertex counts.
+func (d *Diagnostics) sizedFor(m *mesh.Mesh) bool {
+	return len(d.Divergence) == m.NCells() &&
+		len(d.Vorticity) == m.NVertices() &&
+		len(d.KineticEnergy) == m.NCells() &&
+		len(d.CellVelocity) == m.NCells()
+}
 
-	md.parallelFor(m.NVertices(), func(lo, hi int) {
-		for vi := lo; vi < hi; vi++ {
-			v := &m.Vertices[vi]
-			var circ float64
-			for k, ei := range v.Edges {
-				circ += float64(v.EdgeSigns[k]) * s.NormalVelocity[ei] * m.Edges[ei].Dc
-			}
-			d.Vorticity[vi] = circ / v.Area
-		}
-	})
+// ComputeDiagnostics evaluates the derived fields of s into a freshly
+// allocated Diagnostics. Hot paths that evaluate diagnostics repeatedly
+// should hold a buffer from NewDiagnostics and use ComputeDiagnosticsInto.
+func (md *Model) ComputeDiagnostics(s *State) *Diagnostics {
+	d := md.NewDiagnostics()
+	md.computeDiagnosticsInto(s, d)
 	return d
+}
+
+// ComputeDiagnosticsInto evaluates the derived fields of s into d, which
+// must be sized for the model's mesh (NewDiagnostics). Every element of d
+// is overwritten; nothing is read, so a buffer can be shared across
+// different states sequentially. The evaluation allocates nothing.
+func (md *Model) ComputeDiagnosticsInto(s *State, d *Diagnostics) error {
+	if d == nil || !d.sizedFor(md.Mesh) {
+		return fmt.Errorf("ocean: diagnostics buffer not sized for mesh (%d cells, %d vertices)",
+			md.Mesh.NCells(), md.Mesh.NVertices())
+	}
+	md.computeDiagnosticsInto(s, d)
+	return nil
+}
+
+func (md *Model) computeDiagnosticsInto(s *State, d *Diagnostics) {
+	md.sc.loopS, md.sc.loopD = s, d
+	md.parallelFor(md.Mesh.NCells(), md.sc.diagCells)
+	md.parallelFor(md.Mesh.NVertices(), md.sc.diagVerts)
 }
 
 // Tendency evaluates the right-hand side of the shallow-water equations at
@@ -65,103 +74,58 @@ func (md *Model) ComputeDiagnostics(s *State) *Diagnostics {
 //
 // where q = f + zeta is the absolute vorticity interpolated to edges and
 // u_perp is the tangential velocity from the cell-centered reconstruction.
+// The intermediate diagnostics live in the model's reusable scratch buffer,
+// so a steady-state Tendency evaluation allocates nothing.
 func (md *Model) Tendency(s *State, out *State) error {
 	m := md.Mesh
 	if len(out.Thickness) != m.NCells() || len(out.NormalVelocity) != m.NEdges() {
 		return fmt.Errorf("ocean: tendency output sized %d/%d, want %d/%d",
 			len(out.Thickness), len(out.NormalVelocity), m.NCells(), m.NEdges())
 	}
-	d := md.ComputeDiagnostics(s)
+	d := md.ensureDiag()
+	md.computeDiagnosticsInto(s, d)
 
-	// Continuity equation.
-	md.parallelFor(m.NCells(), func(lo, hi int) {
-		for ci := lo; ci < hi; ci++ {
-			c := &m.Cells[ci]
-			var flux float64
-			for k, ei := range c.Edges {
-				e := &m.Edges[ei]
-				he := 0.5 * (s.Thickness[e.Cells[0]] + s.Thickness[e.Cells[1]])
-				flux += float64(c.EdgeSigns[k]) * s.NormalVelocity[ei] * he * e.Dv
-			}
-			out.Thickness[ci] = -flux / c.Area
-		}
-	})
-
-	// Momentum equation.
-	md.parallelFor(m.NEdges(), func(lo, hi int) {
-		for ei := lo; ei < hi; ei++ {
-			e := &m.Edges[ei]
-			c0, c1 := e.Cells[0], e.Cells[1]
-			v0, v1 := e.Vertices[0], e.Vertices[1]
-
-			// Absolute vorticity at the edge.
-			zeta := 0.5 * (d.Vorticity[v0] + d.Vorticity[v1])
-			q := md.coriolisEdge[ei] + zeta
-
-			// Tangential velocity from the averaged cell reconstructions.
-			vbar := d.CellVelocity[c0].Add(d.CellVelocity[c1]).Scale(0.5)
-			uperp := vbar.Dot(e.Tangent)
-
-			// Bernoulli gradient along the normal; with topography the
-			// pressure term uses the free-surface height h+b.
-			eta0, eta1 := s.Thickness[c0], s.Thickness[c1]
-			if md.topography != nil {
-				eta0 += md.topography[c0]
-				eta1 += md.topography[c1]
-			}
-			bern0 := d.KineticEnergy[c0] + Gravity*eta0
-			bern1 := d.KineticEnergy[c1] + Gravity*eta1
-			grad := (bern1 - bern0) / e.Dc
-
-			tend := q*uperp - grad
-			if md.windAccel != nil {
-				tend += md.windAccel[ei]
-			}
-			if md.bottomDrag > 0 {
-				tend -= md.bottomDrag * s.NormalVelocity[ei]
-			}
-
-			if md.Viscosity > 0 {
-				// del2(u) = grad_n(div) - grad_t(zeta).
-				lap := (d.Divergence[c1]-d.Divergence[c0])/e.Dc -
-					md.vertexTangentSign[ei]*(d.Vorticity[v1]-d.Vorticity[v0])/e.Dv
-				tend += md.Viscosity * lap
-			}
-			out.NormalVelocity[ei] = tend
-		}
-	})
+	md.sc.loopS, md.sc.loopOut, md.sc.loopD = s, out, d
+	md.parallelFor(m.NCells(), md.sc.continuity)
+	md.parallelFor(m.NEdges(), md.sc.momentum)
 	return nil
 }
 
-// Step advances s by one RK4 step of size dt seconds, in place.
+// Step advances s by one RK4 step of size dt seconds, in place. The four
+// stage states and the intermediate state are preallocated scratch owned by
+// the model, so steady-state stepping is allocation-free.
 func (md *Model) Step(s *State, dt float64) error {
 	if dt <= 0 {
 		return fmt.Errorf("ocean: non-positive timestep %g", dt)
 	}
-	m := md.Mesh
-	k1 := NewState(m.NCells(), m.NEdges())
-	k2 := NewState(m.NCells(), m.NEdges())
-	k3 := NewState(m.NCells(), m.NEdges())
-	k4 := NewState(m.NCells(), m.NEdges())
+	md.ensureStages()
+	k1, k2, k3, k4 := md.sc.stages[0], md.sc.stages[1], md.sc.stages[2], md.sc.stages[3]
+	tmp := md.sc.tmp
 
 	if err := md.Tendency(s, k1); err != nil {
 		return err
 	}
-	tmp := s.Clone()
+	if err := tmp.CopyFrom(s); err != nil {
+		return err
+	}
 	if err := tmp.AddScaled(k1, dt/2); err != nil {
 		return err
 	}
 	if err := md.Tendency(tmp, k2); err != nil {
 		return err
 	}
-	tmp = s.Clone()
+	if err := tmp.CopyFrom(s); err != nil {
+		return err
+	}
 	if err := tmp.AddScaled(k2, dt/2); err != nil {
 		return err
 	}
 	if err := md.Tendency(tmp, k3); err != nil {
 		return err
 	}
-	tmp = s.Clone()
+	if err := tmp.CopyFrom(s); err != nil {
+		return err
+	}
 	if err := tmp.AddScaled(k3, dt); err != nil {
 		return err
 	}
@@ -194,7 +158,15 @@ func (md *Model) TotalMass(s *State) float64 {
 // TotalEnergy returns the area-integrated total (kinetic + potential)
 // energy per unit density (m^5/s^2).
 func (md *Model) TotalEnergy(s *State) float64 {
-	d := md.ComputeDiagnostics(s)
+	d := md.ensureDiag()
+	md.computeDiagnosticsInto(s, d)
+	return md.TotalEnergyFrom(s, d)
+}
+
+// TotalEnergyFrom is TotalEnergy evaluated from already computed
+// diagnostics of s, letting callers share one diagnostics evaluation across
+// several derived quantities.
+func (md *Model) TotalEnergyFrom(s *State, d *Diagnostics) float64 {
 	var en float64
 	for ci := range md.Mesh.Cells {
 		h := s.Thickness[ci]
@@ -207,13 +179,19 @@ func (md *Model) TotalEnergy(s *State) float64 {
 // to cell centers (area-weighted over each cell's corners). The eddy
 // classifier uses it to separate cyclonic from anticyclonic cores.
 func (md *Model) CellVorticity(s *State) []float64 {
-	d := md.ComputeDiagnostics(s)
-	return md.cellVorticityFromDiagnostics(d)
+	d := md.ensureDiag()
+	md.computeDiagnosticsInto(s, d)
+	return md.CellVorticityFrom(d, nil)
 }
 
-func (md *Model) cellVorticityFromDiagnostics(d *Diagnostics) []float64 {
+// CellVorticityFrom is CellVorticity evaluated from already computed
+// diagnostics, writing into out when it is correctly sized (a fresh slice
+// is allocated otherwise, so a nil out always works).
+func (md *Model) CellVorticityFrom(d *Diagnostics, out []float64) []float64 {
 	m := md.Mesh
-	out := make([]float64, m.NCells())
+	if len(out) != m.NCells() {
+		out = make([]float64, m.NCells())
+	}
 	for ci := range m.Cells {
 		c := &m.Cells[ci]
 		var num, den float64
@@ -224,6 +202,8 @@ func (md *Model) cellVorticityFromDiagnostics(d *Diagnostics) []float64 {
 		}
 		if den > 0 {
 			out[ci] = num / den
+		} else {
+			out[ci] = 0
 		}
 	}
 	return out
@@ -235,9 +215,19 @@ func (md *Model) cellVorticityFromDiagnostics(d *Diagnostics) []float64 {
 // by the continuous equations and is MPAS-O's standard dynamical
 // diagnostic alongside Okubo-Weiss.
 func (md *Model) PotentialVorticity(s *State) []float64 {
-	d := md.ComputeDiagnostics(s)
+	d := md.ensureDiag()
+	md.computeDiagnosticsInto(s, d)
+	return md.PotentialVorticityFrom(s, d, nil)
+}
+
+// PotentialVorticityFrom is PotentialVorticity evaluated from already
+// computed diagnostics of s, writing into out when it is correctly sized (a
+// fresh slice is allocated otherwise, so a nil out always works).
+func (md *Model) PotentialVorticityFrom(s *State, d *Diagnostics, out []float64) []float64 {
 	m := md.Mesh
-	out := make([]float64, m.NVertices())
+	if len(out) != m.NVertices() {
+		out = make([]float64, m.NVertices())
+	}
 	for vi := range m.Vertices {
 		v := &m.Vertices[vi]
 		h := (s.Thickness[v.Cells[0]] + s.Thickness[v.Cells[1]] + s.Thickness[v.Cells[2]]) / 3

@@ -34,6 +34,13 @@ type Config struct {
 // Model couples a mesh with physical parameters and the precomputed
 // operators (velocity reconstruction, gradients, Coriolis fields) needed to
 // evaluate tendencies efficiently.
+//
+// A Model owns reusable scratch buffers (RK stage states, a diagnostics
+// buffer, Okubo-Weiss projections) so its steady-state stepping and
+// diagnostic methods allocate nothing. Consequently a Model must not be
+// used from multiple goroutines concurrently; build one Model per
+// goroutine instead. Parallelism inside a single Model is governed by
+// Config.Workers and runs on the persistent worker pool.
 type Model struct {
 	Mesh      *mesh.Mesh
 	Omega     float64
@@ -65,6 +72,14 @@ type Model struct {
 	// sum_k gradWeights[c][k] * (F[Neighbors[k]] - F[c]) in the local
 	// (east, north) basis. Each weight is a 2-vector (gx, gy).
 	gradWeights [][][2]float64
+
+	// cellEast/cellNorth are the per-cell local tangent bases, precomputed
+	// lazily for the Okubo-Weiss loops (see ensureOkubo).
+	cellEast, cellNorth []mesh.Vec3
+
+	// sc holds the preallocated stage/diagnostics scratch and the bound
+	// loop bodies of the allocation-free hot path (see scratch.go).
+	sc stepScratch
 }
 
 // NewModel builds a model on m with the given configuration, precomputing
@@ -109,6 +124,7 @@ func NewModel(m *mesh.Mesh, cfg Config) (*Model, error) {
 	if err := md.buildGradients(); err != nil {
 		return nil, err
 	}
+	md.initLoopBindings()
 	return md, nil
 }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package ocean
+
+const raceEnabled = false

@@ -1,7 +1,8 @@
 package ocean
 
 import (
-	"insituviz/internal/mesh"
+	"fmt"
+
 	"insituviz/internal/stats"
 )
 
@@ -14,52 +15,52 @@ import (
 // values indicate rotation-dominated flow (eddy cores, rendered green in
 // the paper's Fig. 2); positive values indicate strain-dominated shear
 // regions (rendered blue).
+//
+// The returned slice is freshly allocated; hot loops should use
+// OkuboWeissInto with a reused buffer instead.
 func (md *Model) OkuboWeiss(s *State) []float64 {
-	d := md.ComputeDiagnostics(s)
-	return md.okuboWeissFromDiagnostics(d)
+	out := make([]float64, md.Mesh.NCells())
+	d := md.ensureDiag()
+	md.computeDiagnosticsInto(s, d)
+	md.okuboWeissFromDiagnostics(d, out)
+	return out
 }
 
-func (md *Model) okuboWeissFromDiagnostics(d *Diagnostics) []float64 {
-	m := md.Mesh
-	w := make([]float64, m.NCells())
-
-	// Local (east, north) components of the reconstructed velocities,
-	// evaluated once per cell in each cell's own basis.
-	type uv struct{ u, v float64 }
-	comp := make([]uv, m.NCells())
-	for ci := range m.Cells {
-		east, north := mesh.TangentBasis(m.Cells[ci].Center)
-		vel := d.CellVelocity[ci]
-		comp[ci] = uv{u: vel.Dot(east), v: vel.Dot(north)}
+// OkuboWeissInto computes the Okubo-Weiss field of s into out, reusing the
+// model's diagnostics and projection scratch: a steady-state evaluation
+// allocates nothing.
+func (md *Model) OkuboWeissInto(s *State, out []float64) error {
+	if len(out) != md.Mesh.NCells() {
+		return fmt.Errorf("ocean: okubo-weiss output has %d cells, want %d", len(out), md.Mesh.NCells())
 	}
+	d := md.ensureDiag()
+	md.computeDiagnosticsInto(s, d)
+	md.okuboWeissFromDiagnostics(d, out)
+	return nil
+}
 
-	md.parallelFor(m.NCells(), func(lo, hi int) {
-		for ci := lo; ci < hi; ci++ {
-			c := &m.Cells[ci]
-			east, north := mesh.TangentBasis(c.Center)
-			// Express the center and neighbor velocities in the center cell's
-			// basis; for neighbors the 3D tangent vector is projected, which is
-			// accurate to O(spacing/R).
-			u0 := comp[ci].u
-			v0 := comp[ci].v
-			var ux, uy, vx, vy float64
-			for k, nb := range c.Neighbors {
-				vel := d.CellVelocity[nb]
-				du := vel.Dot(east) - u0
-				dv := vel.Dot(north) - v0
-				gw := md.gradWeights[ci][k]
-				ux += gw[0] * du
-				uy += gw[1] * du
-				vx += gw[0] * dv
-				vy += gw[1] * dv
-			}
-			sn := ux - vy
-			ss := vx + uy
-			om := vx - uy
-			w[ci] = sn*sn + ss*ss - om*om
-		}
-	})
-	return w
+// OkuboWeissFrom computes the Okubo-Weiss field from already computed
+// diagnostics, letting callers share one diagnostics evaluation across
+// Okubo-Weiss and the other derived fields. out is used when correctly
+// sized (a fresh slice is allocated otherwise, so a nil out always works).
+func (md *Model) OkuboWeissFrom(d *Diagnostics, out []float64) []float64 {
+	if len(out) != md.Mesh.NCells() {
+		out = make([]float64, md.Mesh.NCells())
+	}
+	md.okuboWeissFromDiagnostics(d, out)
+	return out
+}
+
+func (md *Model) okuboWeissFromDiagnostics(d *Diagnostics, out []float64) {
+	m := md.Mesh
+	md.ensureOkubo()
+
+	// Phase 1: local (east, north) components of the reconstructed
+	// velocities, evaluated once per cell in each cell's own basis.
+	// Phase 2 reads neighbor projections, so the phases cannot fuse.
+	md.sc.loopD, md.sc.loopOW = d, out
+	md.parallelFor(m.NCells(), md.sc.owProject)
+	md.parallelFor(m.NCells(), md.sc.owGradient)
 }
 
 // OkuboWeissThreshold returns the conventional eddy-detection threshold

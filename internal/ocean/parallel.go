@@ -2,40 +2,27 @@ package ocean
 
 import (
 	"runtime"
-	"sync"
+
+	"insituviz/internal/workpool"
 )
 
-// parallelMinWork is the smallest index range worth fanning out to
-// goroutines; below it the scheduling overhead exceeds the arithmetic.
+// parallelMinWork is the smallest index range worth fanning out to the
+// worker pool; below it the scheduling overhead exceeds the arithmetic.
 const parallelMinWork = 2048
 
 // parallelFor runs fn over [0, n) split into contiguous chunks across the
-// model's worker count. Each index is processed exactly once and chunks
-// are disjoint, so loops whose bodies write only to their own index are
-// race-free and bit-identical to the serial execution.
+// model's worker count, executed on the persistent process-wide pool
+// (workpool). Each index is processed exactly once and chunks are disjoint,
+// so loops whose bodies write only to their own index are race-free and
+// bit-identical to the serial execution. Chunk geometry depends only on
+// (n, md.workers), never on which pool worker runs a chunk, so results are
+// reproducible at any worker count.
 func (md *Model) parallelFor(n int, fn func(lo, hi int)) {
-	workers := md.workers
-	if workers <= 1 || n < parallelMinWork {
+	if md.workers <= 1 || n < parallelMinWork {
 		fn(0, n)
 		return
 	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	workpool.Run(n, md.workers, fn)
 }
 
 // resolveWorkers maps a configured worker count to an effective one.

@@ -9,14 +9,12 @@ import (
 func TestParallelMatchesSerialBitwise(t *testing.T) {
 	// Chunked parallel loops write disjoint indices from a consistent
 	// snapshot, so any worker count must reproduce the serial run exactly.
+	// The pooled parallelFor keeps the exact ceil-division chunk geometry of
+	// the per-call goroutine version, so 1, 2, 3, odd, and large worker
+	// counts are all exercised against the serial reference.
 	serial := testModel(t, 4, Config{Viscosity: 1e5, Workers: -1})
-	parallel := testModel(t, 4, Config{Viscosity: 1e5, Workers: 8})
 
 	s1, err := UnstableJet(serial, DefaultGalewsky())
-	if err != nil {
-		t.Fatal(err)
-	}
-	s2, err := UnstableJet(parallel, DefaultGalewsky())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,26 +23,64 @@ func TestParallelMatchesSerialBitwise(t *testing.T) {
 		if err := serial.Step(s1, dt); err != nil {
 			t.Fatal(err)
 		}
-		if err := parallel.Step(s2, dt); err != nil {
+	}
+	w1 := serial.OkuboWeiss(s1)
+
+	for _, workers := range []int{1, 2, 3, 5, 8} {
+		parallel := testModel(t, 4, Config{Viscosity: 1e5, Workers: workers})
+		s2, err := UnstableJet(parallel, DefaultGalewsky())
+		if err != nil {
 			t.Fatal(err)
 		}
-	}
-	for i := range s1.Thickness {
-		if s1.Thickness[i] != s2.Thickness[i] {
-			t.Fatalf("thickness differs at cell %d: %v vs %v", i, s1.Thickness[i], s2.Thickness[i])
+		for i := 0; i < 5; i++ {
+			if err := parallel.Step(s2, dt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := range s1.Thickness {
+			if s1.Thickness[i] != s2.Thickness[i] {
+				t.Fatalf("workers=%d: thickness differs at cell %d: %v vs %v", workers, i, s1.Thickness[i], s2.Thickness[i])
+			}
+		}
+		for i := range s1.NormalVelocity {
+			if s1.NormalVelocity[i] != s2.NormalVelocity[i] {
+				t.Fatalf("workers=%d: velocity differs at edge %d", workers, i)
+			}
+		}
+		// Okubo-Weiss too.
+		w2 := parallel.OkuboWeiss(s2)
+		for i := range w1 {
+			if w1[i] != w2[i] {
+				t.Fatalf("workers=%d: OW differs at cell %d", workers, i)
+			}
 		}
 	}
-	for i := range s1.NormalVelocity {
-		if s1.NormalVelocity[i] != s2.NormalVelocity[i] {
-			t.Fatalf("velocity differs at edge %d", i)
-		}
+}
+
+func TestParallelForNested(t *testing.T) {
+	// A loop body that itself calls parallelFor must not deadlock the
+	// shared worker pool: waiters help drain the queue instead of parking.
+	md := testModel(t, 1, Config{Workers: 4})
+	const outer, inner = 4096, 4096
+	rows := make([][]int, outer)
+	for i := range rows {
+		rows[i] = make([]int, inner)
 	}
-	// Okubo-Weiss too.
-	w1 := serial.OkuboWeiss(s1)
-	w2 := parallel.OkuboWeiss(s2)
-	for i := range w1 {
-		if w1[i] != w2[i] {
-			t.Fatalf("OW differs at cell %d", i)
+	md.parallelFor(outer, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := rows[i]
+			md.parallelFor(inner, func(jlo, jhi int) {
+				for j := jlo; j < jhi; j++ {
+					row[j]++
+				}
+			})
+		}
+	})
+	for i := range rows {
+		for j, h := range rows[i] {
+			if h != 1 {
+				t.Fatalf("cell (%d,%d) visited %d times", i, j, h)
+			}
 		}
 	}
 }

@@ -1,0 +1,215 @@
+package ocean
+
+import "insituviz/internal/mesh"
+
+// uvComp is a reconstructed cell velocity expressed in the cell's own local
+// (east, north) tangent basis.
+type uvComp struct{ u, v float64 }
+
+// stepScratch holds the preallocated stage states, diagnostics buffer, and
+// bound loop bodies that make the steady-state Step / diagnostics /
+// Okubo-Weiss path allocation-free. Buffers are allocated lazily the first
+// time the corresponding method runs and reused for the life of the model.
+//
+// The loop closures are created once (initLoopBindings) and read their
+// operands from the fields below, which the dispatching method sets
+// immediately before each parallelFor call. Capturing loop-local variables
+// instead would heap-allocate a fresh closure per fan-out — roughly a dozen
+// times per RK4 step — because closures handed to the worker pool escape.
+// The cost of this shape is that a Model must not be used from multiple
+// goroutines at once, which Step's in-place mutation already ruled out.
+type stepScratch struct {
+	stages [4]*State // RK4 slope states k1..k4
+	tmp    *State    // intermediate state the slopes are evaluated at
+	diag   *Diagnostics
+	owComp []uvComp
+	ow     []float64 // OkuboWeiss's owned output buffer
+
+	// Loop operands for the bound closures.
+	loopS   *State
+	loopOut *State
+	loopD   *Diagnostics
+	loopOW  []float64
+
+	diagCells  func(lo, hi int)
+	diagVerts  func(lo, hi int)
+	continuity func(lo, hi int)
+	momentum   func(lo, hi int)
+	owProject  func(lo, hi int)
+	owGradient func(lo, hi int)
+}
+
+// ensureStages allocates the RK4 stage and intermediate states on first use.
+func (md *Model) ensureStages() {
+	if md.sc.tmp != nil {
+		return
+	}
+	m := md.Mesh
+	for i := range md.sc.stages {
+		md.sc.stages[i] = NewState(m.NCells(), m.NEdges())
+	}
+	md.sc.tmp = NewState(m.NCells(), m.NEdges())
+}
+
+// ensureDiag returns the model's reusable diagnostics buffer, allocating it
+// on first use.
+func (md *Model) ensureDiag() *Diagnostics {
+	if md.sc.diag == nil {
+		md.sc.diag = md.NewDiagnostics()
+	}
+	return md.sc.diag
+}
+
+// ensureOkubo allocates the Okubo-Weiss projection scratch and the
+// precomputed per-cell tangent bases on first use.
+func (md *Model) ensureOkubo() {
+	if md.sc.owComp != nil {
+		return
+	}
+	m := md.Mesh
+	md.sc.owComp = make([]uvComp, m.NCells())
+	md.cellEast = make([]mesh.Vec3, m.NCells())
+	md.cellNorth = make([]mesh.Vec3, m.NCells())
+	for ci := range m.Cells {
+		md.cellEast[ci], md.cellNorth[ci] = mesh.TangentBasis(m.Cells[ci].Center)
+	}
+}
+
+// initLoopBindings creates the bound loop bodies. Called once from
+// NewModel, after the reconstruction and gradient operators are built.
+func (md *Model) initLoopBindings() {
+	// Diagnostics: divergence, kinetic energy, and reconstructed velocity
+	// at cells.
+	md.sc.diagCells = func(lo, hi int) {
+		m, s, d := md.Mesh, md.sc.loopS, md.sc.loopD
+		for ci := lo; ci < hi; ci++ {
+			c := &m.Cells[ci]
+			var div, ke float64
+			var vel mesh.Vec3
+			for k, ei := range c.Edges {
+				e := &m.Edges[ei]
+				u := s.NormalVelocity[ei]
+				div += float64(c.EdgeSigns[k]) * u * e.Dv
+				ke += e.Dc * e.Dv * 0.25 * u * u
+				vel = vel.Add(md.recon[ci][k].Scale(u))
+			}
+			d.Divergence[ci] = div / c.Area
+			d.KineticEnergy[ci] = ke / c.Area
+			d.CellVelocity[ci] = vel
+		}
+	}
+
+	// Diagnostics: relative vorticity at dual vertices.
+	md.sc.diagVerts = func(lo, hi int) {
+		m, s, d := md.Mesh, md.sc.loopS, md.sc.loopD
+		for vi := lo; vi < hi; vi++ {
+			v := &m.Vertices[vi]
+			var circ float64
+			for k, ei := range v.Edges {
+				circ += float64(v.EdgeSigns[k]) * s.NormalVelocity[ei] * m.Edges[ei].Dc
+			}
+			d.Vorticity[vi] = circ / v.Area
+		}
+	}
+
+	// Continuity equation: dh/dt = -div(h u).
+	md.sc.continuity = func(lo, hi int) {
+		m, s, out := md.Mesh, md.sc.loopS, md.sc.loopOut
+		for ci := lo; ci < hi; ci++ {
+			c := &m.Cells[ci]
+			var flux float64
+			for k, ei := range c.Edges {
+				e := &m.Edges[ei]
+				he := 0.5 * (s.Thickness[e.Cells[0]] + s.Thickness[e.Cells[1]])
+				flux += float64(c.EdgeSigns[k]) * s.NormalVelocity[ei] * he * e.Dv
+			}
+			out.Thickness[ci] = -flux / c.Area
+		}
+	}
+
+	// Momentum equation: du/dt = q u_perp - grad_n(K + g h) + nu del2(u).
+	md.sc.momentum = func(lo, hi int) {
+		m, s, out, d := md.Mesh, md.sc.loopS, md.sc.loopOut, md.sc.loopD
+		for ei := lo; ei < hi; ei++ {
+			e := &m.Edges[ei]
+			c0, c1 := e.Cells[0], e.Cells[1]
+			v0, v1 := e.Vertices[0], e.Vertices[1]
+
+			// Absolute vorticity at the edge.
+			zeta := 0.5 * (d.Vorticity[v0] + d.Vorticity[v1])
+			q := md.coriolisEdge[ei] + zeta
+
+			// Tangential velocity from the averaged cell reconstructions.
+			vbar := d.CellVelocity[c0].Add(d.CellVelocity[c1]).Scale(0.5)
+			uperp := vbar.Dot(e.Tangent)
+
+			// Bernoulli gradient along the normal; with topography the
+			// pressure term uses the free-surface height h+b.
+			eta0, eta1 := s.Thickness[c0], s.Thickness[c1]
+			if md.topography != nil {
+				eta0 += md.topography[c0]
+				eta1 += md.topography[c1]
+			}
+			bern0 := d.KineticEnergy[c0] + Gravity*eta0
+			bern1 := d.KineticEnergy[c1] + Gravity*eta1
+			grad := (bern1 - bern0) / e.Dc
+
+			tend := q*uperp - grad
+			if md.windAccel != nil {
+				tend += md.windAccel[ei]
+			}
+			if md.bottomDrag > 0 {
+				tend -= md.bottomDrag * s.NormalVelocity[ei]
+			}
+
+			if md.Viscosity > 0 {
+				// del2(u) = grad_n(div) - grad_t(zeta).
+				lap := (d.Divergence[c1]-d.Divergence[c0])/e.Dc -
+					md.vertexTangentSign[ei]*(d.Vorticity[v1]-d.Vorticity[v0])/e.Dv
+				tend += md.Viscosity * lap
+			}
+			out.NormalVelocity[ei] = tend
+		}
+	}
+
+	// Okubo-Weiss phase 1: each cell's reconstructed velocity in its own
+	// local basis.
+	md.sc.owProject = func(lo, hi int) {
+		d := md.sc.loopD
+		for ci := lo; ci < hi; ci++ {
+			vel := d.CellVelocity[ci]
+			md.sc.owComp[ci] = uvComp{u: vel.Dot(md.cellEast[ci]), v: vel.Dot(md.cellNorth[ci])}
+		}
+	}
+
+	// Okubo-Weiss phase 2: least-squares velocity gradients and
+	// W = s_n^2 + s_s^2 - omega^2.
+	md.sc.owGradient = func(lo, hi int) {
+		m, d, w := md.Mesh, md.sc.loopD, md.sc.loopOW
+		comp := md.sc.owComp
+		for ci := lo; ci < hi; ci++ {
+			c := &m.Cells[ci]
+			east, north := md.cellEast[ci], md.cellNorth[ci]
+			// Express the center and neighbor velocities in the center
+			// cell's basis; for neighbors the 3D tangent vector is
+			// projected, which is accurate to O(spacing/R).
+			u0 := comp[ci].u
+			v0 := comp[ci].v
+			var ux, uy, vx, vy float64
+			for k, nb := range c.Neighbors {
+				vel := d.CellVelocity[nb]
+				du := vel.Dot(east) - u0
+				dv := vel.Dot(north) - v0
+				gw := md.gradWeights[ci][k]
+				ux += gw[0] * du
+				uy += gw[1] * du
+				vx += gw[0] * dv
+				vy += gw[1] * dv
+			}
+			sn := ux - vy
+			ss := vx + uy
+			om := vx - uy
+			w[ci] = sn*sn + ss*ss - om*om
+		}
+	}
+}

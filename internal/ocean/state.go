@@ -42,6 +42,18 @@ func (s *State) Clone() *State {
 	return out
 }
 
+// CopyFrom overwrites s with the contents of src without allocating. It
+// returns an error on mismatched sizes.
+func (s *State) CopyFrom(src *State) error {
+	if len(s.Thickness) != len(src.Thickness) || len(s.NormalVelocity) != len(src.NormalVelocity) {
+		return fmt.Errorf("ocean: state size mismatch (%d/%d cells, %d/%d edges)",
+			len(s.Thickness), len(src.Thickness), len(s.NormalVelocity), len(src.NormalVelocity))
+	}
+	copy(s.Thickness, src.Thickness)
+	copy(s.NormalVelocity, src.NormalVelocity)
+	return nil
+}
+
 // AddScaled adds w*delta to s in place: s += w*delta. It returns an error on
 // mismatched sizes.
 func (s *State) AddScaled(delta *State, w float64) error {

@@ -1,0 +1,44 @@
+package perf
+
+import (
+	"fmt"
+
+	"insituviz/internal/report"
+)
+
+// FormatDiff renders the old→new comparison as a report table, one row per
+// benchmark: ns/op, B/op, and allocs/op with signed percentage deltas
+// (negative = faster / leaner).
+func FormatDiff(rows []DiffRow, title string) string {
+	tb := report.NewTable(title, "benchmark", "ns/op", "Δns", "B/op", "ΔB", "allocs/op", "Δallocs")
+	for _, r := range rows {
+		if !r.InCurrent {
+			tb.AddRow(r.Name, "(removed)", "", "", "", "", "")
+			continue
+		}
+		tb.AddRow(r.Name,
+			fmt.Sprintf("%.0f", r.NewNs), pctDelta(r.OldNs, r.NewNs),
+			fmt.Sprintf("%d", r.NewBytes), pctDelta(float64(r.OldBytes), float64(r.NewBytes)),
+			fmt.Sprintf("%d", r.NewAllocs), pctDelta(float64(r.OldAllocs), float64(r.NewAllocs)),
+		)
+	}
+	return tb.String()
+}
+
+// Regressions returns the rows whose ns/op or allocs/op grew by more than
+// tolFrac (e.g. 0.10 for 10%) relative to the previous snapshot. Rows
+// without a previous measurement never regress.
+func Regressions(rows []DiffRow, tolFrac float64) []DiffRow {
+	var out []DiffRow
+	for _, r := range rows {
+		if !r.InPrevious || !r.InCurrent {
+			continue
+		}
+		nsGrew := r.OldNs > 0 && (r.NewNs-r.OldNs)/r.OldNs > tolFrac
+		allocsGrew := float64(r.NewAllocs-r.OldAllocs) > tolFrac*float64(r.OldAllocs)+0.5
+		if nsGrew || allocsGrew {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+// Package perf is the benchmark-regression harness for the live coupled
+// stack: it parses `go test -bench -benchmem` output into structured
+// results, records numbered BENCH_<n>.json snapshots at the repository
+// root, and diffs each new snapshot against its predecessor so allocation
+// or latency regressions in the hot loops show up as a reviewable trail of
+// committed trajectory points rather than anecdotes.
+package perf
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement, the unit `go test -bench` reports.
+type Result struct {
+	Name        string  `json:"name"` // benchmark name with the -GOMAXPROCS suffix stripped
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Snapshot is one recorded point of the performance trajectory.
+type Snapshot struct {
+	Sequence  int      `json:"sequence"` // the n in BENCH_<n>.json
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Results   []Result `json:"results"`
+}
+
+// NewSnapshot stamps results with the current toolchain and platform. The
+// sequence number is assigned by WriteNext.
+func NewSnapshot(results []Result) *Snapshot {
+	sorted := append([]Result(nil), results...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	return &Snapshot{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Results:   sorted,
+	}
+}
+
+// benchLine matches `go test -bench -benchmem` result lines, e.g.
+//
+//	BenchmarkLiveCoupledRun-8  31  37159117 ns/op  12227215 B/op  26830 allocs/op
+//
+// The B/op and allocs/op columns are absent without -benchmem.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// cpuSuffix is the trailing -GOMAXPROCS marker on benchmark names.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// ParseBenchOutput extracts benchmark results from `go test -bench` output.
+// Non-benchmark lines (test chatter, PASS/ok trailers) are ignored. Sub-
+// benchmark names keep their slash-separated path.
+func ParseBenchOutput(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.Atoi(m[2])
+		if err != nil {
+			return nil, fmt.Errorf("perf: iterations in %q: %w", sc.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("perf: ns/op in %q: %w", sc.Text(), err)
+		}
+		res := Result{
+			Name:       cpuSuffix.ReplaceAllString(m[1], ""),
+			Iterations: iters,
+			NsPerOp:    ns,
+		}
+		if m[4] != "" {
+			if res.BytesPerOp, err = strconv.ParseInt(m[4], 10, 64); err != nil {
+				return nil, fmt.Errorf("perf: B/op in %q: %w", sc.Text(), err)
+			}
+		}
+		if m[5] != "" {
+			if res.AllocsPerOp, err = strconv.ParseInt(m[5], 10, 64); err != nil {
+				return nil, fmt.Errorf("perf: allocs/op in %q: %w", sc.Text(), err)
+			}
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("perf: scan bench output: %w", err)
+	}
+	return out, nil
+}
+
+// snapshotSeq extracts n from a BENCH_<n>.json filename, or -1.
+func snapshotSeq(name string) int {
+	var n int
+	if _, err := fmt.Sscanf(name, "BENCH_%d.json", &n); err != nil || n < 1 {
+		return -1
+	}
+	if name != fmt.Sprintf("BENCH_%d.json", n) {
+		return -1
+	}
+	return n
+}
+
+// LatestSnapshot loads the highest-numbered BENCH_<n>.json in dir. It
+// returns (nil, nil) when no snapshot exists yet.
+func LatestSnapshot(dir string) (*Snapshot, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("perf: read snapshot dir: %w", err)
+	}
+	best := -1
+	var bestName string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if n := snapshotSeq(e.Name()); n > best {
+			best, bestName = n, e.Name()
+		}
+	}
+	if best < 0 {
+		return nil, nil
+	}
+	data, err := os.ReadFile(filepath.Join(dir, bestName))
+	if err != nil {
+		return nil, fmt.Errorf("perf: read %s: %w", bestName, err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("perf: parse %s: %w", bestName, err)
+	}
+	snap.Sequence = best
+	return &snap, nil
+}
+
+// WriteNext writes snap as the next point in dir's trajectory —
+// BENCH_<latest+1>.json, starting at BENCH_1.json — and returns the path.
+func WriteNext(dir string, snap *Snapshot) (string, error) {
+	if snap == nil || len(snap.Results) == 0 {
+		return "", fmt.Errorf("perf: empty snapshot")
+	}
+	prev, err := LatestSnapshot(dir)
+	if err != nil {
+		return "", err
+	}
+	snap.Sequence = 1
+	if prev != nil {
+		snap.Sequence = prev.Sequence + 1
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("perf: marshal snapshot: %w", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", snap.Sequence))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("perf: write snapshot: %w", err)
+	}
+	return path, nil
+}
+
+// DiffRow compares one benchmark across two snapshots. A zero Old* side
+// means the benchmark is new in the current snapshot.
+type DiffRow struct {
+	Name                  string
+	OldNs, NewNs          float64
+	OldBytes, NewBytes    int64
+	OldAllocs, NewAllocs  int64
+	InPrevious, InCurrent bool
+}
+
+// Diff pairs up benchmarks by name across two snapshots, sorted by name.
+// prev may be nil (first snapshot): every row is then marked new.
+func Diff(prev, cur *Snapshot) []DiffRow {
+	byName := map[string]*DiffRow{}
+	if prev != nil {
+		for _, r := range prev.Results {
+			byName[r.Name] = &DiffRow{
+				Name: r.Name, OldNs: r.NsPerOp, OldBytes: r.BytesPerOp,
+				OldAllocs: r.AllocsPerOp, InPrevious: true,
+			}
+		}
+	}
+	for _, r := range cur.Results {
+		row := byName[r.Name]
+		if row == nil {
+			row = &DiffRow{Name: r.Name}
+			byName[r.Name] = row
+		}
+		row.NewNs, row.NewBytes, row.NewAllocs = r.NsPerOp, r.BytesPerOp, r.AllocsPerOp
+		row.InCurrent = true
+	}
+	rows := make([]DiffRow, 0, len(byName))
+	for _, row := range byName {
+		rows = append(rows, *row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}
+
+// pctDelta renders the old→new change as a signed percentage, where
+// negative is an improvement for every metric the harness tracks.
+func pctDelta(old, new float64) string {
+	if old == 0 {
+		return "new"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
+}

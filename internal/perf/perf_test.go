@@ -1,0 +1,147 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `
+goos: linux
+goarch: amd64
+pkg: insituviz
+BenchmarkLiveCoupledRun-8   	      31	  37159117 ns/op	12227215 B/op	   26830 allocs/op
+BenchmarkStepParallel10242Cells/serial-8         	      72	  15912345 ns/op	 4744528 B/op	      57 allocs/op
+BenchmarkStepParallel10242Cells/workers4-8       	      70	  16234567 ns/op	 4748368 B/op	     201 allocs/op
+BenchmarkNoMem-8	 1000000	      1234 ns/op
+PASS
+ok  	insituviz	4.521s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	results, err := ParseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkLiveCoupledRun" {
+		t.Errorf("cpu suffix not stripped: %q", r.Name)
+	}
+	if r.Iterations != 31 || r.NsPerOp != 37159117 || r.BytesPerOp != 12227215 || r.AllocsPerOp != 26830 {
+		t.Errorf("result fields wrong: %+v", r)
+	}
+	if results[1].Name != "BenchmarkStepParallel10242Cells/serial" {
+		t.Errorf("sub-benchmark path lost: %q", results[1].Name)
+	}
+	if nm := results[3]; nm.Name != "BenchmarkNoMem" || nm.NsPerOp != 1234 || nm.BytesPerOp != 0 || nm.AllocsPerOp != 0 {
+		t.Errorf("no-benchmem line parsed wrong: %+v", nm)
+	}
+}
+
+func TestParseBenchOutputIgnoresChatter(t *testing.T) {
+	results, err := ParseBenchOutput(strings.NewReader("PASS\nok \tx\t1s\nnot a benchmark\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("parsed %d results from chatter", len(results))
+	}
+}
+
+func TestSnapshotSequenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	if snap, err := LatestSnapshot(dir); err != nil || snap != nil {
+		t.Fatalf("empty dir: snap=%v err=%v", snap, err)
+	}
+
+	results, err := ParseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := NewSnapshot(results)
+	path, err := WriteNext(dir, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_1.json" {
+		t.Errorf("first snapshot at %s, want BENCH_1.json", path)
+	}
+
+	// A stray file must not confuse sequence numbering.
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	second := NewSnapshot(results[:1])
+	if path, err = WriteNext(dir, second); err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_2.json" {
+		t.Errorf("second snapshot at %s, want BENCH_2.json", path)
+	}
+
+	latest, err := LatestSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.Sequence != 2 || len(latest.Results) != 1 {
+		t.Errorf("latest = seq %d with %d results, want seq 2 with 1", latest.Sequence, len(latest.Results))
+	}
+	if latest.GoVersion == "" || latest.GOOS == "" {
+		t.Errorf("platform stamp missing: %+v", latest)
+	}
+}
+
+func TestDiffAndRegressions(t *testing.T) {
+	prev := &Snapshot{Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 4096, AllocsPerOp: 100},
+		{Name: "BenchmarkGone", NsPerOp: 50},
+	}}
+	cur := &Snapshot{Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1200, BytesPerOp: 1024, AllocsPerOp: 0},
+		{Name: "BenchmarkNew", NsPerOp: 10},
+	}}
+	rows := Diff(prev, cur)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	byName := map[string]DiffRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	a := byName["BenchmarkA"]
+	if !a.InPrevious || !a.InCurrent || a.OldNs != 1000 || a.NewNs != 1200 || a.NewAllocs != 0 {
+		t.Errorf("BenchmarkA row wrong: %+v", a)
+	}
+	if g := byName["BenchmarkGone"]; g.InCurrent {
+		t.Errorf("removed benchmark marked current: %+v", g)
+	}
+	if n := byName["BenchmarkNew"]; n.InPrevious {
+		t.Errorf("new benchmark marked previous: %+v", n)
+	}
+
+	// BenchmarkA got 20% slower: a regression at 10% tolerance, not at 30%.
+	if reg := Regressions(rows, 0.10); len(reg) != 1 || reg[0].Name != "BenchmarkA" {
+		t.Errorf("Regressions(10%%) = %+v, want BenchmarkA only", reg)
+	}
+	if reg := Regressions(rows, 0.30); len(reg) != 0 {
+		t.Errorf("Regressions(30%%) = %+v, want none", reg)
+	}
+
+	// First snapshot: everything is new, nothing regresses.
+	if reg := Regressions(Diff(nil, cur), 0); len(reg) != 0 {
+		t.Errorf("nil-prev regressions: %+v", reg)
+	}
+
+	out := FormatDiff(rows, "bench diff")
+	for _, want := range []string{"BenchmarkA", "+20.0%", "(removed)", "new", "-100.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted diff missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package render
+
+import (
+	"image"
+	"math"
+	"testing"
+
+	"insituviz/internal/mesh"
+)
+
+func testField(m *mesh.Mesh) []float64 {
+	field := make([]float64, m.NCells())
+	for i := range field {
+		field[i] = math.Sin(3*m.Cells[i].Lat) * math.Cos(float64(i%7))
+	}
+	return field
+}
+
+func TestRenderIntoMatchesRender(t *testing.T) {
+	m := testMesh(t)
+	r, err := NewRasterizer(m, 96, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := testField(m)
+	cm := OkuboWeissMap()
+	n := SymmetricRange(field)
+
+	want, err := r.Render(field, cm, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.NewFrame()
+	if err := r.RenderInto(got, field, cm, n); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Pix {
+		if got.Pix[i] != want.Pix[i] {
+			t.Fatalf("pixel byte %d differs: %d vs %d", i, got.Pix[i], want.Pix[i])
+		}
+	}
+}
+
+func TestRenderOwnedIntoClearsStalePixels(t *testing.T) {
+	// A frame reused across timesteps must not leak pixels from a previous
+	// render: switching to a complementary ownership mask has to transparently
+	// clear everything the new mask does not own.
+	m := testMesh(t)
+	r, err := NewRasterizer(m, 96, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := testField(m)
+	cm := OkuboWeissMap()
+	n := SymmetricRange(field)
+
+	masks, err := PartitionCells(m.NCells(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := r.NewFrame()
+	if err := r.RenderOwnedInto(frame, field, cm, n, masks[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RenderOwnedInto(frame, field, cm, n, masks[1]); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := r.RenderOwned(field, cm, n, masks[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fresh.Pix {
+		if frame.Pix[i] != fresh.Pix[i] {
+			t.Fatalf("reused frame differs from fresh render at pixel byte %d: %d vs %d", i, frame.Pix[i], fresh.Pix[i])
+		}
+	}
+}
+
+func TestRenderIntoRejectsWrongFrame(t *testing.T) {
+	m := testMesh(t)
+	r, err := NewRasterizer(m, 96, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := testField(m)
+	cm := OkuboWeissMap()
+	n := SymmetricRange(field)
+	if err := r.RenderInto(image.NewRGBA(image.Rect(0, 0, 10, 10)), field, cm, n); err == nil {
+		t.Error("wrong-size frame accepted")
+	}
+	if err := r.RenderInto(image.NewRGBA(image.Rect(1, 1, 97, 49)), field, cm, n); err == nil {
+		t.Error("offset frame accepted")
+	}
+}
+
+func TestCompositeIntoMatchesComposite(t *testing.T) {
+	m := testMesh(t)
+	r, err := NewRasterizer(m, 96, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := testField(m)
+	cm := OkuboWeissMap()
+	n := SymmetricRange(field)
+	masks, err := PartitionCells(m.NCells(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partials := make([]*image.RGBA, len(masks))
+	for i, mask := range masks {
+		if partials[i], err = r.RenderOwned(field, cm, n, mask); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := Composite(partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := r.NewFrame()
+	// Pre-poison the destination: CompositeInto must overwrite every pixel.
+	for i := range dst.Pix {
+		dst.Pix[i] = 0xAB
+	}
+	if err := CompositeInto(dst, partials); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Pix {
+		if dst.Pix[i] != want.Pix[i] {
+			t.Fatalf("composite differs at pixel byte %d", i)
+		}
+	}
+}
+
+func TestRenderedFrameSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by race-detector instrumentation")
+	}
+	// One full reused-frame visualization step — masked partial renders,
+	// sort-last composite — allocates nothing once buffers exist. A budget
+	// of 2 tolerates the GC clearing the worker pool's counter sync.Pool.
+	m := testMesh(t)
+	r, err := NewRasterizer(m, 96, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := testField(m)
+	cm := OkuboWeissMap()
+	n := SymmetricRange(field)
+	masks, err := PartitionCells(m.NCells(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partials := make([]*image.RGBA, len(masks))
+	for i := range partials {
+		partials[i] = r.NewFrame()
+	}
+	composited := r.NewFrame()
+	render := func() {
+		for i, mask := range masks {
+			if err := r.RenderOwnedInto(partials[i], field, cm, n, mask); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := CompositeInto(composited, partials); err != nil {
+			t.Fatal(err)
+		}
+	}
+	render() // warm up colormap LUT and pool state
+	allocs := testing.AllocsPerRun(10, render)
+	if allocs > 2 {
+		t.Errorf("rendered frame allocates %.1f objects per run, want <= 2", allocs)
+	}
+}
+
+func TestPNGEncoderSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by race-detector instrumentation")
+	}
+	// The retained PNGEncoder reuses its output buffer and the stdlib
+	// encoder's filter/zlib state. The stdlib still makes a handful of small
+	// fixed allocations per Encode (bufio reader setup inside zlib), so the
+	// guard is a small constant budget rather than zero.
+	m := testMesh(t)
+	r, err := NewRasterizer(m, 96, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := testField(m)
+	img, err := r.Render(field, OkuboWeissMap(), SymmetricRange(field))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc PNGEncoder
+	if _, err := enc.Encode(img); err != nil { // warm up retained buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := enc.Encode(img); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 16 {
+		t.Errorf("PNG encode allocates %.1f objects per run, want <= 16", allocs)
+	}
+}

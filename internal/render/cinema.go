@@ -15,13 +15,46 @@ import (
 
 // EncodePNG encodes img as PNG and returns the bytes. PNG is what Cinema
 // image databases store; its size is what the in-situ pipeline commits to
-// disk in place of raw data.
+// disk in place of raw data. The returned slice is freshly allocated;
+// per-frame encoding loops should hold a PNGEncoder instead.
 func EncodePNG(img image.Image) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := png.Encode(&buf, img); err != nil {
+	var enc PNGEncoder
+	data, err := enc.Encode(img)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// PNGEncoder encodes images to PNG reusing its output buffer and the
+// stdlib encoder's internal state (filter rows, zlib writer) across frames,
+// removing the dominant per-image allocations of a Cinema write loop. The
+// zero value is ready to use. Not safe for concurrent use.
+type PNGEncoder struct {
+	enc  png.Encoder
+	buf  bytes.Buffer
+	ebuf *png.EncoderBuffer
+}
+
+// Get returns the retained encoder state (png.EncoderBufferPool).
+func (e *PNGEncoder) Get() *png.EncoderBuffer { return e.ebuf }
+
+// Put retains the encoder state for the next frame (png.EncoderBufferPool).
+func (e *PNGEncoder) Put(b *png.EncoderBuffer) { e.ebuf = b }
+
+// Encode encodes img and returns the PNG bytes. The returned slice aliases
+// the encoder's internal buffer and is valid only until the next Encode
+// call; callers that retain it must copy.
+func (e *PNGEncoder) Encode(img image.Image) ([]byte, error) {
+	if img == nil {
+		return nil, fmt.Errorf("render: nil image")
+	}
+	e.enc.BufferPool = e
+	e.buf.Reset()
+	if err := e.enc.Encode(&e.buf, img); err != nil {
 		return nil, fmt.Errorf("render: png encode: %w", err)
 	}
-	return buf.Bytes(), nil
+	return e.buf.Bytes(), nil
 }
 
 // CinemaEntry is one image record in a Cinema-style database index.
@@ -41,6 +74,7 @@ type CinemaDB struct {
 	dir     string
 	entries []CinemaEntry
 	total   units.Bytes
+	enc     PNGEncoder // reused across AddImage calls
 }
 
 // NewCinemaDB creates (or reuses) the database directory.
@@ -66,7 +100,9 @@ func (db *CinemaDB) AddImage(img image.Image, simTime float64, field string) (un
 	if field == "" {
 		return 0, fmt.Errorf("render: empty field name")
 	}
-	data, err := EncodePNG(img)
+	// The encoder's buffer is reused frame to frame; the bytes are written
+	// to disk before the next Encode, so no copy is needed.
+	data, err := db.enc.Encode(img)
 	if err != nil {
 		return 0, err
 	}

@@ -45,28 +45,50 @@ func Composite(partials []*image.RGBA) (*image.RGBA, error) {
 	if len(partials) == 0 {
 		return nil, fmt.Errorf("render: nothing to composite")
 	}
+	out := image.NewRGBA(partials[0].Bounds())
+	if err := CompositeInto(out, partials); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CompositeInto composites the partials into dst, which must match their
+// bounds. Every pixel of dst is overwritten (cleared, then merged), so one
+// destination frame can be reused across timesteps without allocating.
+func CompositeInto(dst *image.RGBA, partials []*image.RGBA) error {
+	if len(partials) == 0 {
+		return fmt.Errorf("render: nothing to composite")
+	}
+	if dst == nil {
+		return fmt.Errorf("render: nil composite destination")
+	}
 	bounds := partials[0].Bounds()
+	if dst.Bounds() != bounds {
+		return fmt.Errorf("render: destination bounds %v != %v", dst.Bounds(), bounds)
+	}
 	for i, p := range partials {
 		if p == nil {
-			return nil, fmt.Errorf("render: partial %d is nil", i)
+			return fmt.Errorf("render: partial %d is nil", i)
 		}
 		if p.Bounds() != bounds {
-			return nil, fmt.Errorf("render: partial %d bounds %v != %v", i, p.Bounds(), bounds)
+			return fmt.Errorf("render: partial %d bounds %v != %v", i, p.Bounds(), bounds)
 		}
 	}
-	out := image.NewRGBA(bounds)
-	n := len(out.Pix)
+	for i := range dst.Pix {
+		dst.Pix[i] = 0
+	}
+	n := len(dst.Pix)
 	for _, p := range partials {
 		for o := 0; o < n; o += 4 {
-			if out.Pix[o+3] == 0 && p.Pix[o+3] != 0 {
-				out.Pix[o] = p.Pix[o]
-				out.Pix[o+1] = p.Pix[o+1]
-				out.Pix[o+2] = p.Pix[o+2]
-				out.Pix[o+3] = p.Pix[o+3]
+			if dst.Pix[o+3] == 0 && p.Pix[o+3] != 0 {
+				dst.Pix[o] = p.Pix[o]
+				dst.Pix[o+1] = p.Pix[o+1]
+				dst.Pix[o+2] = p.Pix[o+2]
+				dst.Pix[o+3] = p.Pix[o+3]
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // FullyOpaque reports whether every pixel of img has full alpha — the

@@ -6,9 +6,9 @@ import (
 	"image/color"
 	"math"
 	"runtime"
-	"sync"
 
 	"insituviz/internal/mesh"
+	"insituviz/internal/workpool"
 )
 
 // Camera is a viewpoint for orthographic globe rendering, given as the
@@ -36,7 +36,8 @@ func DefaultCameraSet() []Camera {
 // OrthoRasterizer draws the visible hemisphere of a spherical mesh as an
 // orthographic globe, the way an interactive viewer presents Cinema
 // imagery. The pixel-to-cell mapping is precomputed per (mesh, size,
-// camera).
+// camera). Like Rasterizer, it owns reusable scratch and must be used from
+// one goroutine at a time.
 type OrthoRasterizer struct {
 	Mesh   *mesh.Mesh
 	Width  int
@@ -44,6 +45,10 @@ type OrthoRasterizer struct {
 	View   Camera
 
 	pixelCell []int // cell per pixel; -1 = background (off-globe)
+
+	colors  []color.RGBA // per-cell color LUT, reused across frames
+	envImg  *image.RGBA
+	rowLoop func(y0, y1 int)
 }
 
 // Background is the color drawn outside the globe's disk.
@@ -68,41 +73,43 @@ func NewOrthoRasterizer(m *mesh.Mesh, width, height int, view Camera) (*OrthoRas
 	east, north := mesh.TangentBasis(dir)
 	half := float64(minInt(width, height)) / 2
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > height {
-		workers = height
-	}
-	var wg sync.WaitGroup
-	rowsPer := (height + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		y0 := w * rowsPer
-		y1 := minInt(y0+rowsPer, height)
-		if y0 >= y1 {
-			break
-		}
-		wg.Add(1)
-		go func(y0, y1 int) {
-			defer wg.Done()
-			last := 0
-			for y := y0; y < y1; y++ {
-				py := (float64(height)/2 - (float64(y) + 0.5)) / half
-				for x := 0; x < width; x++ {
-					px := ((float64(x) + 0.5) - float64(width)/2) / half
-					rr := px*px + py*py
-					idx := y*width + x
-					if rr > 1 {
-						r.pixelCell[idx] = -1
-						continue
-					}
-					z := math.Sqrt(1 - rr)
-					p := east.Scale(px).Add(north.Scale(py)).Add(dir.Scale(z))
-					last = m.NearestCell(p, last)
-					r.pixelCell[idx] = last
+	workpool.Run(height, runtime.GOMAXPROCS(0), func(y0, y1 int) {
+		last := 0
+		for y := y0; y < y1; y++ {
+			py := (float64(height)/2 - (float64(y) + 0.5)) / half
+			for x := 0; x < width; x++ {
+				px := ((float64(x) + 0.5) - float64(width)/2) / half
+				rr := px*px + py*py
+				idx := y*width + x
+				if rr > 1 {
+					r.pixelCell[idx] = -1
+					continue
 				}
+				z := math.Sqrt(1 - rr)
+				p := east.Scale(px).Add(north.Scale(py)).Add(dir.Scale(z))
+				last = m.NearestCell(p, last)
+				r.pixelCell[idx] = last
 			}
-		}(y0, y1)
+		}
+	})
+
+	r.rowLoop = func(y0, y1 int) {
+		img := r.envImg
+		for y := y0; y < y1; y++ {
+			row := img.Pix[y*img.Stride : y*img.Stride+4*r.Width]
+			for x := 0; x < r.Width; x++ {
+				c := Background
+				if ci := r.pixelCell[y*r.Width+x]; ci >= 0 {
+					c = r.colors[ci]
+				}
+				o := 4 * x
+				row[o] = c.R
+				row[o+1] = c.G
+				row[o+2] = c.B
+				row[o+3] = c.A
+			}
+		}
 	}
-	wg.Wait()
 	return r, nil
 }
 
@@ -111,6 +118,12 @@ func minInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// NewFrame allocates an RGBA frame sized for the rasterizer, for reuse
+// with RenderInto.
+func (r *OrthoRasterizer) NewFrame() *image.RGBA {
+	return image.NewRGBA(image.Rect(0, 0, r.Width, r.Height))
 }
 
 // CellForPixel returns the mesh cell at pixel (x, y), or -1 for
@@ -122,34 +135,36 @@ func (r *OrthoRasterizer) CellForPixel(x, y int) (int, error) {
 	return r.pixelCell[y*r.Width+x], nil
 }
 
-// Render draws the field as an orthographic globe.
+// Render draws the field as an orthographic globe into a new image.
 func (r *OrthoRasterizer) Render(field []float64, cm *Colormap, n Normalizer) (*image.RGBA, error) {
-	if len(field) != r.Mesh.NCells() {
-		return nil, fmt.Errorf("render: field has %d cells, want %d", len(field), r.Mesh.NCells())
-	}
-	if cm == nil {
-		return nil, fmt.Errorf("render: nil colormap")
-	}
-	img := image.NewRGBA(image.Rect(0, 0, r.Width, r.Height))
-	colors := make([]color.RGBA, len(field))
-	for ci, v := range field {
-		colors[ci] = cm.At(n.Normalize(v))
-	}
-	for y := 0; y < r.Height; y++ {
-		row := img.Pix[y*img.Stride : y*img.Stride+4*r.Width]
-		for x := 0; x < r.Width; x++ {
-			c := Background
-			if ci := r.pixelCell[y*r.Width+x]; ci >= 0 {
-				c = colors[ci]
-			}
-			o := 4 * x
-			row[o] = c.R
-			row[o+1] = c.G
-			row[o+2] = c.B
-			row[o+3] = c.A
-		}
+	img := r.NewFrame()
+	if err := r.RenderInto(img, field, cm, n); err != nil {
+		return nil, err
 	}
 	return img, nil
+}
+
+// RenderInto draws the field into img, a frame from NewFrame (or any RGBA
+// image of the rasterizer's exact size), overwriting every pixel.
+func (r *OrthoRasterizer) RenderInto(img *image.RGBA, field []float64, cm *Colormap, n Normalizer) error {
+	if len(field) != r.Mesh.NCells() {
+		return fmt.Errorf("render: field has %d cells, want %d", len(field), r.Mesh.NCells())
+	}
+	if cm == nil {
+		return fmt.Errorf("render: nil colormap")
+	}
+	if img == nil || img.Bounds() != image.Rect(0, 0, r.Width, r.Height) {
+		return fmt.Errorf("render: frame must be %dx%d at the origin", r.Width, r.Height)
+	}
+	if len(r.colors) != len(field) {
+		r.colors = make([]color.RGBA, len(field))
+	}
+	for ci, v := range field {
+		r.colors[ci] = cm.At(n.Normalize(v))
+	}
+	r.envImg = img
+	workpool.Run(r.Height, runtime.GOMAXPROCS(0), r.rowLoop)
+	return nil
 }
 
 // ImageSet renders one field from every camera of a rig — the "set of
@@ -165,10 +180,11 @@ func ImageSet(m *mesh.Mesh, field []float64, cm *Colormap, n Normalizer,
 	return r.Render(field, cm, n)
 }
 
-// ImageSetRenderer holds per-camera rasterizers for repeated image-set
-// rendering.
+// ImageSetRenderer holds per-camera rasterizers (and reusable frames) for
+// repeated image-set rendering.
 type ImageSetRenderer struct {
 	rasters []*OrthoRasterizer
+	frames  []*image.RGBA
 }
 
 // NewImageSetRenderer precomputes rasterizers for every camera.
@@ -190,7 +206,7 @@ func NewImageSetRenderer(m *mesh.Mesh, width, height int, cameras []Camera) (*Im
 // Views returns the number of cameras.
 func (sr *ImageSetRenderer) Views() int { return len(sr.rasters) }
 
-// Render draws the field from every camera.
+// Render draws the field from every camera into freshly allocated images.
 func (sr *ImageSetRenderer) Render(field []float64, cm *Colormap, n Normalizer) ([]*image.RGBA, error) {
 	out := make([]*image.RGBA, len(sr.rasters))
 	for i, r := range sr.rasters {
@@ -201,4 +217,23 @@ func (sr *ImageSetRenderer) Render(field []float64, cm *Colormap, n Normalizer) 
 		out[i] = img
 	}
 	return out, nil
+}
+
+// RenderFrames draws the field from every camera into the renderer's
+// internal frames and returns them. The frames are reused: they are valid
+// only until the next RenderFrames call, which makes steady-state
+// multi-view rendering allocation-free.
+func (sr *ImageSetRenderer) RenderFrames(field []float64, cm *Colormap, n Normalizer) ([]*image.RGBA, error) {
+	if sr.frames == nil {
+		sr.frames = make([]*image.RGBA, len(sr.rasters))
+		for i, r := range sr.rasters {
+			sr.frames[i] = r.NewFrame()
+		}
+	}
+	for i, r := range sr.rasters {
+		if err := r.RenderInto(sr.frames[i], field, cm, n); err != nil {
+			return nil, err
+		}
+	}
+	return sr.frames, nil
 }

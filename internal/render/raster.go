@@ -6,21 +6,31 @@ import (
 	"image/color"
 	"math"
 	"runtime"
-	"sync"
 
 	"insituviz/internal/mesh"
+	"insituviz/internal/workpool"
 )
 
 // Rasterizer draws cell-centered fields of a spherical mesh onto an
 // equirectangular (longitude-latitude) image, the projection the paper's
 // Fig. 2 uses. The pixel-to-cell mapping is precomputed once per
 // (mesh, size) pair since it depends only on geometry.
+//
+// A Rasterizer owns scratch buffers (the per-cell color table and the bound
+// row loop of the Into variants), so it must be used from one goroutine at
+// a time; build one per goroutine for concurrent rendering. Row bands are
+// executed on the persistent worker pool.
 type Rasterizer struct {
 	Mesh   *mesh.Mesh
 	Width  int
 	Height int
 
 	pixelCell []int // cell index per pixel, row-major
+
+	colors   []color.RGBA // per-cell color LUT, reused across frames
+	envImg   *image.RGBA  // operands of the bound row loop
+	envOwned []bool
+	rowLoop  func(y0, y1 int)
 }
 
 // NewRasterizer builds a rasterizer of the given image size. Typical sizes
@@ -42,37 +52,51 @@ func NewRasterizer(m *mesh.Mesh, width, height int) (*Rasterizer, error) {
 	// Precompute the mapping in parallel row bands. Within a row the walk
 	// search starts from the previous pixel's cell, so lookups are O(1)
 	// amortized.
-	workers := runtime.GOMAXPROCS(0)
-	if workers > height {
-		workers = height
-	}
-	var wg sync.WaitGroup
-	rowsPer := (height + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		y0 := w * rowsPer
-		y1 := y0 + rowsPer
-		if y1 > height {
-			y1 = height
-		}
-		if y0 >= y1 {
-			break
-		}
-		wg.Add(1)
-		go func(y0, y1 int) {
-			defer wg.Done()
-			last := 0
-			for y := y0; y < y1; y++ {
-				lat := math.Pi/2 - (float64(y)+0.5)/float64(height)*math.Pi
-				for x := 0; x < width; x++ {
-					lon := -math.Pi + (float64(x)+0.5)/float64(width)*2*math.Pi
-					last = m.NearestCell(mesh.FromLatLon(lat, lon), last)
-					r.pixelCell[y*width+x] = last
-				}
+	workpool.Run(height, runtime.GOMAXPROCS(0), func(y0, y1 int) {
+		last := 0
+		for y := y0; y < y1; y++ {
+			lat := math.Pi/2 - (float64(y)+0.5)/float64(height)*math.Pi
+			for x := 0; x < width; x++ {
+				lon := -math.Pi + (float64(x)+0.5)/float64(width)*2*math.Pi
+				last = m.NearestCell(mesh.FromLatLon(lat, lon), last)
+				r.pixelCell[y*width+x] = last
 			}
-		}(y0, y1)
+		}
+	})
+
+	// The bound row loop reads its operands from the rasterizer so frame
+	// renders allocate no closures (see the package's hot-path note).
+	r.rowLoop = func(y0, y1 int) {
+		img, owned := r.envImg, r.envOwned
+		for y := y0; y < y1; y++ {
+			row := img.Pix[y*img.Stride : y*img.Stride+4*r.Width]
+			for x := 0; x < r.Width; x++ {
+				ci := r.pixelCell[y*r.Width+x]
+				o := 4 * x
+				if owned != nil && !owned[ci] {
+					// Explicitly transparent, so reused frames carry no
+					// stale pixels from the previous mask.
+					row[o] = 0
+					row[o+1] = 0
+					row[o+2] = 0
+					row[o+3] = 0
+					continue
+				}
+				c := r.colors[ci]
+				row[o] = c.R
+				row[o+1] = c.G
+				row[o+2] = c.B
+				row[o+3] = c.A
+			}
+		}
 	}
-	wg.Wait()
 	return r, nil
+}
+
+// NewFrame allocates an RGBA frame sized for the rasterizer, for reuse with
+// the Into render variants.
+func (r *Rasterizer) NewFrame() *image.RGBA {
+	return image.NewRGBA(image.Rect(0, 0, r.Width, r.Height))
 }
 
 // CellForPixel returns the mesh cell rendered at pixel (x, y).
@@ -86,70 +110,62 @@ func (r *Rasterizer) CellForPixel(x, y int) (int, error) {
 // Render draws the field with the given colormap and normalization into a
 // new RGBA image, parallelizing across row bands.
 func (r *Rasterizer) Render(field []float64, cm *Colormap, n Normalizer) (*image.RGBA, error) {
-	return r.renderOwned(field, cm, n, nil)
+	img := r.NewFrame()
+	if err := r.renderOwnedInto(img, field, cm, n, nil); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// RenderInto draws the field into img, a frame from NewFrame (or any RGBA
+// image of the rasterizer's exact size), overwriting every pixel. Reusing
+// one frame across timesteps makes the steady-state render allocation-free.
+func (r *Rasterizer) RenderInto(img *image.RGBA, field []float64, cm *Colormap, n Normalizer) error {
+	return r.renderOwnedInto(img, field, cm, n, nil)
 }
 
 // RenderOwned draws only the pixels whose cells are owned (owned[cell] ==
 // true), leaving the rest fully transparent. This is the per-rank render of
 // a sort-last parallel pipeline; Composite merges the partial images.
 func (r *Rasterizer) RenderOwned(field []float64, cm *Colormap, n Normalizer, owned []bool) (*image.RGBA, error) {
-	if len(owned) != r.Mesh.NCells() {
-		return nil, fmt.Errorf("render: ownership mask has %d cells, want %d", len(owned), r.Mesh.NCells())
+	img := r.NewFrame()
+	if err := r.RenderOwnedInto(img, field, cm, n, owned); err != nil {
+		return nil, err
 	}
-	return r.renderOwned(field, cm, n, owned)
+	return img, nil
 }
 
-func (r *Rasterizer) renderOwned(field []float64, cm *Colormap, n Normalizer, owned []bool) (*image.RGBA, error) {
+// RenderOwnedInto is RenderOwned into a reusable frame: owned pixels get
+// the field color, all others are written fully transparent, so the frame
+// needs no clearing between masks.
+func (r *Rasterizer) RenderOwnedInto(img *image.RGBA, field []float64, cm *Colormap, n Normalizer, owned []bool) error {
+	if len(owned) != r.Mesh.NCells() {
+		return fmt.Errorf("render: ownership mask has %d cells, want %d", len(owned), r.Mesh.NCells())
+	}
+	return r.renderOwnedInto(img, field, cm, n, owned)
+}
+
+func (r *Rasterizer) renderOwnedInto(img *image.RGBA, field []float64, cm *Colormap, n Normalizer, owned []bool) error {
 	if len(field) != r.Mesh.NCells() {
-		return nil, fmt.Errorf("render: field has %d cells, want %d", len(field), r.Mesh.NCells())
+		return fmt.Errorf("render: field has %d cells, want %d", len(field), r.Mesh.NCells())
 	}
 	if cm == nil {
-		return nil, fmt.Errorf("render: nil colormap")
+		return fmt.Errorf("render: nil colormap")
 	}
-	img := image.NewRGBA(image.Rect(0, 0, r.Width, r.Height))
+	if img == nil || img.Bounds() != image.Rect(0, 0, r.Width, r.Height) {
+		return fmt.Errorf("render: frame must be %dx%d at the origin", r.Width, r.Height)
+	}
 
 	// Color lookup is per cell, not per pixel: compute each cell's color
-	// once.
-	colors := make([]color.RGBA, len(field))
+	// once into the reused table.
+	if len(r.colors) != len(field) {
+		r.colors = make([]color.RGBA, len(field))
+	}
 	for ci, v := range field {
-		colors[ci] = cm.At(n.Normalize(v))
+		r.colors[ci] = cm.At(n.Normalize(v))
 	}
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > r.Height {
-		workers = r.Height
-	}
-	var wg sync.WaitGroup
-	rowsPer := (r.Height + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		y0 := w * rowsPer
-		y1 := y0 + rowsPer
-		if y1 > r.Height {
-			y1 = r.Height
-		}
-		if y0 >= y1 {
-			break
-		}
-		wg.Add(1)
-		go func(y0, y1 int) {
-			defer wg.Done()
-			for y := y0; y < y1; y++ {
-				row := img.Pix[y*img.Stride : y*img.Stride+4*r.Width]
-				for x := 0; x < r.Width; x++ {
-					ci := r.pixelCell[y*r.Width+x]
-					if owned != nil && !owned[ci] {
-						continue // transparent
-					}
-					c := colors[ci]
-					o := 4 * x
-					row[o] = c.R
-					row[o+1] = c.G
-					row[o+2] = c.B
-					row[o+3] = c.A
-				}
-			}
-		}(y0, y1)
-	}
-	wg.Wait()
-	return img, nil
+	r.envImg, r.envOwned = img, owned
+	workpool.Run(r.Height, runtime.GOMAXPROCS(0), r.rowLoop)
+	return nil
 }

@@ -1,0 +1,141 @@
+package workpool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversRangeExactlyOnce(t *testing.T) {
+	for _, chunks := range []int{1, 2, 3, 4, 7, 16, 100} {
+		hits := make([]int32, 10000)
+		Run(len(hits), chunks, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i := range hits {
+			if hits[i] != 1 {
+				t.Fatalf("chunks=%d: index %d visited %d times", chunks, i, hits[i])
+			}
+		}
+	}
+}
+
+func TestRunSmallAndDegenerateRanges(t *testing.T) {
+	ran := false
+	Run(0, 4, func(lo, hi int) { ran = true })
+	if ran {
+		t.Error("Run(0, ...) must not invoke fn")
+	}
+	hits := make([]int32, 3)
+	Run(len(hits), 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+// TestRunChunkBoundariesDeterministic asserts the exact chunk geometry the
+// solver's bit-determinism depends on: ceil(n/chunks) sizing at ascending
+// offsets, independent of scheduling.
+func TestRunChunkBoundariesDeterministic(t *testing.T) {
+	n, chunks := 10007, 4
+	want := make(map[int]int) // lo -> hi
+	size := (n + chunks - 1) / chunks
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		want[lo] = hi
+	}
+	var mu sync.Mutex
+	got := make(map[int]int)
+	Run(n, chunks, func(lo, hi int) {
+		mu.Lock()
+		got[lo] = hi
+		mu.Unlock()
+	})
+	if len(got) != len(want) {
+		t.Fatalf("got %d chunks, want %d", len(got), len(want))
+	}
+	for lo, hi := range want {
+		if got[lo] != hi {
+			t.Errorf("chunk at %d: got hi %d, want %d", lo, got[lo], hi)
+		}
+	}
+}
+
+// TestRunNested drives Run from inside Run bodies, the pattern a pool
+// worker triggers when a parallel loop's body itself fans out. The helping
+// wait must keep this deadlock-free and still cover every index.
+func TestRunNested(t *testing.T) {
+	const outer, inner = 8, 4096
+	hits := make([][]int32, outer)
+	for i := range hits {
+		hits[i] = make([]int32, inner)
+	}
+	Run(outer, outer, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := hits[i]
+			Run(inner, 4, func(lo, hi int) {
+				for j := lo; j < hi; j++ {
+					atomic.AddInt32(&row[j], 1)
+				}
+			})
+		}
+	})
+	for i := range hits {
+		for j := range hits[i] {
+			if hits[i][j] != 1 {
+				t.Fatalf("nested index (%d,%d) visited %d times", i, j, hits[i][j])
+			}
+		}
+	}
+}
+
+// TestRunConcurrentCallers exercises independent goroutines sharing the
+// pool simultaneously.
+func TestRunConcurrentCallers(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hits := make([]int32, 5000)
+			for rep := 0; rep < 20; rep++ {
+				Run(len(hits), 4, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+			}
+			for i := range hits {
+				if hits[i] != 20 {
+					t.Errorf("index %d visited %d times, want 20", i, hits[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkRunFanOut(b *testing.B) {
+	data := make([]float64, 1<<16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(len(data), 4, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				data[j] += 1
+			}
+		})
+	}
+}

@@ -57,6 +57,10 @@ type LiveConfig struct {
 	// only the rotation-dominated cores (W below the -0.2 sigma
 	// threshold), produced through the vizpipe threshold filter.
 	EddyCoreImages bool
+	// Workers is the solver's shared-memory parallelism (ocean
+	// Config.Workers): 0 uses GOMAXPROCS, negative forces serial. Results
+	// are bit-identical at any worker count.
+	Workers int
 	// Scenario selects the initial condition: "jet" (default, the
 	// Galewsky barotropically unstable jet that rolls up into eddies) or
 	// "rossby" (the Williamson TC6 Rossby-Haurwitz wave).
@@ -101,6 +105,12 @@ type LiveResult struct {
 
 	// EddiesPerSample counts detected eddies at each sample point.
 	EddiesPerSample []int
+	// CyclonicEddies and AnticyclonicEddies count eddy detections by
+	// rotation sense across all samples, classified from the cell
+	// vorticity of the same shared diagnostics evaluation that produced
+	// the Okubo-Weiss field (in-situ mode only; post-processing reads
+	// back only the dumped Okubo-Weiss field).
+	CyclonicEddies, AnticyclonicEddies int
 	// Tracks is the number of distinct eddy tracks observed.
 	Tracks int
 	// LongestTrackLifetime is the longest observed eddy life (simulated
@@ -146,7 +156,7 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	model, err := ocean.NewModel(msh, ocean.Config{Viscosity: cfg.Viscosity})
+	model, err := ocean.NewModel(msh, ocean.Config{Viscosity: cfg.Viscosity, Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -200,28 +210,37 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 	res := &LiveResult{OutputDir: cfg.OutputDir}
 	res.HaloBytesPerField = Bytes(part.Exchange().BytesPerField)
 
+	// Steady-state buffers, allocated once and reused every sample: the
+	// per-rank partial frames, the composite destination, and (lazily) the
+	// eddy-core frame. Everything the per-sample loop writes lands in one
+	// of these or in the Cinema encoder's reused buffer.
+	partials := make([]*image.RGBA, len(masks))
+	for i := range partials {
+		partials[i] = rast.NewFrame()
+	}
+	composited := rast.NewFrame()
+	var coreFrame *image.RGBA
+
 	// visualize renders one Okubo-Weiss snapshot with the parallel
 	// rank-partitioned renderer, stores it in the Cinema database, and
-	// feeds the eddy tracker.
-	visualize := func(simTime float64, field []float64) error {
+	// feeds the eddy tracker. cellVort, when non-nil, is the cell
+	// vorticity derived from the same diagnostics evaluation as the field
+	// and is used to classify eddy rotation sense.
+	visualize := func(simTime float64, field, cellVort []float64) error {
 		norm := render.SymmetricRange(field)
 		cm := render.OkuboWeissMap()
-		images := make([]*image.RGBA, 0, len(masks))
-		for _, mask := range masks {
-			img, err := rast.RenderOwned(field, cm, norm, mask)
-			if err != nil {
+		for i, mask := range masks {
+			if err := rast.RenderOwnedInto(partials[i], field, cm, norm, mask); err != nil {
 				return err
 			}
-			images = append(images, img)
 		}
-		final, err := render.Composite(images)
-		if err != nil {
+		if err := render.CompositeInto(composited, partials); err != nil {
 			return err
 		}
-		if !render.FullyOpaque(final) {
+		if !render.FullyOpaque(composited) {
 			return fmt.Errorf("insituviz: composited image has holes")
 		}
-		n, err := db.AddImage(final, simTime, "okubo_weiss")
+		n, err := db.AddImage(composited, simTime, "okubo_weiss")
 		if err != nil {
 			return err
 		}
@@ -229,7 +248,7 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 		res.ImageBytes += n
 
 		if setRenderer != nil {
-			views, err := setRenderer.Render(field, cm, norm)
+			views, err := setRenderer.RenderFrames(field, cm, norm)
 			if err != nil {
 				return err
 			}
@@ -248,6 +267,20 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 		if th < 0 {
 			if eddies, err = eddy.Detect(msh, field, th, 2); err != nil {
 				return err
+			}
+		}
+		if cellVort != nil {
+			for i := range eddies {
+				spin, err := eddy.ClassifySpin(msh, eddies[i], cellVort)
+				if err != nil {
+					return err
+				}
+				switch spin {
+				case eddy.SpinCyclonic:
+					res.CyclonicEddies++
+				case eddy.SpinAnticyclonic:
+					res.AnticyclonicEddies++
+				}
 			}
 		}
 		if cfg.EddyCoreImages && th < 0 {
@@ -270,12 +303,14 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 			if err != nil {
 				return err
 			}
-			coreImg, err := rast.RenderOwned(field, cm, norm, sel.Mask)
-			if err != nil {
+			if coreFrame == nil {
+				coreFrame = rast.NewFrame()
+			}
+			if err := rast.RenderOwnedInto(coreFrame, field, cm, norm, sel.Mask); err != nil {
 				return err
 			}
-			render.FillTransparent(coreImg, render.Background)
-			n, err := db.AddImage(coreImg, simTime, "okubo_weiss_cores")
+			render.FillTransparent(coreFrame, render.Background)
+			n, err := db.AddImage(coreFrame, simTime, "okubo_weiss_cores")
 			if err != nil {
 				return err
 			}
@@ -317,15 +352,25 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 }
 
 // runLiveInSitu advances the solver, co-processing through a Catalyst
-// adaptor at the sampling period.
+// adaptor at the sampling period. The sampling path reuses one diagnostics
+// evaluation per sample for both the Okubo-Weiss field and the spin
+// census's cell vorticity, and writes into buffers held across the run, so
+// the steady-state loop does not allocate.
 func runLiveInSitu(cfg LiveConfig, model *ocean.Model, state *ocean.State, dt float64,
-	visualize func(simTime float64, field []float64) error) error {
+	visualize func(simTime float64, field, cellVort []float64) error) error {
 	adaptor, err := catalyst.NewAdaptor(cfg.SampleEverySteps)
 	if err != nil {
 		return err
 	}
+	// The live pipeline consumes each snapshot synchronously, so the
+	// adaptor can reuse its deep-copy buffer across invocations.
+	adaptor.SetReuse(true)
+	diag := model.NewDiagnostics()
+	owBuf := make([]float64, model.Mesh.NCells())
+	cvBuf := make([]float64, model.Mesh.NCells())
+	var cellVort []float64 // refreshed per sample alongside the snapshot
 	if err := adaptor.AddPipeline(catalyst.PipelineFunc(func(fd *catalyst.FieldData) error {
-		return visualize(fd.Time, fd.Values)
+		return visualize(fd.Time, fd.Values, cellVort)
 	})); err != nil {
 		return err
 	}
@@ -337,8 +382,13 @@ func runLiveInSitu(cfg LiveConfig, model *ocean.Model, state *ocean.State, dt fl
 			return fmt.Errorf("insituviz: step %d: %w", step, err)
 		}
 		if adaptor.ShouldProcess(step) {
-			ow := model.OkuboWeiss(state)
-			if _, err := adaptor.CoProcess(step, float64(step)*dt, "okubo_weiss", ow); err != nil {
+			// One shared diagnostics evaluation feeds both derived fields.
+			if err := model.ComputeDiagnosticsInto(state, diag); err != nil {
+				return err
+			}
+			model.OkuboWeissFrom(diag, owBuf)
+			cellVort = model.CellVorticityFrom(diag, cvBuf)
+			if _, err := adaptor.CoProcess(step, float64(step)*dt, "okubo_weiss", owBuf); err != nil {
 				return err
 			}
 		}
@@ -350,7 +400,7 @@ func runLiveInSitu(cfg LiveConfig, model *ocean.Model, state *ocean.State, dt fl
 // them back and visualizes — the Fig. 1a workflow — returning the raw dump
 // volume.
 func runLivePost(cfg LiveConfig, msh *mesh.Mesh, model *ocean.Model, state *ocean.State, dt float64,
-	visualize func(simTime float64, field []float64) error) (units.Bytes, error) {
+	visualize func(simTime float64, field, cellVort []float64) error) (units.Bytes, error) {
 	rawDir := filepath.Join(cfg.OutputDir, "raw")
 	if err := os.MkdirAll(rawDir, 0o755); err != nil {
 		return 0, fmt.Errorf("insituviz: %w", err)
@@ -379,6 +429,7 @@ func runLivePost(cfg LiveConfig, msh *mesh.Mesh, model *ocean.Model, state *ocea
 	var rawBytes units.Bytes
 	var dumps []string
 	var times []float64
+	ow := make([]float64, msh.NCells()) // reused across samples
 	for step := 1; step <= cfg.Steps; step++ {
 		if err := model.Step(state, dt); err != nil {
 			return 0, err
@@ -390,7 +441,9 @@ func runLivePost(cfg LiveConfig, msh *mesh.Mesh, model *ocean.Model, state *ocea
 			continue
 		}
 		simTime := float64(step) * dt
-		ow := model.OkuboWeiss(state)
+		if err := model.OkuboWeissInto(state, ow); err != nil {
+			return 0, err
+		}
 		// Rank-local blocks -> aggregators -> one global array for the
 		// writer.
 		parts, err := dec.Scatter(ow)
@@ -424,7 +477,9 @@ func runLivePost(cfg LiveConfig, msh *mesh.Mesh, model *ocean.Model, state *ocea
 		if err != nil {
 			return 0, err
 		}
-		if err := visualize(times[i], field); err != nil {
+		// Post-processing has only the dumped Okubo-Weiss field; there is
+		// no live state to derive a vorticity-based spin census from.
+		if err := visualize(times[i], field, nil); err != nil {
 			return 0, err
 		}
 	}

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Record the next BENCH_<n>.json performance snapshot and diff it against
+# the previous one. Runs the hot-loop benchmarks of the live coupled stack
+# (BenchmarkLiveCoupledRun, BenchmarkStepParallel10242Cells) with -benchmem.
+#
+# Usage, from the repository root:
+#
+#   scripts/bench.sh                 # snapshot + diff
+#   scripts/bench.sh -fail-over 0.10 # also fail on a >10% regression
+#
+# Extra arguments are passed through to benchsnap (see cmd/benchsnap).
+set -eu
+
+cd "$(dirname "$0")/.."
+exec go run ./cmd/benchsnap "$@"
