@@ -19,6 +19,7 @@ import (
 	"insituviz"
 	"insituviz/internal/pipeline"
 	"insituviz/internal/report"
+	"insituviz/internal/telemetry"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 	gridKM := flag.Float64("grid-km", 60, "mesh resolution in km")
 	timestepMin := flag.Float64("timestep-min", 30, "simulation timestep in simulated minutes")
 	tracePath := flag.String("trace", "", "write a Chrome-tracing JSON of the run's phases to this file")
+	telemetryOut := flag.String("telemetry", "", "write the run's telemetry snapshot as JSON to this file (\"-\" for stdout, as text)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
@@ -71,6 +73,11 @@ func main() {
 
 	platform := insituviz.CaddyPlatform()
 	platform.StagingNodes = *stagingNodes
+	var reg *telemetry.Registry
+	if *telemetryOut != "" {
+		reg = telemetry.NewRegistry()
+		platform.Telemetry = reg
+	}
 	m, err := insituviz.RunPipeline(kind, w, platform)
 	if err != nil {
 		log.Fatal(err)
@@ -116,5 +123,26 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("phase timeline written to %s (open in chrome://tracing)\n", *tracePath)
+	}
+
+	if reg != nil {
+		snap := reg.Snapshot()
+		if *telemetryOut == "-" {
+			if err := snap.WriteText(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			f, err := os.Create(*telemetryOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := snap.WriteJSON(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("telemetry snapshot written to %s\n", *telemetryOut)
+		}
 	}
 }

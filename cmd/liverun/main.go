@@ -35,6 +35,7 @@ func main() {
 	orthoViews := flag.Int("ortho-views", 0, "extra orthographic globe views per sample (0-6)")
 	workers := flag.Int("workers", 0, "solver worker count (0 = GOMAXPROCS, negative = serial)")
 	out := flag.String("out", "", "output directory (default: temp dir)")
+	telemetryOut := flag.String("telemetry", "", "write the run's telemetry snapshot as JSON to this file (\"-\" for stdout, as text)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
@@ -119,4 +120,24 @@ func main() {
 	tb.AddRow("halo exchange per field", res.HaloBytesPerField.String())
 	tb.AddRow("output directory", res.OutputDir)
 	fmt.Print(tb.String())
+
+	switch *telemetryOut {
+	case "":
+	case "-":
+		if err := res.Telemetry.WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		f, err := os.Create(*telemetryOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.Telemetry.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry snapshot written to %s\n", *telemetryOut)
+	}
 }

@@ -329,3 +329,118 @@ func TestFacadeInTransit(t *testing.T) {
 		t.Errorf("outputs = %d", m.Outputs)
 	}
 }
+
+// TestLiveCoupledTelemetryInSitu exercises the tentpole contract of the
+// telemetry subsystem: a live coupled run must account for its own phases —
+// nonzero step, render, and copy counters whose values agree with the
+// independently computed LiveResult fields.
+func TestLiveCoupledTelemetryInSitu(t *testing.T) {
+	res, err := LiveRun(LiveConfig{
+		Mode:             InSitu,
+		MeshSubdivisions: 2,
+		Steps:            24,
+		SampleEverySteps: 8,
+		OutputDir:        t.TempDir(),
+		ImageWidth:       96,
+		ImageHeight:      48,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Telemetry
+	if snap == nil {
+		t.Fatal("LiveResult.Telemetry is nil")
+	}
+	if got := snap.Counters["ocean.steps"]; got != int64(res.Steps) {
+		t.Errorf("ocean.steps = %d, want %d", got, res.Steps)
+	}
+	if got := snap.Counters["render.frames"]; got != int64(res.Images) {
+		t.Errorf("render.frames = %d, want %d", got, res.Images)
+	}
+	if got := snap.Counters["render.encoded.bytes"]; got != int64(res.ImageBytes) {
+		t.Errorf("render.encoded.bytes = %d, want %d", got, res.ImageBytes)
+	}
+	if got := snap.Counters["catalyst.invocations"]; got != int64(res.Samples) {
+		t.Errorf("catalyst.invocations = %d, want %d", got, res.Samples)
+	}
+	if snap.Counters["catalyst.copied.bytes"] <= 0 {
+		t.Error("catalyst.copied.bytes is zero")
+	}
+	// The reuse contract: every invocation after the first serves the
+	// retained snapshot buffer.
+	if got := snap.Counters["catalyst.reuse.hits"]; got != int64(res.Samples-1) {
+		t.Errorf("catalyst.reuse.hits = %d, want %d", got, res.Samples-1)
+	}
+	// Spans: every step is counted, only a sampled subset is timed; every
+	// sampling point is both counted and timed (period 1).
+	st, ok := snap.Spans["ocean.step.time"]
+	if !ok {
+		t.Fatal("ocean.step.time span missing")
+	}
+	if st.Entries != int64(res.Steps) {
+		t.Errorf("ocean.step.time entries = %d, want %d", st.Entries, res.Steps)
+	}
+	if st.Sampled == 0 || st.Sampled > st.Entries {
+		t.Errorf("ocean.step.time sampled = %d of %d", st.Sampled, st.Entries)
+	}
+	if st.SampledNanos <= 0 || st.EstimatedNanos < st.SampledNanos {
+		t.Errorf("ocean.step.time nanos: sampled %d, estimated %d", st.SampledNanos, st.EstimatedNanos)
+	}
+	sv := snap.Spans["live.sample.time"]
+	if sv.Entries != int64(res.Samples) || sv.Sampled != sv.Entries {
+		t.Errorf("live.sample.time = %+v, want %d entries all sampled", sv, res.Samples)
+	}
+	// The frame-size histogram saw every encoded frame.
+	hv := snap.Histograms["render.frame.bytes"]
+	if hv.Count != int64(res.Images) {
+		t.Errorf("render.frame.bytes count = %d, want %d", hv.Count, res.Images)
+	}
+	if hv.Sum != float64(res.ImageBytes) {
+		t.Errorf("render.frame.bytes sum = %g, want %d", hv.Sum, res.ImageBytes)
+	}
+	// In-situ writes no raw dumps, and the mode's defining counters say so.
+	if snap.Counters["live.raw.bytes"] != 0 {
+		t.Errorf("live.raw.bytes = %d in in-situ mode", snap.Counters["live.raw.bytes"])
+	}
+}
+
+// TestLiveCoupledTelemetryPost checks the post-processing side: the dump
+// and readback traffic is accounted and matches LiveResult.RawBytes.
+func TestLiveCoupledTelemetryPost(t *testing.T) {
+	res, err := LiveRun(LiveConfig{
+		Mode:             PostProcessing,
+		MeshSubdivisions: 2,
+		Steps:            16,
+		SampleEverySteps: 8,
+		OutputDir:        t.TempDir(),
+		ImageWidth:       96,
+		ImageHeight:      48,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Telemetry
+	if snap == nil {
+		t.Fatal("LiveResult.Telemetry is nil")
+	}
+	if got := snap.Counters["live.raw.bytes"]; got != int64(res.RawBytes) {
+		t.Errorf("live.raw.bytes = %d, want %d", got, res.RawBytes)
+	}
+	if got := snap.Counters["live.raw.dumps"]; got != int64(res.Samples) {
+		t.Errorf("live.raw.dumps = %d, want %d", got, res.Samples)
+	}
+	// Fig. 1a reads back exactly what it dumped.
+	if got := snap.Counters["live.readback.bytes"]; got != int64(res.RawBytes) {
+		t.Errorf("live.readback.bytes = %d, want %d", got, res.RawBytes)
+	}
+	if got := snap.Counters["render.frames"]; got != int64(res.Images) {
+		t.Errorf("render.frames = %d, want %d", got, res.Images)
+	}
+	if got := snap.Counters["ocean.steps"]; got != int64(res.Steps) {
+		t.Errorf("ocean.steps = %d, want %d", got, res.Steps)
+	}
+	// Post-processing mode has no catalyst adaptor in the loop.
+	if snap.Counters["catalyst.invocations"] != 0 {
+		t.Errorf("catalyst.invocations = %d in post mode", snap.Counters["catalyst.invocations"])
+	}
+}

@@ -12,6 +12,7 @@ package catalyst
 import (
 	"fmt"
 
+	"insituviz/internal/telemetry"
 	"insituviz/internal/units"
 )
 
@@ -55,6 +56,11 @@ type Adaptor struct {
 	// of allocating a fresh FieldData per invocation (see SetReuse).
 	reuse   bool
 	scratch FieldData
+
+	// Metric handles (nil without SetTelemetry; nil handles are no-ops).
+	mInvocations *telemetry.Counter
+	mCopiedBytes *telemetry.Counter
+	mReuseHits   *telemetry.Counter
 }
 
 // NewAdaptor returns an adaptor that fires every everySteps timesteps
@@ -89,6 +95,15 @@ func (a *Adaptor) Pipelines() int { return len(a.pipelines) }
 // buffers immediately") are identical either way.
 func (a *Adaptor) SetReuse(reuse bool) { a.reuse = reuse }
 
+// SetTelemetry registers the adaptor's metrics — catalyst.invocations,
+// catalyst.copied.bytes, and catalyst.reuse.hits — in reg. A nil registry
+// detaches the instrumentation.
+func (a *Adaptor) SetTelemetry(reg *telemetry.Registry) {
+	a.mInvocations = reg.Counter("catalyst.invocations")
+	a.mCopiedBytes = reg.Counter("catalyst.copied.bytes")
+	a.mReuseHits = reg.Counter("catalyst.reuse.hits")
+}
+
 // ShouldProcess reports whether co-processing fires at the given step.
 func (a *Adaptor) ShouldProcess(step int) bool {
 	return step > 0 && step%a.everySteps == 0
@@ -109,6 +124,12 @@ func (a *Adaptor) CoProcess(step int, simTime float64, name string, simValues []
 	if a.reuse {
 		fd = &a.scratch
 		fd.Name, fd.Step, fd.Time = name, step, simTime
+		// A reuse hit is a snapshot served from the retained buffer
+		// without growing it — the steady state after the first
+		// invocation at each field size.
+		if cap(fd.Values) >= len(simValues) {
+			a.mReuseHits.Inc()
+		}
 		fd.Values = append(fd.Values[:0], simValues...)
 	} else {
 		fd = &FieldData{
@@ -120,6 +141,8 @@ func (a *Adaptor) CoProcess(step int, simTime float64, name string, simValues []
 	}
 	a.copied += fd.Bytes()
 	a.invocations++
+	a.mInvocations.Inc()
+	a.mCopiedBytes.Add(int64(fd.Bytes()))
 	for i, p := range a.pipelines {
 		if err := p.CoProcess(fd); err != nil {
 			return true, fmt.Errorf("catalyst: pipeline %d at step %d: %w", i, step, err)

@@ -1,0 +1,487 @@
+// Package ghwf parses and structurally validates the repository's GitHub
+// Actions workflow files. actionlint is not available in the toolchain,
+// so this package is the in-repo equivalent: a parser for the block-style
+// YAML subset the workflows are written in, plus a validator for the
+// pieces of the workflow schema the repository relies on (jobs, runs-on,
+// steps with run/uses, matrix strategies).
+//
+// The supported YAML subset is deliberately small and the workflow files
+// are required to stay inside it:
+//
+//   - block-style maps ("key: value" / "key:" + indented block)
+//   - block-style sequences ("- item")
+//   - literal block scalars ("key: |" + indented lines)
+//   - full-line comments ("# ..." on a line of its own)
+//   - spaces-only indentation (tabs are an error, as in real YAML)
+//
+// Flow-style collections ("[a, b]", "{k: v}"), anchors, aliases, tags,
+// folded scalars, multi-document streams, and inline comments after
+// values are NOT supported and fail parsing. That failure is the point:
+// it keeps the committed workflows trivially machine-checkable.
+package ghwf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates the three node shapes of the supported subset.
+type Kind int
+
+const (
+	ScalarNode Kind = iota
+	MapNode
+	SeqNode
+)
+
+func (k Kind) String() string {
+	switch k {
+	case ScalarNode:
+		return "scalar"
+	case MapNode:
+		return "map"
+	case SeqNode:
+		return "sequence"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Node is one parsed YAML value. Exactly one of Scalar, Map/Keys, or Seq
+// is meaningful, per Kind. Keys preserves source order for Map.
+type Node struct {
+	Kind   Kind
+	Scalar string
+	Map    map[string]*Node
+	Keys   []string
+	Seq    []*Node
+	Line   int // 1-based source line, for error messages
+}
+
+// Get descends through nested maps by key and returns nil if any step is
+// missing or not a map.
+func (n *Node) Get(path ...string) *Node {
+	cur := n
+	for _, k := range path {
+		if cur == nil || cur.Kind != MapNode {
+			return nil
+		}
+		cur = cur.Map[k]
+	}
+	return cur
+}
+
+// Str returns the node's scalar value, or "" for nil/non-scalar nodes.
+func (n *Node) Str() string {
+	if n == nil || n.Kind != ScalarNode {
+		return ""
+	}
+	return n.Scalar
+}
+
+type parser struct {
+	lines []string
+	pos   int
+}
+
+// Parse parses a document in the supported block-style YAML subset.
+func Parse(src []byte) (*Node, error) {
+	p := &parser{lines: strings.Split(string(src), "\n")}
+	for i, ln := range p.lines {
+		ws := ln[:len(ln)-len(strings.TrimLeft(ln, " \t"))]
+		if strings.Contains(ws, "\t") {
+			return nil, fmt.Errorf("line %d: tab in indentation", i+1)
+		}
+	}
+	root, err := p.parseBlock(0)
+	if err != nil {
+		return nil, err
+	}
+	if root == nil {
+		return nil, fmt.Errorf("empty document")
+	}
+	if _, ind, _, ok := p.peek(); ok {
+		return nil, fmt.Errorf("line %d: unexpected dedent to column %d at top level", p.pos+1, ind)
+	}
+	return root, nil
+}
+
+// peek returns the next significant (non-blank, non-comment) line without
+// consuming it.
+func (p *parser) peek() (lineNo, indent int, text string, ok bool) {
+	for i := p.pos; i < len(p.lines); i++ {
+		trimmed := strings.TrimSpace(p.lines[i])
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		p.pos = i
+		return i + 1, len(p.lines[i]) - len(strings.TrimLeft(p.lines[i], " ")), trimmed, true
+	}
+	p.pos = len(p.lines)
+	return 0, 0, "", false
+}
+
+// parseBlock parses the map or sequence starting at the next significant
+// line, anchored at that line's indentation, provided it is at least
+// minIndent. Returns nil (no error) for an empty block.
+func (p *parser) parseBlock(minIndent int) (*Node, error) {
+	_, ind, text, ok := p.peek()
+	if !ok || ind < minIndent {
+		return nil, nil
+	}
+	if text == "-" || strings.HasPrefix(text, "- ") {
+		return p.parseSeq(ind)
+	}
+	return p.parseMap(ind)
+}
+
+func (p *parser) parseMap(indent int) (*Node, error) {
+	n := &Node{Kind: MapNode, Map: map[string]*Node{}}
+	for {
+		lineNo, ind, text, ok := p.peek()
+		if !ok || ind < indent {
+			return n, nil
+		}
+		if n.Line == 0 {
+			n.Line = lineNo
+		}
+		if ind > indent {
+			return nil, fmt.Errorf("line %d: unexpected indent (column %d, expected %d)", lineNo, ind, indent)
+		}
+		if text == "-" || strings.HasPrefix(text, "- ") {
+			return nil, fmt.Errorf("line %d: sequence item in map context", lineNo)
+		}
+		key, rest, err := splitKey(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if _, dup := n.Map[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate key %q", lineNo, key)
+		}
+		p.pos++ // consume the key line
+		var val *Node
+		switch {
+		case rest == "|" || rest == "|-" || rest == "|+":
+			val = p.parseLiteral(ind, lineNo)
+		case rest != "":
+			if err := checkScalar(rest); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			val = &Node{Kind: ScalarNode, Scalar: unquote(rest), Line: lineNo}
+		default:
+			val, err = p.parseBlock(ind + 1)
+			if err != nil {
+				return nil, err
+			}
+			if val == nil {
+				// "key:" with no indented block — an empty value, as in
+				// a bare "pull_request:" trigger.
+				val = &Node{Kind: ScalarNode, Line: lineNo}
+			}
+		}
+		n.Map[key] = val
+		n.Keys = append(n.Keys, key)
+	}
+}
+
+func (p *parser) parseSeq(indent int) (*Node, error) {
+	n := &Node{Kind: SeqNode}
+	for {
+		lineNo, ind, text, ok := p.peek()
+		if !ok || ind < indent {
+			return n, nil
+		}
+		if n.Line == 0 {
+			n.Line = lineNo
+		}
+		if ind > indent {
+			return nil, fmt.Errorf("line %d: unexpected indent (column %d, expected %d)", lineNo, ind, indent)
+		}
+		if text != "-" && !strings.HasPrefix(text, "- ") {
+			return nil, fmt.Errorf("line %d: map key in sequence context", lineNo)
+		}
+		content := strings.TrimSpace(strings.TrimPrefix(text, "-"))
+		itemLine := p.pos // peek left p.pos on the item line
+		if content == "" {
+			// "-" alone: the item is the following indented block.
+			p.pos++
+			item, err := p.parseBlock(ind + 1)
+			if err != nil {
+				return nil, err
+			}
+			if item == nil {
+				return nil, fmt.Errorf("line %d: empty sequence item", lineNo)
+			}
+			n.Seq = append(n.Seq, item)
+			continue
+		}
+		if _, _, err := splitKey(content); err == nil {
+			// "- key: ..." starts a map item: rewrite the line with the
+			// dash replaced by spaces, so the map's first key sits at the
+			// same column as the item's continuation keys, and recurse.
+			p.lines[itemLine] = strings.Repeat(" ", ind+2) + content
+			item, err := p.parseBlock(ind + 1)
+			if err != nil {
+				return nil, err
+			}
+			n.Seq = append(n.Seq, item)
+			continue
+		}
+		// Plain scalar item.
+		if err := checkScalar(content); err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		p.pos++
+		n.Seq = append(n.Seq, &Node{Kind: ScalarNode, Scalar: unquote(content), Line: lineNo})
+	}
+}
+
+// parseLiteral consumes the indented body of a "|" literal block scalar.
+// All lines more indented than the key (and interior blank lines) belong
+// to the block; the first content line fixes the indentation to strip.
+func (p *parser) parseLiteral(keyIndent, lineNo int) *Node {
+	var body []string
+	contentIndent := -1
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		trimmed := strings.TrimRight(ln, " ")
+		if strings.TrimSpace(ln) == "" {
+			body = append(body, "")
+			p.pos++
+			continue
+		}
+		ind := len(ln) - len(strings.TrimLeft(ln, " "))
+		if ind <= keyIndent {
+			break
+		}
+		if contentIndent < 0 {
+			contentIndent = ind
+		}
+		if ind < contentIndent {
+			break
+		}
+		body = append(body, trimmed[contentIndent:])
+		p.pos++
+	}
+	// Trailing blank lines collected past the block's end belong to the
+	// document, not the scalar.
+	for len(body) > 0 && body[len(body)-1] == "" {
+		body = body[:len(body)-1]
+	}
+	return &Node{Kind: ScalarNode, Scalar: strings.Join(body, "\n"), Line: lineNo}
+}
+
+// splitKey splits "key: value" / "key:" and rejects anything that does
+// not look like a map entry.
+func splitKey(text string) (key, rest string, err error) {
+	if i := strings.Index(text, ": "); i >= 0 {
+		key, rest = text[:i], strings.TrimSpace(text[i+2:])
+	} else if strings.HasSuffix(text, ":") {
+		key = text[:len(text)-1]
+	} else {
+		return "", "", fmt.Errorf("not a map entry: %q", text)
+	}
+	key = strings.TrimSpace(key)
+	if key == "" {
+		return "", "", fmt.Errorf("empty map key in %q", text)
+	}
+	if strings.ContainsAny(key, "{}[],\"'") {
+		return "", "", fmt.Errorf("unsupported key syntax %q (flow style?)", key)
+	}
+	return key, rest, nil
+}
+
+// checkScalar rejects flow-style collections and anchors, which the
+// subset forbids. "${{ ... }}" expressions are allowed: they start with
+// '$', so the leading-character checks never see their braces.
+func checkScalar(s string) error {
+	if strings.HasPrefix(s, "[") || strings.HasPrefix(s, "{") {
+		return fmt.Errorf("flow-style collection %q is outside the supported subset", s)
+	}
+	if strings.HasPrefix(s, "&") || strings.HasPrefix(s, "*") || strings.HasPrefix(s, "!") {
+		return fmt.Errorf("anchor/alias/tag %q is outside the supported subset", s)
+	}
+	return nil
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			return s[1 : len(s)-1]
+		}
+	}
+	return s
+}
+
+// Workflow is the validated shape of a workflow file.
+type Workflow struct {
+	Name string
+	Jobs map[string]*Job
+	// JobOrder preserves the source order of job IDs.
+	JobOrder []string
+}
+
+// Job is one validated jobs.<id> entry.
+type Job struct {
+	ID              string
+	Name            string
+	RunsOn          string
+	ContinueOnError bool
+	Steps           []*Step
+	// Matrix maps each strategy.matrix key to its values.
+	Matrix map[string][]string
+}
+
+// Step is one validated step: exactly one of Run or Uses is set.
+type Step struct {
+	Name string
+	Run  string
+	Uses string
+	If   string
+	With map[string]string
+}
+
+// Validate checks the parsed document against the subset of the GitHub
+// Actions workflow schema this repository uses. It returns the first
+// problem found, with a source line where possible.
+func Validate(root *Node) (*Workflow, error) {
+	if root == nil || root.Kind != MapNode {
+		return nil, fmt.Errorf("workflow root must be a map, got %v", kindOf(root))
+	}
+	wf := &Workflow{Jobs: map[string]*Job{}}
+
+	nameN := root.Get("name")
+	if nameN.Str() == "" {
+		return nil, fmt.Errorf("workflow needs a non-empty scalar 'name'")
+	}
+	wf.Name = nameN.Str()
+
+	on := root.Map["on"]
+	if on == nil {
+		return nil, fmt.Errorf("workflow needs an 'on' trigger block")
+	}
+	switch {
+	case on.Kind == ScalarNode && on.Scalar == "",
+		on.Kind == SeqNode && len(on.Seq) == 0,
+		on.Kind == MapNode && len(on.Keys) == 0:
+		return nil, fmt.Errorf("line %d: 'on' trigger block is empty", on.Line)
+	}
+
+	jobs := root.Map["jobs"]
+	if jobs == nil || jobs.Kind != MapNode || len(jobs.Keys) == 0 {
+		return nil, fmt.Errorf("workflow needs a non-empty 'jobs' map")
+	}
+	for _, id := range jobs.Keys {
+		j, err := validateJob(id, jobs.Map[id])
+		if err != nil {
+			return nil, err
+		}
+		wf.Jobs[id] = j
+		wf.JobOrder = append(wf.JobOrder, id)
+	}
+	return wf, nil
+}
+
+func validateJob(id string, n *Node) (*Job, error) {
+	if n == nil || n.Kind != MapNode {
+		return nil, fmt.Errorf("job %q must be a map", id)
+	}
+	j := &Job{ID: id, Name: n.Get("name").Str()}
+
+	runsOn := n.Map["runs-on"]
+	if runsOn.Str() == "" {
+		return nil, fmt.Errorf("line %d: job %q needs a scalar 'runs-on'", n.Line, id)
+	}
+	j.RunsOn = runsOn.Str()
+	j.ContinueOnError = n.Get("continue-on-error").Str() == "true"
+
+	if m := n.Get("strategy", "matrix"); m != nil {
+		if m.Kind != MapNode || len(m.Keys) == 0 {
+			return nil, fmt.Errorf("line %d: job %q strategy.matrix must be a non-empty map", m.Line, id)
+		}
+		j.Matrix = map[string][]string{}
+		for _, k := range m.Keys {
+			if k == "include" || k == "exclude" || k == "fail-fast" {
+				continue
+			}
+			axis := m.Map[k]
+			if axis.Kind != SeqNode || len(axis.Seq) == 0 {
+				return nil, fmt.Errorf("line %d: job %q matrix axis %q must be a non-empty sequence", axis.Line, id, k)
+			}
+			for _, v := range axis.Seq {
+				if v.Kind != ScalarNode {
+					return nil, fmt.Errorf("line %d: job %q matrix axis %q has a non-scalar entry", v.Line, id, k)
+				}
+				j.Matrix[k] = append(j.Matrix[k], v.Scalar)
+			}
+		}
+	}
+
+	steps := n.Map["steps"]
+	if steps == nil || steps.Kind != SeqNode || len(steps.Seq) == 0 {
+		return nil, fmt.Errorf("line %d: job %q needs a non-empty 'steps' sequence", n.Line, id)
+	}
+	for i, sn := range steps.Seq {
+		st, err := validateStep(id, i, sn)
+		if err != nil {
+			return nil, err
+		}
+		j.Steps = append(j.Steps, st)
+	}
+	return j, nil
+}
+
+func validateStep(jobID string, idx int, n *Node) (*Step, error) {
+	if n == nil || n.Kind != MapNode {
+		return nil, fmt.Errorf("job %q step %d must be a map", jobID, idx)
+	}
+	st := &Step{
+		Name: n.Get("name").Str(),
+		Run:  n.Get("run").Str(),
+		Uses: n.Get("uses").Str(),
+		If:   n.Get("if").Str(),
+	}
+	if (st.Run == "") == (st.Uses == "") {
+		return nil, fmt.Errorf("line %d: job %q step %d must have exactly one of 'run' or 'uses'", n.Line, jobID, idx)
+	}
+	if st.Uses != "" && !strings.Contains(st.Uses, "@") {
+		return nil, fmt.Errorf("line %d: job %q step %d: action %q is not version-pinned (missing @ref)", n.Line, jobID, idx, st.Uses)
+	}
+	if w := n.Map["with"]; w != nil {
+		if w.Kind != MapNode {
+			return nil, fmt.Errorf("line %d: job %q step %d: 'with' must be a map", w.Line, jobID, idx)
+		}
+		if st.Uses == "" {
+			return nil, fmt.Errorf("line %d: job %q step %d: 'with' requires 'uses'", w.Line, jobID, idx)
+		}
+		st.With = map[string]string{}
+		for _, k := range w.Keys {
+			st.With[k] = w.Map[k].Str()
+		}
+	}
+	return st, nil
+}
+
+func kindOf(n *Node) string {
+	if n == nil {
+		return "nothing"
+	}
+	return n.Kind.String()
+}
+
+// RunsContaining returns the IDs of jobs with at least one run step whose
+// script contains substr, sorted. Tests use it to assert the pipeline
+// actually invokes the repository's gate scripts.
+func (w *Workflow) RunsContaining(substr string) []string {
+	var ids []string
+	for id, j := range w.Jobs {
+		for _, st := range j.Steps {
+			if st.Run != "" && strings.Contains(st.Run, substr) {
+				ids = append(ids, id)
+				break
+			}
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}

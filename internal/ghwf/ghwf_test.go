@@ -1,0 +1,275 @@
+package ghwf
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Node {
+	t.Helper()
+	n, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return n
+}
+
+func TestParseScalarMapSeq(t *testing.T) {
+	n := mustParse(t, `
+name: demo
+list:
+  - one
+  - two
+nested:
+  inner: value
+`)
+	if got := n.Get("name").Str(); got != "demo" {
+		t.Errorf("name = %q", got)
+	}
+	list := n.Get("list")
+	if list.Kind != SeqNode || len(list.Seq) != 2 || list.Seq[1].Scalar != "two" {
+		t.Errorf("list = %+v", list)
+	}
+	if got := n.Get("nested", "inner").Str(); got != "value" {
+		t.Errorf("nested.inner = %q", got)
+	}
+	if !reflect.DeepEqual(n.Keys, []string{"name", "list", "nested"}) {
+		t.Errorf("key order = %v", n.Keys)
+	}
+}
+
+func TestParseSeqOfMaps(t *testing.T) {
+	n := mustParse(t, `
+steps:
+  - name: first
+    run: echo hi
+  - name: second
+    uses: actions/checkout@v4
+    with:
+      fetch-depth: 0
+`)
+	steps := n.Get("steps")
+	if len(steps.Seq) != 2 {
+		t.Fatalf("want 2 steps, got %d", len(steps.Seq))
+	}
+	if got := steps.Seq[0].Get("run").Str(); got != "echo hi" {
+		t.Errorf("step 0 run = %q", got)
+	}
+	if got := steps.Seq[1].Get("with", "fetch-depth").Str(); got != "0" {
+		t.Errorf("step 1 fetch-depth = %q", got)
+	}
+}
+
+func TestParseLiteralBlock(t *testing.T) {
+	n := mustParse(t, `
+job:
+  run: |
+    first line
+    if x; then
+      indented
+    fi
+  after: yes
+`)
+	want := "first line\nif x; then\n  indented\nfi"
+	if got := n.Get("job", "run").Str(); got != want {
+		t.Errorf("literal block = %q, want %q", got, want)
+	}
+	if got := n.Get("job", "after").Str(); got != "yes" {
+		t.Errorf("key after literal block = %q", got)
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	n := mustParse(t, `
+# leading comment
+a: 1
+
+# interior comment
+b: 2
+`)
+	if n.Get("a").Str() != "1" || n.Get("b").Str() != "2" {
+		t.Errorf("parsed %+v", n)
+	}
+}
+
+func TestParseEmptyValue(t *testing.T) {
+	n := mustParse(t, `
+on:
+  push:
+  pull_request:
+`)
+	pr := n.Get("on", "pull_request")
+	if pr == nil || pr.Kind != ScalarNode || pr.Scalar != "" {
+		t.Errorf("bare trigger = %+v, want empty scalar", pr)
+	}
+}
+
+func TestParseRejectsOutsideSubset(t *testing.T) {
+	cases := map[string]string{
+		"tab indent":     "a:\n\tb: 1\n",
+		"flow sequence":  "a: [1, 2]\n",
+		"flow map":       "a: {b: 1}\n",
+		"anchor":         "a: &x 1\n",
+		"alias":          "a: *x\n",
+		"duplicate key":  "a: 1\na: 2\n",
+		"empty document": "# nothing\n",
+		"seq in map":     "a: 1\n- b\n",
+		"over-indent":    "a:\n    b: 1\n  c: 2\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+func workflowNode(t *testing.T, body string) *Node {
+	t.Helper()
+	return mustParse(t, `
+name: w
+on:
+  push:
+jobs:
+`+body)
+}
+
+func TestValidateRejectsBrokenJobs(t *testing.T) {
+	cases := map[string]string{
+		"missing runs-on": `
+  j:
+    steps:
+      - run: true
+`,
+		"no steps": `
+  j:
+    runs-on: ubuntu-latest
+`,
+		"step with run and uses": `
+  j:
+    runs-on: ubuntu-latest
+    steps:
+      - run: true
+        uses: actions/checkout@v4
+`,
+		"step with neither": `
+  j:
+    runs-on: ubuntu-latest
+    steps:
+      - name: hollow
+`,
+		"unpinned action": `
+  j:
+    runs-on: ubuntu-latest
+    steps:
+      - uses: actions/checkout
+`,
+		"empty matrix axis": `
+  j:
+    runs-on: ubuntu-latest
+    strategy:
+      matrix:
+        go:
+    steps:
+      - run: true
+`,
+	}
+	for name, body := range cases {
+		if _, err := Validate(workflowNode(t, body)); err == nil {
+			t.Errorf("%s: validated without error", name)
+		}
+	}
+}
+
+// TestCIWorkflowIsValid is the repository's stand-in for actionlint: the
+// committed pipeline definition must parse in the supported subset and
+// satisfy the workflow schema checks.
+func TestCIWorkflowIsValid(t *testing.T) {
+	path := filepath.Join("..", "..", ".github", "workflows", "ci.yml")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	root, err := Parse(src)
+	if err != nil {
+		t.Fatalf("ci.yml does not parse in the supported subset: %v", err)
+	}
+	wf, err := Validate(root)
+	if err != nil {
+		t.Fatalf("ci.yml fails workflow validation: %v", err)
+	}
+
+	if wf.Name != "ci" {
+		t.Errorf("workflow name = %q, want ci", wf.Name)
+	}
+	for _, id := range []string{"tier1", "bench", "lint"} {
+		if wf.Jobs[id] == nil {
+			t.Fatalf("ci.yml is missing the %q job", id)
+		}
+	}
+
+	// The tier1 job must run the actual gate script across the two most
+	// recent Go releases (setup-go's evergreen aliases).
+	tier1 := wf.Jobs["tier1"]
+	if got := wf.RunsContaining("scripts/tier1.sh"); len(got) == 0 || got[0] != "tier1" {
+		t.Errorf("jobs running scripts/tier1.sh = %v, want [tier1]", got)
+	}
+	if got := tier1.Matrix["go"]; !reflect.DeepEqual(got, []string{"stable", "oldstable"}) {
+		t.Errorf("tier1 go matrix = %v, want [stable oldstable]", got)
+	}
+	for _, j := range wf.Jobs {
+		var cached bool
+		for _, st := range j.Steps {
+			if strings.HasPrefix(st.Uses, "actions/setup-go@") && st.With["cache"] != "false" {
+				cached = true
+			}
+		}
+		if !cached {
+			t.Errorf("job %q does not set up Go with module/build caching", j.ID)
+		}
+	}
+
+	// The bench job is advisory, runs the snapshot script with a
+	// regression threshold, and always uploads the snapshot artifact.
+	bench := wf.Jobs["bench"]
+	if !bench.ContinueOnError {
+		t.Error("bench job must be continue-on-error (non-blocking)")
+	}
+	var benchRun, uploads bool
+	for _, st := range bench.Steps {
+		if strings.Contains(st.Run, "scripts/bench.sh") && strings.Contains(st.Run, "-fail-over") {
+			benchRun = true
+		}
+		if strings.HasPrefix(st.Uses, "actions/upload-artifact@") {
+			uploads = true
+			if st.If != "always()" {
+				t.Errorf("artifact upload must run on failure too, if = %q", st.If)
+			}
+			if !strings.Contains(st.With["path"], "BENCH_") {
+				t.Errorf("artifact path = %q, want the BENCH_*.json snapshots", st.With["path"])
+			}
+		}
+	}
+	if !benchRun {
+		t.Error("bench job does not run scripts/bench.sh with -fail-over")
+	}
+	if !uploads {
+		t.Error("bench job does not upload the snapshot artifact")
+	}
+
+	// The lint job covers gofmt and go vet.
+	var gofmtStep, vetStep bool
+	for _, st := range wf.Jobs["lint"].Steps {
+		if strings.Contains(st.Run, "gofmt -l") {
+			gofmtStep = true
+		}
+		if strings.Contains(st.Run, "go vet") {
+			vetStep = true
+		}
+	}
+	if !gofmtStep || !vetStep {
+		t.Errorf("lint job gofmt/vet coverage: gofmt=%v vet=%v", gofmtStep, vetStep)
+	}
+}

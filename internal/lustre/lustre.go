@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"insituviz/internal/power"
+	"insituviz/internal/telemetry"
 	"insituviz/internal/units"
 )
 
@@ -77,6 +78,44 @@ type Cluster struct {
 	// busy is the merged set of intervals during which the data path was
 	// active, kept sorted and non-overlapping.
 	busy []interval
+
+	// Metric handles (nil without SetTelemetry; nil handles are no-ops).
+	mWritten  *telemetry.Counter
+	mRead     *telemetry.Counter
+	mFiles    *telemetry.Counter
+	mMetaOps  *telemetry.Counter
+	mStallMS  *telemetry.Counter
+	mXferSize *telemetry.Histogram
+}
+
+// TransferSizeBuckets are the upper bounds (bytes) of the
+// lustre.transfer.bytes histogram, spanning image-sized writes (KB-MB)
+// through raw-dump reads and writes (MB-GB).
+var TransferSizeBuckets = []float64{
+	64 << 10, 1 << 20, 16 << 20, 256 << 20, 1 << 30, 16 << 30,
+}
+
+// SetTelemetry registers the rack's metrics in reg: byte counters for
+// both data-path directions (lustre.written.bytes, lustre.read.bytes),
+// file and metadata operation counts, the lustre.transfer.bytes size
+// histogram, and lustre.stall.ms — the cumulative simulated milliseconds
+// the shared data path was occupied by transfers, i.e. the I/O stall time
+// a compute client pays waiting on the rack. A nil registry detaches the
+// instrumentation.
+func (c *Cluster) SetTelemetry(reg *telemetry.Registry) {
+	c.mWritten = reg.Counter("lustre.written.bytes")
+	c.mRead = reg.Counter("lustre.read.bytes")
+	c.mFiles = reg.Counter("lustre.files.created")
+	c.mMetaOps = reg.Counter("lustre.metadata.ops")
+	c.mStallMS = reg.Counter("lustre.stall.ms")
+	c.mXferSize = reg.Histogram("lustre.transfer.bytes", TransferSizeBuckets)
+}
+
+// noteTransfer records one data-path transfer in the telemetry stream.
+func (c *Cluster) noteTransfer(size units.Bytes, start, end units.Seconds) {
+	c.mMetaOps.Inc()
+	c.mXferSize.Observe(float64(size))
+	c.mStallMS.Add(int64(float64(end-start) * 1e3))
 }
 
 type interval struct{ start, end units.Seconds }
@@ -187,6 +226,9 @@ func (c *Cluster) Write(name string, size units.Bytes, start units.Seconds) (uni
 
 	end := start + c.cfg.Bandwidth.TimeToTransfer(size)
 	c.markBusy(start, end)
+	c.mWritten.Add(int64(size))
+	c.mFiles.Inc()
+	c.noteTransfer(size, start, end)
 	return end, nil
 }
 
@@ -204,6 +246,8 @@ func (c *Cluster) Read(name string, start units.Seconds) (units.Seconds, error) 
 	c.stats.MetadataOps++ // open on the MDS
 	end := start + c.cfg.Bandwidth.TimeToTransfer(f.size)
 	c.markBusy(start, end)
+	c.mRead.Add(int64(f.size))
+	c.noteTransfer(f.size, start, end)
 	return end, nil
 }
 
@@ -225,6 +269,8 @@ func (c *Cluster) ReadAt(name string, start units.Seconds, rate units.BytesPerSe
 	c.stats.MetadataOps++
 	end := start + rate.TimeToTransfer(f.size)
 	c.markBusy(start, end)
+	c.mRead.Add(int64(f.size))
+	c.noteTransfer(f.size, start, end)
 	return end, nil
 }
 

@@ -3,6 +3,8 @@ package ocean
 import (
 	"math"
 	"testing"
+
+	"insituviz/internal/telemetry"
 )
 
 // allocReadyModel returns a warmed-up model/state pair: one Step has run so
@@ -165,5 +167,41 @@ func TestOkuboWeissIntoRejectsWrongSize(t *testing.T) {
 	md, s, _ := allocReadyModel(t, -1)
 	if err := md.OkuboWeissInto(s, make([]float64, 3)); err == nil {
 		t.Error("expected size-mismatch error")
+	}
+}
+
+// TestStepSteadyStateAllocsWithTelemetry proves the PR 2 contract: the
+// 0 allocs/op Step budget survives with a telemetry registry attached —
+// the counters are atomic adds and the step span's timer is a value type,
+// whether or not the entry is sampled.
+func TestStepSteadyStateAllocsWithTelemetry(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by race-detector instrumentation")
+	}
+	reg := telemetry.NewRegistry()
+	md := testModel(t, 4, Config{Viscosity: 1e5, Workers: -1, Telemetry: reg})
+	s, err := UnstableJet(md, DefaultGalewsky())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := md.SuggestedTimestep(10000)
+	if err := md.Step(s, dt); err != nil {
+		t.Fatal(err)
+	}
+	md.OkuboWeiss(s)
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := md.Step(s, dt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("instrumented Step allocates %.1f objects per run, want 0", allocs)
+	}
+	if got := reg.Counter("ocean.steps").Value(); got < 21 {
+		t.Errorf("ocean.steps = %d, want at least the 21 steps taken", got)
+	}
+	sp := reg.Snapshot().Spans["ocean.step.time"]
+	if sp.Entries == 0 || sp.Sampled == 0 {
+		t.Errorf("step span did not record: %+v", sp)
 	}
 }

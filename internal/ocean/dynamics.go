@@ -61,6 +61,7 @@ func (md *Model) ComputeDiagnosticsInto(s *State, d *Diagnostics) error {
 }
 
 func (md *Model) computeDiagnosticsInto(s *State, d *Diagnostics) {
+	md.instr.diagEvals.Inc()
 	md.sc.loopS, md.sc.loopD = s, d
 	md.parallelFor(md.Mesh.NCells(), md.sc.diagCells)
 	md.parallelFor(md.Mesh.NVertices(), md.sc.diagVerts)
@@ -98,6 +99,9 @@ func (md *Model) Step(s *State, dt float64) error {
 	if dt <= 0 {
 		return fmt.Errorf("ocean: non-positive timestep %g", dt)
 	}
+	md.instr.steps.Inc()
+	tm := md.instr.stepTime.Start()
+	defer tm.End()
 	md.ensureStages()
 	k1, k2, k3, k4 := md.sc.stages[0], md.sc.stages[1], md.sc.stages[2], md.sc.stages[3]
 	tmp := md.sc.tmp

@@ -6,6 +6,7 @@ import (
 
 	"insituviz/internal/linalg"
 	"insituviz/internal/mesh"
+	"insituviz/internal/telemetry"
 )
 
 // Gravity is the standard gravitational acceleration (m/s^2), the value
@@ -29,6 +30,32 @@ type Config struct {
 	// execution. Results are bit-identical at any worker count (chunks are
 	// disjoint and each index writes only its own slot).
 	Workers int
+	// Telemetry, when non-nil, receives the model's runtime metrics:
+	// ocean.steps / ocean.diag.evals / ocean.okubo.evals counters and the
+	// sampled ocean.step.time span. A nil registry costs the hot path
+	// nothing beyond nil checks; with a registry attached the cost is a
+	// handful of atomic operations per step and zero allocations (see the
+	// alloc guards in alloc_test.go).
+	Telemetry *telemetry.Registry
+}
+
+// instruments holds the model's metric handles, resolved once at NewModel
+// so the hot path never performs a registry lookup. All handles may be nil
+// (no registry), which every metric method treats as a no-op.
+type instruments struct {
+	steps     *telemetry.Counter
+	stepTime  *telemetry.Span
+	diagEvals *telemetry.Counter
+	okubo     *telemetry.Counter
+}
+
+func newInstruments(reg *telemetry.Registry) instruments {
+	return instruments{
+		steps:     reg.Counter("ocean.steps"),
+		stepTime:  reg.Span("ocean.step.time", telemetry.DefaultSpanPeriod),
+		diagEvals: reg.Counter("ocean.diag.evals"),
+		okubo:     reg.Counter("ocean.okubo.evals"),
+	}
 }
 
 // Model couples a mesh with physical parameters and the precomputed
@@ -80,6 +107,10 @@ type Model struct {
 	// sc holds the preallocated stage/diagnostics scratch and the bound
 	// loop bodies of the allocation-free hot path (see scratch.go).
 	sc stepScratch
+
+	// instr holds the metric handles resolved from Config.Telemetry;
+	// every handle may be nil, making the instrumentation a no-op.
+	instr instruments
 }
 
 // NewModel builds a model on m with the given configuration, precomputing
@@ -97,7 +128,8 @@ func NewModel(m *mesh.Mesh, cfg Config) (*Model, error) {
 	} else if omega < 0 {
 		omega = 0
 	}
-	md := &Model{Mesh: m, Omega: omega, Viscosity: cfg.Viscosity, workers: resolveWorkers(cfg.Workers)}
+	md := &Model{Mesh: m, Omega: omega, Viscosity: cfg.Viscosity, workers: resolveWorkers(cfg.Workers),
+		instr: newInstruments(cfg.Telemetry)}
 
 	md.coriolisEdge = make([]float64, m.NEdges())
 	md.vertexTangentSign = make([]float64, m.NEdges())

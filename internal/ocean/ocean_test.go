@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"insituviz/internal/mesh"
+	"insituviz/internal/telemetry"
 )
 
 func testModel(t testing.TB, subdiv int, cfg Config) *Model {
@@ -445,13 +446,22 @@ func TestSuggestedTimestep(t *testing.T) {
 	}
 }
 
+// BenchmarkStep642Cells runs with telemetry attached and -benchmem
+// semantics on: the reported allocs/op must stay 0 with the step counter
+// and sampled span live (the PR 2 acceptance gate).
 func BenchmarkStep642Cells(b *testing.B) {
-	md := testModel(b, 3, Config{Viscosity: 1e5})
+	md := testModel(b, 3, Config{Viscosity: 1e5, Telemetry: telemetry.NewRegistry()})
 	s, err := UnstableJet(md, DefaultGalewsky())
 	if err != nil {
 		b.Fatal(err)
 	}
 	dt := md.SuggestedTimestep(10000)
+	// Warm up the lazily allocated scratch so allocs/op measures the
+	// steady state.
+	if err := md.Step(s, dt); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := md.Step(s, dt); err != nil {

@@ -53,6 +53,7 @@ func (md *Model) OkuboWeissFrom(d *Diagnostics, out []float64) []float64 {
 
 func (md *Model) okuboWeissFromDiagnostics(d *Diagnostics, out []float64) {
 	m := md.Mesh
+	md.instr.okubo.Inc()
 	md.ensureOkubo()
 
 	// Phase 1: local (east, north) components of the reconstructed

@@ -170,7 +170,7 @@ func collectInTransit(w Workload, p Platform, simM, stgM *clustersim.Machine, st
 		return nil, err
 	}
 	computeTrace := power.SumTraces(simM.PowerTrace(), stgM.PowerTrace())
-	return &Metrics{
+	m := &Metrics{
 		Kind:            InTransit,
 		Workload:        w,
 		ExecutionTime:   end,
@@ -189,5 +189,7 @@ func collectInTransit(w Workload, p Platform, simM, stgM *clustersim.Machine, st
 		ComputeTrace:    computeTrace,
 		StorageTrace:    storageTrace,
 		Phases:          append(simM.Phases(), stgM.Phases()...),
-	}, nil
+	}
+	recordRunTelemetry(p, m)
+	return m, nil
 }

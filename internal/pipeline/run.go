@@ -6,6 +6,7 @@ import (
 	"insituviz/internal/clustersim"
 	"insituviz/internal/lustre"
 	"insituviz/internal/power"
+	"insituviz/internal/telemetry"
 	"insituviz/internal/units"
 )
 
@@ -54,6 +55,12 @@ type Platform struct {
 	// millisecond granularity the I/O stalls have; the flag exists for the
 	// ablation quantifying what the proposal would save.
 	IdleDuringIO bool
+	// Telemetry, when non-nil, receives the run's metrics: the storage
+	// rack's byte/stall counters (see lustre.SetTelemetry) plus the
+	// pipeline.* phase-time gauges and output counters recorded by
+	// collect. Simulated-platform runs report simulated milliseconds, not
+	// wall time.
+	Telemetry *telemetry.Registry
 }
 
 // ioPhase returns the phase kind charged while the machine waits on
@@ -132,6 +139,9 @@ func Run(k Kind, w Workload, p Platform) (*Metrics, error) {
 	storage, err := lustre.New(p.Storage)
 	if err != nil {
 		return nil, err
+	}
+	if p.Telemetry != nil {
+		storage.SetTelemetry(p.Telemetry)
 	}
 	switch k {
 	case PostProcessing, InSitu:
@@ -302,7 +312,25 @@ func collect(k Kind, w Workload, p Platform, machine *clustersim.Machine, storag
 		StorageTrace:    storageTrace,
 		Phases:          machine.Phases(),
 	}
+	recordRunTelemetry(p, m)
 	return m, nil
+}
+
+// recordRunTelemetry exposes the run's phase decomposition through the
+// platform's registry, in simulated milliseconds. Phase times are gauges
+// (one value per run); outputs and storage footprint accumulate as
+// counters so repeated runs against one registry total up.
+func recordRunTelemetry(p Platform, m *Metrics) {
+	reg := p.Telemetry
+	if reg == nil {
+		return
+	}
+	reg.Gauge("pipeline.sim.ms").Set(int64(float64(m.SimTime) * 1e3))
+	reg.Gauge("pipeline.iowait.ms").Set(int64(float64(m.IOTime) * 1e3))
+	reg.Gauge("pipeline.viz.ms").Set(int64(float64(m.VizTime) * 1e3))
+	reg.Gauge("pipeline.execution.ms").Set(int64(float64(m.ExecutionTime) * 1e3))
+	reg.Counter("pipeline.outputs").Add(int64(m.Outputs))
+	reg.Counter("pipeline.storage.used.bytes").Add(int64(m.StorageUsed))
 }
 
 // Improvement returns the fractional reduction of a metric going from

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"insituviz/internal/telemetry"
 	"insituviz/internal/units"
 )
 
@@ -75,6 +76,25 @@ type CinemaDB struct {
 	entries []CinemaEntry
 	total   units.Bytes
 	enc     PNGEncoder // reused across AddImage calls
+
+	// Metric handles (nil without SetTelemetry; nil handles are no-ops).
+	mFrames     *telemetry.Counter
+	mBytes      *telemetry.Counter
+	mFrameBytes *telemetry.Histogram
+}
+
+// FrameSizeBuckets are the upper bounds (bytes) of the
+// render.frame.bytes histogram: the paper's Cinema images are a few KB to
+// a few hundred KB, so the buckets are decade-ish steps across that range.
+var FrameSizeBuckets = []float64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+
+// SetTelemetry registers the database's metrics — render.frames,
+// render.encoded.bytes, and the render.frame.bytes size histogram — in
+// reg. A nil registry detaches the instrumentation.
+func (db *CinemaDB) SetTelemetry(reg *telemetry.Registry) {
+	db.mFrames = reg.Counter("render.frames")
+	db.mBytes = reg.Counter("render.encoded.bytes")
+	db.mFrameBytes = reg.Histogram("render.frame.bytes", FrameSizeBuckets)
 }
 
 // NewCinemaDB creates (or reuses) the database directory.
@@ -113,6 +133,9 @@ func (db *CinemaDB) AddImage(img image.Image, simTime float64, field string) (un
 	n := units.Bytes(len(data))
 	db.entries = append(db.entries, CinemaEntry{File: name, Time: simTime, Field: field, Bytes: int64(n)})
 	db.total += n
+	db.mFrames.Inc()
+	db.mBytes.Add(int64(n))
+	db.mFrameBytes.Observe(float64(n))
 	return n, nil
 }
 

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Snapshot is a point-in-time copy of every metric in a registry, the unit
+// of exposition. Both renderings are deterministic in shape: names appear
+// in sorted order (encoding/json sorts map keys; WriteText sorts
+// explicitly), so two snapshots holding identical values render
+// byte-identically regardless of the order metrics were registered or
+// updated in.
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters"`
+	Gauges     map[string]int64          `json:"gauges"`
+	Histograms map[string]HistogramValue `json:"histograms"`
+	Spans      map[string]SpanValue      `json:"spans"`
+}
+
+// Snapshot copies the current value of every registered metric. Individual
+// metric reads are atomic; the snapshot as a whole is not a consistent cut
+// under concurrent updates, which is the usual scrape contract. Returns an
+// empty snapshot on a nil registry.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramValue{},
+		Spans:      map[string]SpanValue{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.value()
+	}
+	for name, sp := range r.spans {
+		s.Spans[name] = sp.value()
+	}
+	return s
+}
+
+// MarshalJSON renders the bucket with an "+Inf" string upper bound for the
+// overflow bucket, which encoding/json cannot represent as a number.
+func (b BucketCount) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.UpperBound, 1) {
+		le = strconv.FormatFloat(b.UpperBound, 'g', -1, 64)
+	}
+	return json.Marshal(struct {
+		LE    string `json:"le"`
+		Count int64  `json:"count"`
+	}{le, b.Count})
+}
+
+// UnmarshalJSON accepts the MarshalJSON encoding.
+func (b *BucketCount) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    string `json:"le"`
+		Count int64  `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if raw.LE == "+Inf" {
+		b.UpperBound = math.Inf(1)
+	} else {
+		v, err := strconv.ParseFloat(raw.LE, 64)
+		if err != nil {
+			return fmt.Errorf("telemetry: bucket bound %q: %w", raw.LE, err)
+		}
+		b.UpperBound = v
+	}
+	b.Count = raw.Count
+	return nil
+}
+
+// WriteJSON writes the snapshot as indented JSON with a trailing newline —
+// the -telemetry output format of the CLIs.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry: marshal snapshot: %w", err)
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteText writes an expvar-style plain-text exposition: one
+// "kind name value" line per scalar metric in sorted name order, with
+// histograms and spans expanded into one line per component. The format is
+// stable and diff-friendly; it is what the tests assert on.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	for _, name := range sortedNames(s.Counters) {
+		if _, err := fmt.Fprintf(w, "counter %s %d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedNames(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "gauge %s %d\n", name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedNames(s.Histograms) {
+		hv := s.Histograms[name]
+		if _, err := fmt.Fprintf(w, "histogram %s count %d sum %g\n", name, hv.Count, hv.Sum); err != nil {
+			return err
+		}
+		for _, b := range hv.Buckets {
+			le := "+Inf"
+			if !math.IsInf(b.UpperBound, 1) {
+				le = strconv.FormatFloat(b.UpperBound, 'g', -1, 64)
+			}
+			if _, err := fmt.Fprintf(w, "histogram %s le %s %d\n", name, le, b.Count); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range sortedNames(s.Spans) {
+		sv := s.Spans[name]
+		if _, err := fmt.Fprintf(w, "span %s entries %d sampled %d sampled_ns %d estimated_ns %d\n",
+			name, sv.Entries, sv.Sampled, sv.SampledNanos, sv.EstimatedNanos); err != nil {
+			return err
+		}
+	}
+	return nil
+}

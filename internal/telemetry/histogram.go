@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket distribution: observations are counted into
+// the first bucket whose upper bound is >= the value (upper bounds are
+// inclusive, Prometheus-style), with an implicit +Inf overflow bucket. The
+// bucket layout is fixed at registration, so Observe is a binary search
+// plus one atomic increment — no allocation, safe for concurrent use.
+type Histogram struct {
+	bounds []float64 // strictly ascending upper bounds, excluding +Inf
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given ascending upper bounds on first use (later calls ignore the
+// bounds argument and return the existing histogram). Returns nil on a nil
+// registry. Panics on empty, unsorted, duplicated, or non-finite bounds —
+// bucket layout is static configuration, so misconfiguration is a
+// programming error.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	r.claim(name, "histogram")
+	h, err := newHistogram(bounds)
+	if err != nil {
+		panic(fmt.Sprintf("telemetry: histogram %q: %v", name, err))
+	}
+	r.histograms[name] = h
+	return h
+}
+
+func newHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("no buckets")
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		return nil, fmt.Errorf("bounds not ascending: %v", bounds)
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return nil, fmt.Errorf("non-finite bound %g", b)
+		}
+		if i > 0 && bounds[i-1] == b {
+			return nil, fmt.Errorf("duplicate bound %g", b)
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}, nil
+}
+
+// Observe records one value. NaN observations are dropped (they have no
+// place on the bucket axis). A nil Histogram ignores observations.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	// First bucket with bound >= v; len(bounds) is the +Inf bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations; 0 on nil.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations; 0 on nil.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// BucketCount is one histogram bucket in a snapshot: the count of
+// observations with value <= UpperBound (and greater than the previous
+// bound). The final bucket has UpperBound +Inf, rendered as "+Inf" in JSON
+// (math.Inf does not marshal).
+type BucketCount struct {
+	UpperBound float64 `json:"le"`
+	Count      int64   `json:"count"`
+}
+
+// HistogramValue is a point-in-time copy of a histogram.
+type HistogramValue struct {
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// value snapshots the histogram. The per-bucket loads are not mutually
+// atomic; under concurrent observation the buckets may momentarily sum to
+// slightly less than Count, which is the usual histogram-scrape contract.
+func (h *Histogram) value() HistogramValue {
+	hv := HistogramValue{
+		Count:   h.count.Load(),
+		Sum:     h.Sum(),
+		Buckets: make([]BucketCount, len(h.counts)),
+	}
+	for i := range h.counts {
+		bound := math.Inf(1)
+		if i < len(h.bounds) {
+			bound = h.bounds[i]
+		}
+		hv.Buckets[i] = BucketCount{UpperBound: bound, Count: h.counts[i].Load()}
+	}
+	return hv
+}

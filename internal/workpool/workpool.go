@@ -33,7 +33,73 @@ type task struct {
 var (
 	startOnce sync.Once
 	tasks     chan task
+	workers   atomic.Int64
 )
+
+// Pool activity counters, maintained with single atomic operations per
+// chunk so instrumentation never adds an allocation to the hot path. The
+// pool is process-wide, so these are lifetime totals; per-run accounting
+// diffs two Stats snapshots (see Snapshot).
+var (
+	statSubmitted atomic.Int64 // chunks enqueued to the shared queue
+	statInline    atomic.Int64 // chunks executed inline on a full queue
+	statHelped    atomic.Int64 // foreign chunks drained by a helping waiter
+	statHighwater atomic.Int64 // deepest observed queue occupancy
+)
+
+// Stats is a point-in-time copy of the pool's lifetime activity.
+type Stats struct {
+	// Submitted counts chunks enqueued to the shared queue; Inline counts
+	// chunks that fell back to inline execution because the queue was
+	// full. Submitted+Inline is the total fan-out chunk count (final
+	// chunks, which always run on the caller, are in neither).
+	Submitted int64
+	Inline    int64
+	// Helped counts chunks a waiting caller drained from the queue
+	// instead of parking — the pool's work-stealing occupancy signal.
+	Helped int64
+	// QueueHighwater is the deepest queue occupancy observed at
+	// submission time.
+	QueueHighwater int64
+	// Workers is the persistent worker count (0 until the pool first
+	// starts).
+	Workers int64
+}
+
+// Snapshot returns the pool's lifetime activity counters. Subtract an
+// earlier snapshot with Sub for per-run accounting.
+func Snapshot() Stats {
+	return Stats{
+		Submitted:      statSubmitted.Load(),
+		Inline:         statInline.Load(),
+		Helped:         statHelped.Load(),
+		QueueHighwater: statHighwater.Load(),
+		Workers:        workers.Load(),
+	}
+}
+
+// Sub returns the activity between an earlier snapshot prev and s. The
+// queue high-water mark and worker count are not differenced — they carry
+// over as the later snapshot's values.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Submitted:      s.Submitted - prev.Submitted,
+		Inline:         s.Inline - prev.Inline,
+		Helped:         s.Helped - prev.Helped,
+		QueueHighwater: s.QueueHighwater,
+		Workers:        s.Workers,
+	}
+}
+
+// noteDepth raises the queue high-water mark to d.
+func noteDepth(d int64) {
+	for {
+		cur := statHighwater.Load()
+		if d <= cur || statHighwater.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
 
 // start lazily launches the persistent workers, one per processor. Workers
 // live for the life of the process; they block on the queue when idle.
@@ -42,6 +108,7 @@ func start() {
 	if n < 1 {
 		n = 1
 	}
+	workers.Store(int64(n))
 	tasks = make(chan task, 8*n)
 	for i := 0; i < n; i++ {
 		go func() {
@@ -91,9 +158,12 @@ func Run(n, chunks int, fn func(lo, hi int)) {
 		pending.Add(1)
 		select {
 		case tasks <- task{fn: fn, lo: lo, hi: hi, pending: pending}:
+			statSubmitted.Add(1)
+			noteDepth(int64(len(tasks)))
 		default:
 			// Queue full (deep nesting or a huge fan-out): execute inline
 			// rather than block, which keeps nested Run calls deadlock-free.
+			statInline.Add(1)
 			fn(lo, hi)
 			pending.Add(-1)
 		}
@@ -105,6 +175,7 @@ func Run(n, chunks int, fn func(lo, hi int)) {
 	for pending.Load() > 0 {
 		select {
 		case t := <-tasks:
+			statHelped.Add(1)
 			t.fn(t.lo, t.hi)
 			t.pending.Add(-1)
 		default:

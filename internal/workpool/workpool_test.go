@@ -139,3 +139,58 @@ func BenchmarkRunFanOut(b *testing.B) {
 		})
 	}
 }
+
+// TestStatsAccounting checks the pool's telemetry counters: every chunk a
+// Run fans out is accounted as either submitted (to the queue) or inline
+// (queue-full fallback), the final chunk runs on the caller and is in
+// neither, and the high-water mark reflects observed queue occupancy.
+func TestStatsAccounting(t *testing.T) {
+	before := Snapshot()
+	const n, chunks = 10000, 8
+	var touched [n]int32
+	Run(n, chunks, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&touched[i], 1)
+		}
+	})
+	delta := Snapshot().Sub(before)
+	// ceil(10000/8) = 1250 per chunk -> 8 chunks, one of which (the
+	// final) runs on the caller without touching the counters.
+	if got := delta.Submitted + delta.Inline; got != chunks-1 {
+		t.Errorf("submitted+inline = %d, want %d", got, chunks-1)
+	}
+	if delta.Submitted > 0 && delta.QueueHighwater < 1 {
+		t.Errorf("chunks were enqueued but high-water mark is %d", delta.QueueHighwater)
+	}
+	if delta.Helped < 0 || delta.Helped > delta.Submitted {
+		t.Errorf("helped = %d out of %d submitted", delta.Helped, delta.Submitted)
+	}
+	if delta.Workers < 1 {
+		t.Errorf("workers = %d after a parallel Run", delta.Workers)
+	}
+	for i := range touched {
+		if touched[i] != 1 {
+			t.Fatalf("index %d touched %d times", i, touched[i])
+		}
+	}
+}
+
+// TestStatsRunAllocs: the instrumentation must not reintroduce per-Run
+// allocations.
+func TestStatsRunAllocs(t *testing.T) {
+	buf := make([]int64, 65536)
+	fn := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			buf[i]++
+		}
+	}
+	Run(len(buf), 4, fn) // warm the pool
+	allocs := testing.AllocsPerRun(20, func() {
+		Run(len(buf), 4, fn)
+	})
+	// Budget 2: the sync.Pool holding completion counters may be cleared
+	// by a GC between runs.
+	if allocs > 2 {
+		t.Errorf("instrumented Run allocates %.1f objects per call, want <= 2", allocs)
+	}
+}

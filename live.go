@@ -15,8 +15,10 @@ import (
 	"insituviz/internal/partition"
 	"insituviz/internal/pio"
 	"insituviz/internal/render"
+	"insituviz/internal/telemetry"
 	"insituviz/internal/units"
 	"insituviz/internal/vizpipe"
+	"insituviz/internal/workpool"
 )
 
 // LiveConfig configures a real (not simulated-machine) coupled run: the
@@ -131,6 +133,15 @@ type LiveResult struct {
 	// pays every refresh.
 	HaloBytesPerField Bytes
 
+	// Telemetry is the run's metric snapshot: solver step counts and
+	// sampled step wall time (ocean.*), worker-pool fan-out and queue
+	// occupancy (workpool.*), co-processing copies (catalyst.*), frames
+	// and encoded bytes (render.*), raw-dump traffic (live.raw.*), and
+	// the per-sample visualization span (live.sample.time). See the
+	// README's Telemetry section for the full metric name list and
+	// exposition format.
+	Telemetry *telemetry.Snapshot
+
 	OutputDir string
 }
 
@@ -152,11 +163,19 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 		return nil, fmt.Errorf("insituviz: %w", err)
 	}
 
+	// Every live run owns a fresh registry: the solver, worker pool,
+	// adaptor, and image database all report into it, and the final
+	// snapshot lands on LiveResult.Telemetry. The worker pool is
+	// process-wide, so its contribution is the difference between the
+	// pool's lifetime counters at the start and end of this run.
+	reg := telemetry.NewRegistry()
+	wp0 := workpool.Snapshot()
+
 	msh, err := mesh.NewIcosphere(cfg.MeshSubdivisions, mesh.EarthRadius)
 	if err != nil {
 		return nil, err
 	}
-	model, err := ocean.NewModel(msh, ocean.Config{Viscosity: cfg.Viscosity, Workers: cfg.Workers})
+	model, err := ocean.NewModel(msh, ocean.Config{Viscosity: cfg.Viscosity, Workers: cfg.Workers, Telemetry: reg})
 	if err != nil {
 		return nil, err
 	}
@@ -192,6 +211,7 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	db.SetTelemetry(reg)
 	tracker, err := eddy.NewTracker(msh.Radius, 2e6)
 	if err != nil {
 		return nil, err
@@ -221,12 +241,18 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 	composited := rast.NewFrame()
 	var coreFrame *image.RGBA
 
+	// Sampling points are rare (a handful per run), so the per-sample
+	// visualization span times every entry rather than sampling.
+	sampleSpan := reg.Span("live.sample.time", 1)
+
 	// visualize renders one Okubo-Weiss snapshot with the parallel
 	// rank-partitioned renderer, stores it in the Cinema database, and
 	// feeds the eddy tracker. cellVort, when non-nil, is the cell
 	// vorticity derived from the same diagnostics evaluation as the field
 	// and is used to classify eddy rotation sense.
 	visualize := func(simTime float64, field, cellVort []float64) error {
+		tm := sampleSpan.Start()
+		defer tm.End()
 		norm := render.SymmetricRange(field)
 		cm := render.OkuboWeissMap()
 		for i, mask := range masks {
@@ -323,11 +349,11 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 
 	switch cfg.Mode {
 	case InSitu:
-		if err := runLiveInSitu(cfg, model, state, dt, visualize); err != nil {
+		if err := runLiveInSitu(cfg, model, state, dt, reg, visualize); err != nil {
 			return nil, err
 		}
 	case PostProcessing:
-		raw, err := runLivePost(cfg, msh, model, state, dt, visualize)
+		raw, err := runLivePost(cfg, msh, model, state, dt, reg, visualize)
 		if err != nil {
 			return nil, err
 		}
@@ -348,6 +374,16 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 	res.Steps = cfg.Steps
 	res.Samples = cfg.Steps / cfg.SampleEverySteps
 	res.MaxVelocity = state.MaxAbsVelocity()
+
+	// Fold in this run's share of the process-wide worker pool activity,
+	// then freeze the registry into the result.
+	wp := workpool.Snapshot().Sub(wp0)
+	reg.Counter("workpool.chunks.submitted").Add(wp.Submitted)
+	reg.Counter("workpool.chunks.inline").Add(wp.Inline)
+	reg.Counter("workpool.chunks.helped").Add(wp.Helped)
+	reg.Gauge("workpool.queue.highwater").Set(wp.QueueHighwater)
+	reg.Gauge("workpool.workers").Set(wp.Workers)
+	res.Telemetry = reg.Snapshot()
 	return res, nil
 }
 
@@ -357,7 +393,7 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 // census's cell vorticity, and writes into buffers held across the run, so
 // the steady-state loop does not allocate.
 func runLiveInSitu(cfg LiveConfig, model *ocean.Model, state *ocean.State, dt float64,
-	visualize func(simTime float64, field, cellVort []float64) error) error {
+	reg *telemetry.Registry, visualize func(simTime float64, field, cellVort []float64) error) error {
 	adaptor, err := catalyst.NewAdaptor(cfg.SampleEverySteps)
 	if err != nil {
 		return err
@@ -365,6 +401,7 @@ func runLiveInSitu(cfg LiveConfig, model *ocean.Model, state *ocean.State, dt fl
 	// The live pipeline consumes each snapshot synchronously, so the
 	// adaptor can reuse its deep-copy buffer across invocations.
 	adaptor.SetReuse(true)
+	adaptor.SetTelemetry(reg)
 	diag := model.NewDiagnostics()
 	owBuf := make([]float64, model.Mesh.NCells())
 	cvBuf := make([]float64, model.Mesh.NCells())
@@ -400,7 +437,7 @@ func runLiveInSitu(cfg LiveConfig, model *ocean.Model, state *ocean.State, dt fl
 // them back and visualizes — the Fig. 1a workflow — returning the raw dump
 // volume.
 func runLivePost(cfg LiveConfig, msh *mesh.Mesh, model *ocean.Model, state *ocean.State, dt float64,
-	visualize func(simTime float64, field, cellVort []float64) error) (units.Bytes, error) {
+	reg *telemetry.Registry, visualize func(simTime float64, field, cellVort []float64) error) (units.Bytes, error) {
 	rawDir := filepath.Join(cfg.OutputDir, "raw")
 	if err := os.MkdirAll(rawDir, 0o755); err != nil {
 		return 0, fmt.Errorf("insituviz: %w", err)
@@ -426,8 +463,15 @@ func runLivePost(cfg LiveConfig, msh *mesh.Mesh, model *ocean.Model, state *ocea
 		return 0, err
 	}
 
+	// The dump/readback traffic is the post-processing pipeline's defining
+	// cost; expose it alongside the step/render counters.
+	rawBytesC := reg.Counter("live.raw.bytes")
+	rawDumpsC := reg.Counter("live.raw.dumps")
+	readbackC := reg.Counter("live.readback.bytes")
+
 	var rawBytes units.Bytes
 	var dumps []string
+	var sizes []int64
 	var times []float64
 	ow := make([]float64, msh.NCells()) // reused across samples
 	for step := 1; step <= cfg.Steps; step++ {
@@ -460,7 +504,10 @@ func runLivePost(cfg LiveConfig, msh *mesh.Mesh, model *ocean.Model, state *ocea
 			return 0, err
 		}
 		rawBytes += units.Bytes(n)
+		rawBytesC.Add(n)
+		rawDumpsC.Inc()
 		dumps = append(dumps, path)
+		sizes = append(sizes, n)
 		times = append(times, simTime)
 	}
 	// Post-processing phase: read every dump back and visualize.
@@ -469,6 +516,7 @@ func runLivePost(cfg LiveConfig, msh *mesh.Mesh, model *ocean.Model, state *ocea
 		if err != nil {
 			return 0, err
 		}
+		readbackC.Add(sizes[i])
 		id, err := f.VarID("okuboWeiss")
 		if err != nil {
 			return 0, err
