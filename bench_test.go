@@ -37,6 +37,7 @@ import (
 	"insituviz/internal/render"
 	"insituviz/internal/report"
 	"insituviz/internal/tempsample"
+	"insituviz/internal/trace"
 	"insituviz/internal/units"
 )
 
@@ -313,6 +314,34 @@ func BenchmarkLiveCoupledRun(b *testing.B) {
 		}
 		if res.Images != 2 {
 			b.Fatalf("images = %d", res.Images)
+		}
+	}
+}
+
+// BenchmarkLiveCoupledRunTraced is the same end-to-end run with the
+// timeline tracer attached and phase-aligned attribution computed at the
+// end — the observability overhead the tracer's zero-allocation hot path
+// is supposed to keep under 2% versus BenchmarkLiveCoupledRun.
+func BenchmarkLiveCoupledRunTraced(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := LiveRun(LiveConfig{
+			Mode:             InSitu,
+			MeshSubdivisions: 3,
+			Steps:            24,
+			SampleEverySteps: 12,
+			OutputDir:        b.TempDir(),
+			ImageWidth:       128,
+			ImageHeight:      64,
+			Tracer:           trace.New(trace.Options{}),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Images != 2 {
+			b.Fatalf("images = %d", res.Images)
+		}
+		if res.PhaseEnergy == nil {
+			b.Fatal("traced run produced no attribution")
 		}
 	}
 }

@@ -27,7 +27,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchsnap: ")
 
-	bench := flag.String("bench", "BenchmarkLiveCoupledRun|BenchmarkStepParallel10242Cells",
+	bench := flag.String("bench",
+		"BenchmarkLiveCoupledRun|BenchmarkStepParallel10242Cells|BenchmarkStep642Cells",
 		"benchmark regex passed to go test -bench")
 	pkgs := flag.String("pkgs", ".,./internal/ocean", "comma-separated packages holding the benchmarks")
 	dir := flag.String("dir", ".", "directory holding the BENCH_<n>.json trajectory")

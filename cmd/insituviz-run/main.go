@@ -20,6 +20,7 @@ import (
 	"insituviz/internal/pipeline"
 	"insituviz/internal/report"
 	"insituviz/internal/telemetry"
+	"insituviz/internal/trace"
 )
 
 func main() {
@@ -32,7 +33,8 @@ func main() {
 	months := flag.Float64("months", 6, "simulated duration in 30-day months")
 	gridKM := flag.Float64("grid-km", 60, "mesh resolution in km")
 	timestepMin := flag.Float64("timestep-min", 30, "simulation timestep in simulated minutes")
-	tracePath := flag.String("trace", "", "write a Chrome-tracing JSON of the run's phases to this file")
+	tracePath := flag.String("trace", "", "write a Chrome-tracing JSON of the run's phases (with power counter tracks) to this file")
+	httpAddr := flag.String("http", "", "serve /metrics and /trace on this address during the run (e.g. :8080; \":0\" picks a port)")
 	telemetryOut := flag.String("telemetry", "", "write the run's telemetry snapshot as JSON to this file (\"-\" for stdout, as text)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
@@ -74,9 +76,20 @@ func main() {
 	platform := insituviz.CaddyPlatform()
 	platform.StagingNodes = *stagingNodes
 	var reg *telemetry.Registry
-	if *telemetryOut != "" {
+	if *telemetryOut != "" || *httpAddr != "" {
 		reg = telemetry.NewRegistry()
 		platform.Telemetry = reg
+	}
+	var tracer *trace.Tracer
+	if *httpAddr != "" {
+		tracer = trace.New(trace.Options{})
+		platform.Tracer = tracer
+		addr, shutdown, err := trace.Serve(*httpAddr, trace.NewHandler(reg, tracer))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shutdown()
+		fmt.Printf("serving live exposition on http://%s/ (/metrics, /trace)\n", addr)
 	}
 	m, err := insituviz.RunPipeline(kind, w, platform)
 	if err != nil {
@@ -111,18 +124,35 @@ func main() {
 	tb.AddRow("outputs written", fmt.Sprintf("%d", m.Outputs))
 	fmt.Print(tb.String())
 
+	if m.Attribution != nil {
+		at := report.NewTable(fmt.Sprintf("phase-aligned energy attribution (%s meter)", m.Attribution.Meter),
+			"phase", "time", "energy", "avg power")
+		for _, p := range m.Attribution.Phases {
+			at.AddRow(p.Phase, p.Time.String(), p.Energy.String(), p.AvgPower.String())
+		}
+		at.AddRow("total", m.Attribution.Window.String(), m.Attribution.Total.String(), "")
+		fmt.Print(at.String())
+	}
+
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := pipeline.WriteChromeTrace(f, m.Phases); err != nil {
+		var counters []trace.CounterTrack
+		if m.ComputeProfile != nil {
+			counters = append(counters, trace.CounterTrack{Name: "compute power", Profile: m.ComputeProfile})
+		}
+		if m.StorageProfile != nil {
+			counters = append(counters, trace.CounterTrack{Name: "storage power", Profile: m.StorageProfile})
+		}
+		if err := pipeline.WriteChromeTrace(f, m.Phases, counters...); err != nil {
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("phase timeline written to %s (open in chrome://tracing)\n", *tracePath)
+		fmt.Printf("phase timeline written to %s (open in Perfetto or chrome://tracing)\n", *tracePath)
 	}
 
 	if reg != nil {

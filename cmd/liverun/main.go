@@ -16,9 +16,12 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"insituviz"
 	"insituviz/internal/report"
+	"insituviz/internal/telemetry"
+	"insituviz/internal/trace"
 )
 
 func main() {
@@ -36,6 +39,9 @@ func main() {
 	workers := flag.Int("workers", 0, "solver worker count (0 = GOMAXPROCS, negative = serial)")
 	out := flag.String("out", "", "output directory (default: temp dir)")
 	telemetryOut := flag.String("telemetry", "", "write the run's telemetry snapshot as JSON to this file (\"-\" for stdout, as text)")
+	traceOut := flag.String("trace", "", "write the run's timeline as Chrome trace-event JSON to this file (open in Perfetto)")
+	attribOut := flag.String("attrib", "", "write the per-phase energy attribution to this file (JSON, or CSV with a .csv suffix)")
+	httpAddr := flag.String("http", "", "serve /metrics and /trace on this address during the run (e.g. :8080; \":0\" picks a port)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
@@ -73,6 +79,24 @@ func main() {
 		}
 	}
 
+	// The tracer and (shared) registry exist whenever any observability
+	// flag asks for them; -http additionally exposes both live while the
+	// run executes.
+	var tracer *trace.Tracer
+	if *traceOut != "" || *attribOut != "" || *httpAddr != "" {
+		tracer = trace.New(trace.Options{})
+	}
+	var reg *telemetry.Registry
+	if *httpAddr != "" {
+		reg = telemetry.NewRegistry()
+		addr, shutdown, err := trace.Serve(*httpAddr, trace.NewHandler(reg, tracer))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shutdown()
+		fmt.Printf("serving live exposition on http://%s/ (/metrics, /trace)\n", addr)
+	}
+
 	res, err := insituviz.LiveRun(insituviz.LiveConfig{
 		Mode:             kind,
 		MeshSubdivisions: *subdiv,
@@ -84,6 +108,8 @@ func main() {
 		RenderRanks:      *ranks,
 		OrthoViews:       *orthoViews,
 		Workers:          *workers,
+		Telemetry:        reg,
+		Tracer:           tracer,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -120,6 +146,56 @@ func main() {
 	tb.AddRow("halo exchange per field", res.HaloBytesPerField.String())
 	tb.AddRow("output directory", res.OutputDir)
 	fmt.Print(tb.String())
+
+	if res.PhaseEnergy != nil {
+		at := report.NewTable(fmt.Sprintf("phase-aligned energy attribution (%s meter)", res.PhaseEnergy.Meter),
+			"phase", "time", "energy", "avg power")
+		for _, p := range res.PhaseEnergy.Phases {
+			at.AddRow(p.Phase, p.Time.String(), p.Energy.String(), p.AvgPower.String())
+		}
+		at.AddRow("total", res.PhaseEnergy.Window.String(), res.PhaseEnergy.Total.String(), "")
+		fmt.Print(at.String())
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var counters []trace.CounterTrack
+		if res.PowerProfile != nil {
+			counters = append(counters, trace.CounterTrack{Name: "node-model power", Profile: res.PowerProfile})
+		}
+		if err := trace.WriteChrome(f, res.Timeline, counters...); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("timeline written to %s (open in Perfetto or chrome://tracing)\n", *traceOut)
+	}
+
+	if *attribOut != "" {
+		if res.PhaseEnergy == nil {
+			log.Fatal("-attrib: run produced no attribution (no driver spans recorded)")
+		}
+		f, err := os.Create(*attribOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if strings.HasSuffix(*attribOut, ".csv") {
+			err = res.PhaseEnergy.WriteCSV(f)
+		} else {
+			err = res.PhaseEnergy.WriteJSON(f)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("attribution written to %s\n", *attribOut)
+	}
 
 	switch *telemetryOut {
 	case "":

@@ -1,0 +1,89 @@
+// Command tracecheck validates the trace artifacts a run exports — the CI
+// smoke gate for the observability stack. It checks that a Chrome
+// trace-event JSON file parses and carries the required fields (name, ph,
+// ts, pid, tid) on every event, and that an attribution report's per-phase
+// energies sum to its total within 1e-9 relative — the conservation
+// contract of the attribution engine.
+//
+// Usage:
+//
+//	tracecheck -trace out.json -attrib attrib.json
+//	tracecheck -trace out.json -want-counters
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"insituviz/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracecheck: ")
+
+	tracePath := flag.String("trace", "", "Chrome trace-event JSON file to validate")
+	attribPath := flag.String("attrib", "", "attribution JSON file to validate (phase energies must sum to the total)")
+	wantCounters := flag.Bool("want-counters", false, "require at least one power counter event in the trace")
+	flag.Parse()
+
+	if *tracePath == "" && *attribPath == "" {
+		log.Fatal("nothing to check: pass -trace and/or -attrib")
+	}
+
+	if *tracePath != "" {
+		data, err := os.ReadFile(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		events, counters, err := trace.ValidateChrome(data)
+		if err != nil {
+			log.Fatalf("%s: %v", *tracePath, err)
+		}
+		if *wantCounters && counters == 0 {
+			log.Fatalf("%s: no power counter events", *tracePath)
+		}
+		fmt.Printf("%s: ok (%d events, %d counter samples)\n", *tracePath, events, counters)
+	}
+
+	if *attribPath != "" {
+		data, err := os.ReadFile(*attribPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var att trace.Attribution
+		if err := json.Unmarshal(data, &att); err != nil {
+			log.Fatalf("%s: %v", *attribPath, err)
+		}
+		if len(att.Phases) == 0 {
+			log.Fatalf("%s: no phases", *attribPath)
+		}
+		var sum float64
+		for _, p := range att.Phases {
+			sum += float64(p.Energy)
+		}
+		total := float64(att.Total)
+		if err := relClose(sum, total, 1e-9); err != nil {
+			log.Fatalf("%s: phase energies do not sum to the total: %v", *attribPath, err)
+		}
+		fmt.Printf("%s: ok (%d phases, %.6g J total, conservation within 1e-9)\n",
+			*attribPath, len(att.Phases), total)
+	}
+}
+
+// relClose errors unless a and b agree within tol relative (absolute when
+// both are near zero).
+func relClose(a, b, tol float64) error {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	if diff := math.Abs(a - b); diff > tol*scale {
+		return fmt.Errorf("%g vs %g (diff %g, tolerance %g)", a, b, diff, tol*scale)
+	}
+	return nil
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"insituviz/internal/power"
+	"insituviz/internal/trace"
 	"insituviz/internal/units"
 )
 
@@ -124,6 +125,7 @@ type Machine struct {
 	cageTraces []*power.Trace
 	cageNodes  []int
 	phases     []Phase
+	lane       *trace.Lane
 }
 
 // New builds a machine from cfg.
@@ -154,6 +156,12 @@ func New(cfg Config) (*Machine, error) {
 
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
+
+// SetTrace attaches a timeline lane: every executed phase is additionally
+// recorded as a span at simulated time (span name = phase kind, so
+// attribution groups by kind exactly as the paper's figures do; the
+// phase label rides along as the span detail). A nil lane detaches.
+func (m *Machine) SetTrace(lane *trace.Lane) { m.lane = lane }
 
 // Clock returns the current simulated time.
 func (m *Machine) Clock() units.Seconds { return m.clock }
@@ -213,9 +221,13 @@ func (m *Machine) Run(kind PhaseKind, d units.Seconds, label string) error {
 		}
 	}
 	m.phases = append(m.phases, Phase{Kind: kind, Label: label, Start: start, End: end})
+	m.lane.SpanAt(kind.String(), label, simNanos(start), simNanos(end))
 	m.clock = end
 	return nil
 }
+
+// simNanos converts simulated seconds to the tracer's nanosecond axis.
+func simNanos(s units.Seconds) int64 { return int64(float64(s) * 1e9) }
 
 // RunUntil executes a phase from the current clock to absolute time t,
 // used to wait for an asynchronous storage completion.

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"insituviz/internal/trace"
 	"insituviz/internal/units"
 )
 
@@ -254,5 +255,47 @@ func TestPowerAtClamps(t *testing.T) {
 	want := (float64(m.IdlePower()) + float64(m.BusyPower())) / 2
 	if math.Abs(float64(mid)-want) > 1e-9 {
 		t.Errorf("PowerAt(0.5) = %v, want %v", mid, want)
+	}
+}
+
+// TestSetTrace: with a lane attached, every executed phase is mirrored as
+// a span at simulated time, named by kind with the label as detail.
+func TestSetTrace(t *testing.T) {
+	m, err := New(Caddy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(trace.Options{})
+	m.SetTrace(tr.Lane("machine"))
+	if err := m.Run(PhaseSimulate, 120, "window"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunUntil(PhaseIOWait, 150, "dump"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(PhaseVisualize, 0, "zero-length"); err != nil {
+		t.Fatal(err) // zero-duration phases are skipped, not recorded
+	}
+	lt := tr.Snapshot().Lane("machine")
+	if lt == nil || len(lt.Spans) != 2 {
+		t.Fatalf("spans = %+v", lt)
+	}
+	s0, s1 := lt.Spans[0], lt.Spans[1]
+	if s0.Name != PhaseSimulate.String() || s0.Detail != "window" {
+		t.Errorf("span 0 = %+v", s0)
+	}
+	if float64(s0.Start) != 0 || float64(s0.End) != 120 {
+		t.Errorf("span 0 window = [%v, %v]", s0.Start, s0.End)
+	}
+	if s1.Name != PhaseIOWait.String() || float64(s1.End) != 150 {
+		t.Errorf("span 1 = %+v", s1)
+	}
+	// Detaching stops recording; the machine keeps running.
+	m.SetTrace(nil)
+	if err := m.Run(PhaseSimulate, 10, "untraced"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Snapshot().Lane("machine").Spans); got != 2 {
+		t.Errorf("spans after detach = %d", got)
 	}
 }

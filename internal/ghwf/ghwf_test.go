@@ -204,7 +204,7 @@ func TestCIWorkflowIsValid(t *testing.T) {
 	if wf.Name != "ci" {
 		t.Errorf("workflow name = %q, want ci", wf.Name)
 	}
-	for _, id := range []string{"tier1", "bench", "lint"} {
+	for _, id := range []string{"tier1", "bench", "trace-smoke", "lint"} {
 		if wf.Jobs[id] == nil {
 			t.Fatalf("ci.yml is missing the %q job", id)
 		}
@@ -257,6 +257,29 @@ func TestCIWorkflowIsValid(t *testing.T) {
 	}
 	if !uploads {
 		t.Error("bench job does not upload the snapshot artifact")
+	}
+
+	// The trace-smoke job produces a traced live run, re-validates the
+	// Chrome export and the attribution's energy conservation with
+	// tracecheck, and uploads the artifacts even on failure.
+	var smokeRun, smokeCheck, smokeUpload bool
+	for _, st := range wf.Jobs["trace-smoke"].Steps {
+		if strings.Contains(st.Run, "cmd/liverun") && strings.Contains(st.Run, "-trace") {
+			smokeRun = true
+		}
+		if strings.Contains(st.Run, "cmd/tracecheck") && strings.Contains(st.Run, "-want-counters") {
+			smokeCheck = true
+		}
+		if strings.HasPrefix(st.Uses, "actions/upload-artifact@") {
+			smokeUpload = true
+			if st.If != "always()" {
+				t.Errorf("trace artifact upload must run on failure too, if = %q", st.If)
+			}
+		}
+	}
+	if !smokeRun || !smokeCheck || !smokeUpload {
+		t.Errorf("trace-smoke coverage: run=%v check=%v upload=%v",
+			smokeRun, smokeCheck, smokeUpload)
 	}
 
 	// The lint job covers gofmt and go vet.

@@ -6,6 +6,7 @@ import (
 
 	"insituviz/internal/mesh"
 	"insituviz/internal/telemetry"
+	"insituviz/internal/trace"
 )
 
 func testModel(t testing.TB, subdiv int, cfg Config) *Model {
@@ -465,6 +466,32 @@ func BenchmarkStep642Cells(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := md.Step(s, dt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStep642CellsTraced reruns the gate above with a trace lane
+// recording a span per step: allocs/op must still read 0, proving the
+// tracer's hot path adds nothing to the solver loop.
+func BenchmarkStep642CellsTraced(b *testing.B) {
+	md := testModel(b, 3, Config{Viscosity: 1e5, Telemetry: telemetry.NewRegistry()})
+	s, err := UnstableJet(md, DefaultGalewsky())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dt := md.SuggestedTimestep(10000)
+	if err := md.Step(s, dt); err != nil {
+		b.Fatal(err)
+	}
+	lane := trace.New(trace.Options{LaneCapacity: 4 * 1024}).Lane("solver")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lane.Begin("sim.step")
+		err := md.Step(s, dt)
+		lane.End()
+		if err != nil {
 			b.Fatal(err)
 		}
 	}

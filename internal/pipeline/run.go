@@ -7,6 +7,7 @@ import (
 	"insituviz/internal/lustre"
 	"insituviz/internal/power"
 	"insituviz/internal/telemetry"
+	"insituviz/internal/trace"
 	"insituviz/internal/units"
 )
 
@@ -61,6 +62,11 @@ type Platform struct {
 	// collect. Simulated-platform runs report simulated milliseconds, not
 	// wall time.
 	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, receives the run's timeline: the machine's
+	// phase log on a "machine" lane and the storage rack's write/read
+	// windows on a "storage" lane, all at simulated time, exportable as
+	// a Chrome trace with the metered power profiles as counter tracks.
+	Tracer *trace.Tracer
 }
 
 // ioPhase returns the phase kind charged while the machine waits on
@@ -129,6 +135,13 @@ type Metrics struct {
 	ComputeTrace   *power.Trace
 	StorageTrace   *power.Trace
 	Phases         []clustersim.Phase
+
+	// Attribution joins the phase log against the summed compute+storage
+	// profile: per-phase energies (simulate / io-wait / visualize / idle)
+	// that sum to Energy up to float64 rounding — the paper's
+	// phase-aligned energy breakdown. Nil for the in-transit pipeline,
+	// whose two partitions execute overlapping phase logs.
+	Attribution *trace.Attribution
 }
 
 // Run executes the selected pipeline for workload w on platform p.
@@ -149,6 +162,8 @@ func Run(k Kind, w Workload, p Platform) (*Metrics, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Nil-safe: a nil tracer yields nil lanes, and nil lanes no-op.
+		machine.SetTrace(p.Tracer.Lane(machineLane))
 		if k == PostProcessing {
 			return runPostProcessing(w, p, machine, storage)
 		}
@@ -174,6 +189,7 @@ func runPostProcessing(w Workload, p Platform, machine *clustersim.Machine, stor
 	steps := w.Steps()
 	outputs := w.Outputs()
 	raw := w.RawBytesPerOutput()
+	stg := p.Tracer.Lane("storage")
 
 	// Simulation with interleaved raw dumps.
 	for out := 0; out < outputs; out++ {
@@ -181,10 +197,12 @@ func runPostProcessing(w Workload, p Platform, machine *clustersim.Machine, stor
 			return nil, err
 		}
 		name := fmt.Sprintf("raw/output_%05d.nc", out)
-		done, err := storage.Write(name, raw, machine.Clock())
+		t0 := machine.Clock()
+		done, err := storage.Write(name, raw, t0)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: dump %d: %w", out, err)
 		}
+		stg.SpanAt("store.write", name, simNanos(t0), simNanos(done))
 		if err := machine.RunUntil(p.ioPhase(), done, "PIO raw dump"); err != nil {
 			return nil, err
 		}
@@ -207,6 +225,7 @@ func runPostProcessing(w Workload, p Platform, machine *clustersim.Machine, stor
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: readback %d: %w", out, err)
 		}
+		stg.SpanAt("store.read", name, simNanos(start), simNanos(readDone))
 		vizEnd := start + units.Seconds(RenderSecondsPerSet)
 		if readDone > vizEnd {
 			vizEnd = readDone // under-resolved reads dominate rendering
@@ -215,10 +234,12 @@ func runPostProcessing(w Workload, p Platform, machine *clustersim.Machine, stor
 			return nil, err
 		}
 		imgName := fmt.Sprintf("images/post_%05d.png", out)
-		done, err := storage.Write(imgName, imgBytes, machine.Clock())
+		t0 := machine.Clock()
+		done, err := storage.Write(imgName, imgBytes, t0)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: image %d: %w", out, err)
 		}
+		stg.SpanAt("store.write", imgName, simNanos(t0), simNanos(done))
 		if err := machine.RunUntil(p.ioPhase(), done, "image write"); err != nil {
 			return nil, err
 		}
@@ -241,6 +262,7 @@ func runInSitu(w Workload, p Platform, machine *clustersim.Machine, storage *lus
 	steps := w.Steps()
 	outputs := w.Outputs()
 	imgBytes := w.ImageBytesPerOutput()
+	stg := p.Tracer.Lane("storage")
 
 	// The Catalyst deep copy costs on-node memory traffic; at DRAM speeds
 	// it is microseconds per rank and is folded into the render phase.
@@ -252,10 +274,12 @@ func runInSitu(w Workload, p Platform, machine *clustersim.Machine, storage *lus
 			return nil, err
 		}
 		imgName := fmt.Sprintf("images/insitu_%05d.png", out)
-		done, err := storage.Write(imgName, imgBytes, machine.Clock())
+		t0 := machine.Clock()
+		done, err := storage.Write(imgName, imgBytes, t0)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: image %d: %w", out, err)
 		}
+		stg.SpanAt("store.write", imgName, simNanos(t0), simNanos(done))
 		if err := machine.RunUntil(p.ioPhase(), done, "image write"); err != nil {
 			return nil, err
 		}
@@ -311,6 +335,18 @@ func collect(k Kind, w Workload, p Platform, machine *clustersim.Machine, storag
 		ComputeTrace:    machine.PowerTrace(),
 		StorageTrace:    storageTrace,
 		Phases:          machine.Phases(),
+	}
+	// Phase-aligned attribution: join the phase log against the summed
+	// compute+storage profile. The intervals use the exact simulated-time
+	// floats from the phase log (not the ns-rounded lane data), so the
+	// per-phase energies reproduce Energy to float64 rounding.
+	total, err := power.SumProfiles(computeProf, storageProf)
+	if err != nil {
+		return nil, err
+	}
+	m.Attribution, err = trace.Attribute("compute+storage", PhaseIntervals(m.Phases), total)
+	if err != nil {
+		return nil, err
 	}
 	recordRunTelemetry(p, m)
 	return m, nil

@@ -1,47 +1,52 @@
 package pipeline
 
 import (
-	"encoding/json"
-	"fmt"
 	"io"
 
 	"insituviz/internal/clustersim"
+	"insituviz/internal/trace"
+	"insituviz/internal/units"
 )
 
-// chromeEvent is one complete event in the Chrome tracing (catapult) JSON
-// format, loadable in chrome://tracing or Perfetto.
-type chromeEvent struct {
-	Name     string `json:"name"`
-	Category string `json:"cat"`
-	Phase    string `json:"ph"`
-	TsMicros int64  `json:"ts"`
-	DurMicro int64  `json:"dur"`
-	PID      int    `json:"pid"`
-	TID      int    `json:"tid"`
-}
+// machineLane is the timeline lane name of the simulated machine's phase
+// log in exports and attributions.
+const machineLane = "machine"
 
-// WriteChromeTrace serializes a phase log as a Chrome tracing JSON
-// document, one complete ("X") event per phase with simulated microsecond
-// timestamps, so a run's timeline can be inspected interactively.
-func WriteChromeTrace(w io.Writer, phases []clustersim.Phase) error {
-	if w == nil {
-		return fmt.Errorf("pipeline: nil writer")
-	}
-	events := make([]chromeEvent, 0, len(phases))
+// TimelineFromPhases converts a machine phase log into a single-lane
+// timeline: one span per phase, named by phase kind (the attribution
+// grouping the paper uses) with the phase label as detail.
+func TimelineFromPhases(lane string, phases []clustersim.Phase) *trace.Timeline {
+	lt := trace.LaneTimeline{Name: lane}
 	for _, p := range phases {
-		events = append(events, chromeEvent{
-			Name:     p.Label,
-			Category: p.Kind.String(),
-			Phase:    "X",
-			TsMicros: int64(float64(p.Start) * 1e6),
-			DurMicro: int64(float64(p.Duration()) * 1e6),
-			PID:      1,
-			TID:      1,
+		lt.Spans = append(lt.Spans, trace.Span{
+			Name:   p.Kind.String(),
+			Detail: p.Label,
+			Start:  p.Start,
+			End:    p.End,
 		})
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(struct {
-		TraceEvents     []chromeEvent `json:"traceEvents"`
-		DisplayTimeUnit string        `json:"displayTimeUnit"`
-	}{TraceEvents: events, DisplayTimeUnit: "ms"})
+	return &trace.Timeline{Lanes: []trace.LaneTimeline{lt}}
 }
+
+// PhaseIntervals converts a machine phase log into the attribution
+// engine's step function, one interval per phase keyed by kind. The log
+// is contiguous by construction (the machine clock never skips), so the
+// result is directly attributable.
+func PhaseIntervals(phases []clustersim.Phase) []trace.Interval {
+	out := make([]trace.Interval, 0, len(phases))
+	for _, p := range phases {
+		out = append(out, trace.Interval{Phase: p.Kind.String(), Start: p.Start, End: p.End})
+	}
+	return out
+}
+
+// WriteChromeTrace serializes a phase log as a Chrome trace-event JSON
+// document, loadable in Perfetto or chrome://tracing. Counter tracks
+// (e.g. the run's metered power profiles) may be appended so the paper's
+// power-over-phases overlay is visible in the viewer.
+func WriteChromeTrace(w io.Writer, phases []clustersim.Phase, counters ...trace.CounterTrack) error {
+	return trace.WriteChrome(w, TimelineFromPhases(machineLane, phases), counters...)
+}
+
+// simNanos converts simulated seconds to the tracer's nanosecond axis.
+func simNanos(s units.Seconds) int64 { return int64(float64(s) * 1e9) }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"insituviz/internal/clustersim"
+	"insituviz/internal/trace"
 	"insituviz/internal/units"
 )
 
@@ -21,38 +22,71 @@ func TestWriteChromeTrace(t *testing.T) {
 	}
 	var doc struct {
 		TraceEvents []struct {
-			Name     string `json:"name"`
-			Category string `json:"cat"`
-			Phase    string `json:"ph"`
-			TsMicros int64  `json:"ts"`
-			DurMicro int64  `json:"dur"`
+			Name     string  `json:"name"`
+			Phase    string  `json:"ph"`
+			TsMicros float64 `json:"ts"`
+			DurMicro float64 `json:"dur"`
 		} `json:"traceEvents"`
 		DisplayTimeUnit string `json:"displayTimeUnit"`
 	}
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("trace is not valid JSON: %v", err)
 	}
-	if len(doc.TraceEvents) != len(m.Phases) {
+	// One thread_name metadata event plus one complete event per phase.
+	if len(doc.TraceEvents) != len(m.Phases)+1 {
 		t.Fatalf("events = %d, phases = %d", len(doc.TraceEvents), len(m.Phases))
 	}
 	if doc.DisplayTimeUnit != "ms" {
 		t.Errorf("display unit = %q", doc.DisplayTimeUnit)
 	}
-	// Events are complete, ordered, and categorized by phase kind.
-	prevEnd := int64(-1)
-	cats := map[string]bool{}
-	for i, e := range doc.TraceEvents {
+	if doc.TraceEvents[0].Phase != "M" || doc.TraceEvents[0].Name != "thread_name" {
+		t.Fatalf("first event = %q %q, want thread_name metadata",
+			doc.TraceEvents[0].Phase, doc.TraceEvents[0].Name)
+	}
+	// Span events are complete, ordered, and named by phase kind.
+	prevEnd := float64(-1)
+	names := map[string]bool{}
+	for i, e := range doc.TraceEvents[1:] {
 		if e.Phase != "X" {
 			t.Fatalf("event %d phase = %q", i, e.Phase)
 		}
-		if e.TsMicros < prevEnd {
+		if e.TsMicros < prevEnd-1e-6 {
 			t.Fatalf("event %d starts before the previous ends", i)
 		}
 		prevEnd = e.TsMicros + e.DurMicro
-		cats[e.Category] = true
+		names[e.Name] = true
 	}
-	if !cats[clustersim.PhaseSimulate.String()] || !cats[clustersim.PhaseVisualize.String()] {
-		t.Errorf("categories = %v", cats)
+	if !names[clustersim.PhaseSimulate.String()] || !names[clustersim.PhaseVisualize.String()] {
+		t.Errorf("span names = %v", names)
+	}
+	// The document passes the exporter's own validator.
+	if _, _, err := trace.ValidateChrome(buf.Bytes()); err != nil {
+		t.Errorf("ValidateChrome: %v", err)
+	}
+}
+
+func TestWriteChromeTraceCounterTracks(t *testing.T) {
+	w := ReferenceWorkload(units.Hours(72))
+	m, err := Run(InSitu, w, CaddyPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = WriteChromeTrace(&buf, m.Phases,
+		trace.CounterTrack{Name: "compute power", Profile: m.ComputeProfile},
+		trace.CounterTrack{Name: "storage power", Profile: m.StorageProfile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, counters, err := trace.ValidateChrome(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each profile contributes one counter event per sample plus the
+	// closing zero.
+	want := len(m.ComputeProfile.Powers) + len(m.StorageProfile.Powers) + 2
+	if counters != want {
+		t.Errorf("counter events = %d, want %d", counters, want)
 	}
 }
 
@@ -70,4 +104,102 @@ func TestWriteChromeTraceEmpty(t *testing.T) {
 	if !bytes.Contains(buf.Bytes(), []byte("traceEvents")) {
 		t.Error("empty trace missing skeleton")
 	}
+}
+
+// TestRunAttribution is the pipeline half of the acceptance criterion:
+// the per-phase energies the attribution engine derives from the phase
+// log sum to the run's metered energy within 1e-9 relative, in both
+// pipeline modes.
+func TestRunAttribution(t *testing.T) {
+	w := ReferenceWorkload(units.Hours(8))
+	for _, kind := range []Kind{PostProcessing, InSitu} {
+		m, err := Run(kind, w, CaddyPlatform())
+		if err != nil {
+			t.Fatal(err)
+		}
+		att := m.Attribution
+		if att == nil {
+			t.Fatalf("%v: no attribution", kind)
+		}
+		var sum units.Joules
+		for _, p := range att.Phases {
+			sum += p.Energy
+		}
+		if relDiff(float64(sum), float64(m.Energy)) > 1e-9 {
+			t.Errorf("%v: phase energies sum to %v, metered %v", kind, sum, m.Energy)
+		}
+		if relDiff(float64(att.Total), float64(m.Energy)) > 1e-9 {
+			t.Errorf("%v: attribution total %v, metered %v", kind, att.Total, m.Energy)
+		}
+		// The paper's central claim shows up in the join: I/O wait draws
+		// near-busy power, so its average is well above idle.
+		if kind == PostProcessing {
+			io := att.Phase(clustersim.PhaseIOWait.String())
+			if io.Time <= 0 {
+				t.Errorf("%v: no io-wait time attributed", kind)
+			}
+			if io.AvgPower < 40000 {
+				t.Errorf("%v: io-wait avg power %v, want near-busy", kind, io.AvgPower)
+			}
+		}
+	}
+}
+
+// TestRunTracerLanes checks the Platform.Tracer wiring: a traced run
+// records the machine's phase log and the storage windows at simulated
+// time.
+func TestRunTracerLanes(t *testing.T) {
+	w := ReferenceWorkload(units.Hours(8))
+	p := CaddyPlatform()
+	tr := trace.New(trace.Options{})
+	p.Tracer = tr
+	if _, err := Run(PostProcessing, w, p); err != nil {
+		t.Fatal(err)
+	}
+	tl := tr.Snapshot()
+	mc := tl.Lane(machineLane)
+	if mc == nil || len(mc.Spans) == 0 {
+		t.Fatal("no machine lane spans")
+	}
+	names := map[string]bool{}
+	for _, s := range mc.Spans {
+		names[s.Name] = true
+	}
+	if !names[clustersim.PhaseSimulate.String()] || !names[clustersim.PhaseIOWait.String()] {
+		t.Errorf("machine span names = %v", names)
+	}
+	stg := tl.Lane("storage")
+	if stg == nil || len(stg.Spans) == 0 {
+		t.Fatal("no storage lane spans")
+	}
+	var writes, reads int
+	for _, s := range stg.Spans {
+		switch s.Name {
+		case "store.write":
+			writes++
+		case "store.read":
+			reads++
+		}
+		if s.Detail == "" {
+			t.Errorf("storage span %q has no file detail", s.Name)
+		}
+	}
+	if writes == 0 || reads == 0 {
+		t.Errorf("storage spans: %d writes, %d reads", writes, reads)
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	scale := b
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / scale
 }

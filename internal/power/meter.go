@@ -24,19 +24,55 @@ type Profile struct {
 	LastPartial float64
 }
 
+// Validate checks the profile invariants: a positive reporting interval,
+// at least one sample, and LastPartial in (0, 1]. A LastPartial of 0 —
+// the zero value of a hand-built Profile — would silently drop the final
+// sample from Duration, Energy, and Average, and a LastPartial above 1
+// would charge the final sample more time than one interval; both are
+// construction errors, reported here instead of surfacing as quietly
+// wrong integrals. Meter.Sample and SumProfiles only produce valid
+// profiles.
+func (p *Profile) Validate() error {
+	if p.Interval <= 0 {
+		return fmt.Errorf("power: profile has non-positive interval %v", p.Interval)
+	}
+	if len(p.Powers) == 0 {
+		return fmt.Errorf("power: empty profile")
+	}
+	if p.LastPartial <= 0 || p.LastPartial > 1 {
+		return fmt.Errorf("power: profile LastPartial %g outside (0, 1] (0 usually means the field was never set)", p.LastPartial)
+	}
+	return nil
+}
+
+// lastFrac returns LastPartial clamped to [0, 1], the fraction Duration,
+// Energy, and WriteCSV weight the final sample by. Clamping keeps the
+// three mutually consistent even on profiles that fail Validate.
+func (p *Profile) lastFrac() float64 {
+	switch {
+	case p.LastPartial < 0:
+		return 0
+	case p.LastPartial > 1:
+		return 1
+	}
+	return p.LastPartial
+}
+
 // Duration returns the observed time span.
 func (p *Profile) Duration() units.Seconds {
 	if len(p.Powers) == 0 {
 		return 0
 	}
-	n := float64(len(p.Powers)-1) + p.LastPartial
+	n := float64(len(p.Powers)-1) + p.lastFrac()
 	return units.Seconds(n * float64(p.Interval))
 }
 
-// Average returns the time-weighted mean power of the profile.
+// Average returns the time-weighted mean power of the profile. Invalid
+// profiles (see Validate) are rejected rather than silently averaged over
+// the wrong window.
 func (p *Profile) Average() (units.Watts, error) {
-	if len(p.Powers) == 0 {
-		return 0, fmt.Errorf("power: empty profile")
+	if err := p.Validate(); err != nil {
+		return 0, err
 	}
 	dur := p.Duration()
 	if dur <= 0 {
@@ -47,13 +83,15 @@ func (p *Profile) Average() (units.Watts, error) {
 
 // Energy integrates the reported profile: each sample contributes
 // power x interval (the paper's energy computation from its measured
-// average-power profiles).
+// average-power profiles), the final sample weighted by LastPartial
+// (clamped to [0, 1] so Energy and Duration always agree; call Validate
+// to detect an out-of-range LastPartial explicitly).
 func (p *Profile) Energy() units.Joules {
 	var e units.Joules
 	for i, w := range p.Powers {
 		frac := 1.0
 		if i == len(p.Powers)-1 {
-			frac = p.LastPartial
+			frac = p.lastFrac()
 		}
 		e += units.Energy(w, units.Seconds(float64(p.Interval)*frac))
 	}
@@ -126,6 +164,9 @@ func SumProfiles(profiles ...*Profile) (*Profile, error) {
 		return nil, fmt.Errorf("power: no profiles to sum")
 	}
 	first := profiles[0]
+	if err := first.Validate(); err != nil {
+		return nil, fmt.Errorf("power: profile 0: %w", err)
+	}
 	out := &Profile{
 		Start:       first.Start,
 		Interval:    first.Interval,
@@ -163,7 +204,7 @@ func (p *Profile) WriteCSV(w io.Writer) error {
 	for i, pw := range p.Powers {
 		frac := 1.0
 		if i == len(p.Powers)-1 {
-			frac = p.LastPartial
+			frac = p.lastFrac()
 		}
 		end := float64(p.Start) + (float64(i)+frac)*float64(p.Interval)
 		if err := cw.Write([]string{

@@ -360,3 +360,71 @@ func TestProfileWriteCSV(t *testing.T) {
 		t.Error("nil writer accepted")
 	}
 }
+
+// TestProfileValidate pins the LastPartial contract: Duration/Energy used
+// to weight the final sample by LastPartial unchecked, so a zero value
+// (the zero value of a hand-built Profile) silently dropped the sample
+// and a value above one over-charged it, while Average divided the two —
+// three different answers from one bad field. Validate now rejects both,
+// Average refuses invalid profiles, and Energy/Duration clamp identically
+// so they always stay mutually consistent.
+func TestProfileValidate(t *testing.T) {
+	good := &Profile{Interval: 60, Powers: []units.Watts{100}, LastPartial: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		p    *Profile
+	}{
+		{"zero LastPartial", &Profile{Interval: 60, Powers: []units.Watts{100}}},
+		{"LastPartial above 1", &Profile{Interval: 60, Powers: []units.Watts{100}, LastPartial: 1.5}},
+		{"negative LastPartial", &Profile{Interval: 60, Powers: []units.Watts{100}, LastPartial: -0.1}},
+		{"no samples", &Profile{Interval: 60, LastPartial: 1}},
+		{"non-positive interval", &Profile{Powers: []units.Watts{100}, LastPartial: 1}},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted", tc.name)
+		}
+		if _, err := tc.p.Average(); err == nil {
+			t.Errorf("%s: Average accepted", tc.name)
+		}
+	}
+}
+
+// TestProfileClampConsistency: even on invalid profiles, Energy and
+// Duration clamp LastPartial the same way, so Energy/Duration is still a
+// well-defined mean (Average itself refuses, but downstream arithmetic
+// that calls the two directly must not diverge).
+func TestProfileClampConsistency(t *testing.T) {
+	for _, lp := range []float64{-0.5, 0, 1, 1.5} {
+		p := &Profile{Interval: 10, Powers: []units.Watts{100, 100}, LastPartial: lp}
+		wantFrac := lp
+		if wantFrac < 0 {
+			wantFrac = 0
+		}
+		if wantFrac > 1 {
+			wantFrac = 1
+		}
+		wantDur := units.Seconds((1 + wantFrac) * 10)
+		if p.Duration() != wantDur {
+			t.Errorf("LastPartial %g: Duration = %v, want %v", lp, p.Duration(), wantDur)
+		}
+		wantE := units.Joules(float64(wantDur) * 100)
+		if p.Energy() != wantE {
+			t.Errorf("LastPartial %g: Energy = %v, want %v", lp, p.Energy(), wantE)
+		}
+	}
+}
+
+// TestSumProfilesRejectsInvalidFirst: SumProfiles copies alignment from
+// profiles[0], so an invalid first profile must be rejected, not
+// propagated into the sum.
+func TestSumProfilesRejectsInvalidFirst(t *testing.T) {
+	bad := &Profile{Interval: 60, Powers: []units.Watts{1}} // LastPartial unset
+	ok := &Profile{Interval: 60, Powers: []units.Watts{1}, LastPartial: 1}
+	if _, err := SumProfiles(bad, ok); err == nil {
+		t.Error("invalid first profile accepted")
+	}
+}

@@ -128,6 +128,22 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 				return err
 			}
 		}
+		// Interpolated percentiles, when the histogram has data to
+		// estimate them from (deterministic: computed from the bucket
+		// counts above, so equal snapshots still render identically).
+		for _, pq := range [...]struct {
+			label string
+			q     float64
+		}{{"p50", 0.5}, {"p99", 0.99}} {
+			v, err := hv.Quantile(pq.q)
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "histogram %s %s %s\n", name, pq.label,
+				strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
 	}
 	for _, name := range sortedNames(s.Spans) {
 		sv := s.Spans[name]

@@ -115,6 +115,69 @@ type HistogramValue struct {
 	Buckets []BucketCount `json:"buckets"`
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution by linear interpolation within the bucket holding the
+// quantile rank — the standard fixed-bucket estimator: ranks are assumed
+// uniformly spread across each bucket's [lower, upper] range. The first
+// bucket interpolates from min(0, bound) and the +Inf bucket degenerates
+// to the largest finite bound (there is no upper edge to interpolate
+// toward). Returns an error on an empty histogram or q outside [0, 1].
+func (hv HistogramValue) Quantile(q float64) (float64, error) {
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		return 0, fmt.Errorf("telemetry: quantile %g outside [0, 1]", q)
+	}
+	if hv.Count <= 0 {
+		return 0, fmt.Errorf("telemetry: quantile of empty histogram")
+	}
+	rank := q * float64(hv.Count)
+	var cum int64
+	for i, b := range hv.Buckets {
+		if b.Count == 0 {
+			cum += b.Count
+			continue
+		}
+		upper := b.UpperBound
+		if float64(cum+b.Count) >= rank {
+			if math.IsInf(upper, 1) {
+				// No finite upper edge: report the largest finite bound
+				// (or the lower edge of the overflow bucket's mass).
+				if i > 0 {
+					return hv.Buckets[i-1].UpperBound, nil
+				}
+				return 0, fmt.Errorf("telemetry: all observations in the +Inf bucket")
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = hv.Buckets[i-1].UpperBound
+			} else if upper < 0 {
+				lower = upper
+			}
+			frac := (rank - float64(cum)) / float64(b.Count)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (upper-lower)*frac, nil
+		}
+		cum += b.Count
+	}
+	// Unreachable when buckets sum to Count; under a concurrent scrape
+	// the buckets may momentarily undercount, so fall back to the top.
+	last := hv.Buckets[len(hv.Buckets)-1]
+	if math.IsInf(last.UpperBound, 1) && len(hv.Buckets) > 1 {
+		return hv.Buckets[len(hv.Buckets)-2].UpperBound, nil
+	}
+	return last.UpperBound, nil
+}
+
+// Quantile snapshots the histogram and estimates the q-quantile; see
+// HistogramValue.Quantile. Errors on a nil histogram.
+func (h *Histogram) Quantile(q float64) (float64, error) {
+	if h == nil {
+		return 0, fmt.Errorf("telemetry: quantile of nil histogram")
+	}
+	return h.value().Quantile(q)
+}
+
 // value snapshots the histogram. The per-bucket loads are not mutually
 // atomic; under concurrent observation the buckets may momentarily sum to
 // slightly less than Count, which is the usual histogram-scrape contract.

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"insituviz/internal/power"
+	"insituviz/internal/units"
+)
+
+// chromeEvent is one event in the Chrome trace-event (catapult) JSON
+// format, loadable in Perfetto or chrome://tracing. Every event carries
+// name, ph, ts, pid, and tid — the required fields of the format — with
+// dur and args added per phase type.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the JSON-object form of the trace-event format.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// CounterTrack is one power profile rendered as a Perfetto counter track,
+// so the metered watts draw as a stepped overlay above the span timeline
+// — the paper's Fig. 4 view, interactive.
+type CounterTrack struct {
+	Name    string
+	Profile *power.Profile
+}
+
+// tracePID is the process ID all exported events share: the trace models
+// one coupled job on one machine.
+const tracePID = 1
+
+// counterTIDBase offsets counter-track thread IDs past the span lanes so
+// the two ID spaces never collide.
+const counterTIDBase = 1000
+
+// WriteChrome serializes a timeline (plus optional power counter tracks)
+// as a Chrome trace-event JSON document. Lanes become named threads
+// (thread_name metadata + one complete "X" event per span, "i" events for
+// instants); each counter track becomes a "C" event series stepping at
+// its profile's sample boundaries. Output is deterministic: lanes in
+// registration order, spans in start order, counters in argument order.
+func WriteChrome(w io.Writer, tl *Timeline, counters ...CounterTrack) error {
+	if w == nil {
+		return fmt.Errorf("trace: nil writer")
+	}
+	if tl == nil {
+		return fmt.Errorf("trace: nil timeline")
+	}
+	events := []chromeEvent{} // non-nil: an empty timeline still has a traceEvents array
+	for _, lt := range tl.Lanes {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: tracePID, TID: lt.ID,
+			Args: map[string]any{"name": lt.Name},
+		})
+		for _, s := range lt.Spans {
+			dur := micros(s.Duration())
+			ev := chromeEvent{
+				Name: s.Name, Ph: "X", TS: micros(s.Start), Dur: &dur,
+				PID: tracePID, TID: lt.ID,
+			}
+			if s.Detail != "" || s.Open {
+				ev.Args = map[string]any{}
+				if s.Detail != "" {
+					ev.Args["detail"] = s.Detail
+				}
+				if s.Open {
+					ev.Args["open"] = true
+				}
+			}
+			events = append(events, ev)
+		}
+		for _, in := range lt.Instants {
+			events = append(events, chromeEvent{
+				Name: in.Name, Ph: "i", TS: micros(in.TS),
+				PID: tracePID, TID: lt.ID,
+				Args: map[string]any{"s": "t"}, // thread-scoped instant
+			})
+		}
+	}
+	for ci, ct := range counters {
+		if ct.Profile == nil || len(ct.Profile.Powers) == 0 {
+			continue
+		}
+		tid := counterTIDBase + ci
+		p := ct.Profile
+		for i, watts := range p.Powers {
+			ts := float64(p.Start) + float64(i)*float64(p.Interval)
+			events = append(events, chromeEvent{
+				Name: ct.Name, Ph: "C", TS: micros(units.Seconds(ts)),
+				PID: tracePID, TID: tid,
+				Args: map[string]any{"W": float64(watts)},
+			})
+		}
+		// Close the step function at the observed end of the profile.
+		events = append(events, chromeEvent{
+			Name: ct.Name, Ph: "C",
+			TS:  micros(p.Start + p.Duration()),
+			PID: tracePID, TID: tid,
+			Args: map[string]any{"W": 0.0},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeDoc{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// ValidateChrome parses a Chrome trace-event JSON document and checks the
+// structural contract the exporter promises: the traceEvents array exists
+// and every event has name, ph, ts, pid, and tid. It returns the event
+// count and the counter-event count, so callers can additionally require
+// power counter tracks. This is the check CI's trace-smoke step runs on
+// the artifact it just produced.
+func ValidateChrome(data []byte) (events, counterEvents int, err error) {
+	var doc struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, 0, fmt.Errorf("trace: not a trace-event document: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return 0, 0, fmt.Errorf("trace: missing traceEvents array")
+	}
+	for i, ev := range doc.TraceEvents {
+		for _, field := range [...]string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				return 0, 0, fmt.Errorf("trace: event %d missing required field %q", i, field)
+			}
+		}
+		var ph string
+		if err := json.Unmarshal(ev["ph"], &ph); err != nil {
+			return 0, 0, fmt.Errorf("trace: event %d: ph is not a string", i)
+		}
+		if ph == "C" {
+			counterEvents++
+		}
+	}
+	return len(doc.TraceEvents), counterEvents, nil
+}
+
+func micros(s units.Seconds) float64 { return float64(s) * 1e6 }

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+
+	"insituviz/internal/telemetry"
+)
+
+// NewHandler returns the live exposition endpoint both CLIs mount behind
+// their -http flag, so a long run can be observed while it executes:
+//
+//	GET /         plain-text index of the endpoints
+//	GET /metrics  telemetry snapshot, text exposition (?format=json for JSON)
+//	GET /trace    current ring-buffer contents as Chrome trace-event JSON
+//
+// Either argument may be nil; the corresponding endpoint then reports 404.
+// Handlers snapshot on every request — the scrape sees the run as it is
+// now, under the usual not-a-consistent-cut contract.
+func NewHandler(reg *telemetry.Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "insituviz live exposition")
+		fmt.Fprintln(w, "  /metrics  telemetry snapshot (text; ?format=json)")
+		fmt.Fprintln(w, "  /trace    timeline as Chrome trace-event JSON")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if reg == nil {
+			http.Error(w, "no telemetry registry attached", http.StatusNotFound)
+			return
+		}
+		snap := reg.Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			if err := snap.WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := snap.WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if tr == nil {
+			http.Error(w, "no tracer attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteChrome(w, tr.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+// Serve mounts h on a listener bound to addr (":0" picks a free port) and
+// serves it on a background goroutine. It returns the bound address — so
+// callers can print the real port — and a shutdown func that closes the
+// listener. Serving errors after shutdown are expected and discarded.
+func Serve(addr string, h http.Handler) (net.Addr, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: h}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), srv.Close, nil
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"insituviz/internal/telemetry"
+)
+
+func newTestHandler(t *testing.T) http.Handler {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	reg.Counter("live.raw.dumps").Add(3)
+	h := reg.Histogram("step.ms", []float64{1, 10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	tr := New(Options{})
+	tr.Lane("driver").SpanAt("sim.step", "", 0, 1000)
+	return NewHandler(reg, tr)
+}
+
+func get(t *testing.T, h http.Handler, path string) (*httptest.ResponseRecorder, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec, string(body)
+}
+
+func TestHandlerIndex(t *testing.T) {
+	h := newTestHandler(t)
+	rec, body := get(t, h, "/")
+	if rec.Code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: %d %q", rec.Code, body)
+	}
+	if rec, _ := get(t, h, "/nosuch"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown path: %d", rec.Code)
+	}
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	h := newTestHandler(t)
+	rec, body := get(t, h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if !strings.Contains(body, "counter live.raw.dumps 3") {
+		t.Errorf("text exposition missing counter:\n%s", body)
+	}
+	// The histogram percentile lines of the text exposition.
+	if !strings.Contains(body, "histogram step.ms p50") || !strings.Contains(body, "histogram step.ms p99") {
+		t.Errorf("text exposition missing percentiles:\n%s", body)
+	}
+
+	rec, body = get(t, h, "/metrics?format=json")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("json status %d", rec.Code)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("json exposition does not parse: %v", err)
+	}
+	if snap.Counters["live.raw.dumps"] != 3 {
+		t.Errorf("json counters = %v", snap.Counters)
+	}
+}
+
+func TestHandlerTrace(t *testing.T) {
+	h := newTestHandler(t)
+	rec, body := get(t, h, "/trace")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	events, _, err := ValidateChrome([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 {
+		t.Error("trace endpoint returned no events")
+	}
+}
+
+func TestHandlerNilBackends(t *testing.T) {
+	h := NewHandler(nil, nil)
+	if rec, _ := get(t, h, "/metrics"); rec.Code != http.StatusNotFound {
+		t.Errorf("nil registry: %d", rec.Code)
+	}
+	if rec, _ := get(t, h, "/trace"); rec.Code != http.StatusNotFound {
+		t.Errorf("nil tracer: %d", rec.Code)
+	}
+}
+
+// TestServe exercises the real listener path the CLIs use.
+func TestServe(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("x").Inc()
+	addr, shutdown, err := Serve("127.0.0.1:0", NewHandler(reg, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "counter x 1") {
+		t.Errorf("served metrics: %d %q", resp.StatusCode, body)
+	}
+	if err := shutdown(); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package trace
+
+// raceEnabled gates the allocation guards: the race detector's
+// instrumentation allocates, which would fail them spuriously.
+const raceEnabled = true

@@ -14,12 +14,20 @@ import (
 	"insituviz/internal/ocean"
 	"insituviz/internal/partition"
 	"insituviz/internal/pio"
+	"insituviz/internal/power"
 	"insituviz/internal/render"
 	"insituviz/internal/telemetry"
+	"insituviz/internal/trace"
 	"insituviz/internal/units"
 	"insituviz/internal/vizpipe"
 	"insituviz/internal/workpool"
 )
+
+// liveMeterInterval is the synthetic power meter's reporting period for
+// live runs. The paper's meters report at 1 Hz relative to minutes-long
+// jobs; live runs last milliseconds to seconds of wall time, so the meter
+// period scales down the same way (roughly one sample per solver step).
+const liveMeterInterval = units.Seconds(1e-3)
 
 // LiveConfig configures a real (not simulated-machine) coupled run: the
 // shallow-water ocean solver produces genuine eddy-bearing fields, and the
@@ -67,6 +75,19 @@ type LiveConfig struct {
 	// Galewsky barotropically unstable jet that rolls up into eddies) or
 	// "rossby" (the Williamson TC6 Rossby-Haurwitz wave).
 	Scenario string
+	// Telemetry, when non-nil, is used instead of a run-private registry,
+	// so an HTTP exposition handler holding the same registry can scrape
+	// the run while it executes. The final snapshot still lands on
+	// LiveResult.Telemetry either way.
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, receives the run's timeline on its wall
+	// clock: per-step "sim.step" spans, "viz.sample" spans (with nested
+	// "viz.render" and "viz.detect"), "io.dump"/"io.read" spans in
+	// post-processing mode — all on the "driver" lane — plus one
+	// "render.rank<N>" lane per rendering rank. When set, LiveRun also
+	// joins the driver timeline against the Caddy node power model and
+	// fills LiveResult.Timeline, PowerProfile, and PhaseEnergy.
+	Tracer *trace.Tracer
 }
 
 func (c *LiveConfig) applyDefaults() {
@@ -142,6 +163,19 @@ type LiveResult struct {
 	// exposition format.
 	Telemetry *telemetry.Snapshot
 
+	// Timeline is the run's trace snapshot (nil unless LiveConfig.Tracer
+	// was set): the driver lane's phase spans plus per-rank render lanes.
+	Timeline *trace.Timeline
+	// PowerProfile is the synthetic meter's profile of the run — the Caddy
+	// node power model applied to the driver lane's phase step function,
+	// then sampled at liveMeterInterval, mirroring how the paper's 1 Hz
+	// meters watched its minutes-long jobs.
+	PowerProfile *power.Profile
+	// PhaseEnergy attributes PowerProfile back onto the driver phases:
+	// per-phase energies that sum to PowerProfile.Energy() up to float64
+	// rounding.
+	PhaseEnergy *trace.Attribution
+
 	OutputDir string
 }
 
@@ -163,12 +197,16 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 		return nil, fmt.Errorf("insituviz: %w", err)
 	}
 
-	// Every live run owns a fresh registry: the solver, worker pool,
-	// adaptor, and image database all report into it, and the final
-	// snapshot lands on LiveResult.Telemetry. The worker pool is
-	// process-wide, so its contribution is the difference between the
-	// pool's lifetime counters at the start and end of this run.
-	reg := telemetry.NewRegistry()
+	// Unless the caller supplies a registry (for live HTTP exposition),
+	// every live run owns a fresh one: the solver, worker pool, adaptor,
+	// and image database all report into it, and the final snapshot lands
+	// on LiveResult.Telemetry. The worker pool is process-wide, so its
+	// contribution is the difference between the pool's lifetime counters
+	// at the start and end of this run.
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	wp0 := workpool.Snapshot()
 
 	msh, err := mesh.NewIcosphere(cfg.MeshSubdivisions, mesh.EarthRadius)
@@ -245,6 +283,16 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 	// visualization span times every entry rather than sampling.
 	sampleSpan := reg.Span("live.sample.time", 1)
 
+	// Timeline lanes (nil-safe: a nil tracer yields nil lanes, which
+	// no-op). The driver lane carries the phase step function the
+	// attribution consumes; each rendering rank gets its own lane so the
+	// Perfetto view shows the partial renders side by side.
+	drv := cfg.Tracer.Lane("driver")
+	rankLanes := make([]*trace.Lane, len(masks))
+	for i := range rankLanes {
+		rankLanes[i] = cfg.Tracer.Lane(fmt.Sprintf("render.rank%d", i))
+	}
+
 	// visualize renders one Okubo-Weiss snapshot with the parallel
 	// rank-partitioned renderer, stores it in the Cinema database, and
 	// feeds the eddy tracker. cellVort, when non-nil, is the cell
@@ -253,14 +301,22 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 	visualize := func(simTime float64, field, cellVort []float64) error {
 		tm := sampleSpan.Start()
 		defer tm.End()
+		drv.Begin("viz.sample")
+		defer drv.End()
 		norm := render.SymmetricRange(field)
 		cm := render.OkuboWeissMap()
+		drv.Begin("viz.render")
 		for i, mask := range masks {
-			if err := rast.RenderOwnedInto(partials[i], field, cm, norm, mask); err != nil {
+			rankLanes[i].Begin("render.rank")
+			err := rast.RenderOwnedInto(partials[i], field, cm, norm, mask)
+			rankLanes[i].End()
+			if err != nil {
 				return err
 			}
 		}
-		if err := render.CompositeInto(composited, partials); err != nil {
+		err := render.CompositeInto(composited, partials)
+		drv.End()
+		if err != nil {
 			return err
 		}
 		if !render.FullyOpaque(composited) {
@@ -290,8 +346,10 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 
 		th := ocean.OkuboWeissThreshold(field)
 		var eddies []eddy.Eddy
+		drv.Begin("viz.detect")
 		if th < 0 {
 			if eddies, err = eddy.Detect(msh, field, th, 2); err != nil {
+				drv.End()
 				return err
 			}
 		}
@@ -299,6 +357,7 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 			for i := range eddies {
 				spin, err := eddy.ClassifySpin(msh, eddies[i], cellVort)
 				if err != nil {
+					drv.End()
 					return err
 				}
 				switch spin {
@@ -309,6 +368,7 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 				}
 			}
 		}
+		drv.End()
 		if cfg.EddyCoreImages && th < 0 {
 			// The paper's selection as a vizpipe filter chain: threshold
 			// the rotation-dominated tail and render only those cells.
@@ -384,6 +444,34 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 	reg.Gauge("workpool.queue.highwater").Set(wp.QueueHighwater)
 	reg.Gauge("workpool.workers").Set(wp.Workers)
 	res.Telemetry = reg.Snapshot()
+
+	// Phase-aligned power/energy attribution: flatten the driver lane
+	// into its phase step function, apply the Caddy node power model to
+	// synthesize the ground-truth draw, sample it with the synthetic
+	// meter, and join the profile back against the phases. Per-phase
+	// energies sum to PowerProfile.Energy() up to float64 rounding.
+	if cfg.Tracer != nil {
+		tl := cfg.Tracer.Snapshot()
+		res.Timeline = tl
+		if drvTL := tl.Lane("driver"); drvTL != nil && len(drvTL.Spans) > 0 {
+			intervals := drvTL.PhaseIntervals()
+			gt, err := trace.NodePowerModel().Trace(intervals)
+			if err != nil {
+				return nil, err
+			}
+			meter := power.Meter{Interval: liveMeterInterval, Name: "node-model"}
+			prof, err := meter.Sample(gt)
+			if err != nil {
+				return nil, err
+			}
+			att, err := trace.Attribute(meter.Name, intervals, prof)
+			if err != nil {
+				return nil, err
+			}
+			res.PowerProfile = prof
+			res.PhaseEnergy = att
+		}
+	}
 	return res, nil
 }
 
@@ -411,8 +499,12 @@ func runLiveInSitu(cfg LiveConfig, model *ocean.Model, state *ocean.State, dt fl
 	})); err != nil {
 		return err
 	}
+	drv := cfg.Tracer.Lane("driver")
 	for step := 1; step <= cfg.Steps; step++ {
-		if err := model.Step(state, dt); err != nil {
+		drv.Begin("sim.step")
+		err := model.Step(state, dt)
+		drv.End()
+		if err != nil {
 			return err
 		}
 		if err := state.CheckFinite(); err != nil {
@@ -474,8 +566,12 @@ func runLivePost(cfg LiveConfig, msh *mesh.Mesh, model *ocean.Model, state *ocea
 	var sizes []int64
 	var times []float64
 	ow := make([]float64, msh.NCells()) // reused across samples
+	drv := cfg.Tracer.Lane("driver")
 	for step := 1; step <= cfg.Steps; step++ {
-		if err := model.Step(state, dt); err != nil {
+		drv.Begin("sim.step")
+		err := model.Step(state, dt)
+		drv.End()
+		if err != nil {
 			return 0, err
 		}
 		if err := state.CheckFinite(); err != nil {
@@ -489,17 +585,21 @@ func runLivePost(cfg LiveConfig, msh *mesh.Mesh, model *ocean.Model, state *ocea
 			return 0, err
 		}
 		// Rank-local blocks -> aggregators -> one global array for the
-		// writer.
+		// writer: the whole gather+write window is the "io.dump" phase.
+		drv.Begin("io.dump")
 		parts, err := dec.Scatter(ow)
 		if err != nil {
+			drv.End()
 			return 0, err
 		}
 		gathered, _, err := plan.Gather(parts, 8)
 		if err != nil {
+			drv.End()
 			return 0, err
 		}
 		path := filepath.Join(rawDir, fmt.Sprintf("output_%05d.nc", step))
 		n, err := writeOkuboWeissDump(path, msh, simTime, gathered)
+		drv.End()
 		if err != nil {
 			return 0, err
 		}
@@ -512,7 +612,9 @@ func runLivePost(cfg LiveConfig, msh *mesh.Mesh, model *ocean.Model, state *ocea
 	}
 	// Post-processing phase: read every dump back and visualize.
 	for i, path := range dumps {
+		drv.Begin("io.read")
 		f, err := ncfile.ReadFile(path)
+		drv.End()
 		if err != nil {
 			return 0, err
 		}

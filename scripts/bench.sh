@@ -1,7 +1,8 @@
 #!/bin/sh
 # Record the next BENCH_<n>.json performance snapshot and diff it against
 # the previous one. Runs the hot-loop benchmarks of the live coupled stack
-# (BenchmarkLiveCoupledRun, BenchmarkStepParallel10242Cells) with -benchmem.
+# (BenchmarkLiveCoupledRun and its Traced variant, BenchmarkStep642Cells
+# and its Traced variant, BenchmarkStepParallel10242Cells) with -benchmem.
 #
 # Usage, from the repository root:
 #
