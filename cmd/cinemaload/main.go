@@ -1,0 +1,183 @@
+// Command cinemaload drives a closed-loop, Zipf-distributed load against
+// a running cinemaserve (or liverun -http) instance and reports the
+// throughput and latency quantiles the serving contracts promise. It is
+// the measurement half of the serving subsystem: the cache hit ratio and
+// shed behavior under a realistic skewed workload are what the byte
+// budget and admission bounds were designed for.
+//
+// Closed loop means each worker issues its next request only after the
+// previous one completes, so concurrency is exactly -workers and the
+// server's admission control — not the generator — decides what gets
+// shed.
+//
+// Usage:
+//
+//	cinemaload -addr http://127.0.0.1:8080 -store run -requests 2000 -workers 8
+//
+// Exit status is 1 if any request fails with a status other than 200 or
+// 503 (sheds are the server keeping its overload promise, not a failure),
+// or if no request succeeds at all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"insituviz/internal/cinemastore"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cinemaload: ")
+
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the cinema server")
+	store := flag.String("store", "run", "mounted store name to load")
+	workers := flag.Int("workers", 8, "closed-loop concurrency")
+	requests := flag.Int("requests", 2000, "total requests to issue")
+	zipfS := flag.Float64("zipf-s", 1.2, "Zipf skew exponent (>1; larger = hotter head)")
+	zipfV := flag.Float64("zipf-v", 1, "Zipf value offset (>=1)")
+	seed := flag.Int64("seed", 1, "RNG seed (per-worker streams derive from it)")
+	nearest := flag.Bool("nearest", false, "query with nearest=1 and axis jitter instead of exact lookups")
+	flag.Parse()
+
+	if *workers < 1 || *requests < 1 {
+		log.Fatalf("need positive -workers and -requests (got %d, %d)", *workers, *requests)
+	}
+
+	// The index is the work list: every request targets a real entry, so a
+	// non-200 response is the server's doing, not a bad key.
+	entries := fetchIndex(*addr, *store)
+	if len(entries) == 0 {
+		log.Fatalf("store %s has no frames", *store)
+	}
+	fmt.Printf("loaded index: %d frames in store %q\n", len(entries), *store)
+
+	var issued, ok200, shed503, failed atomic.Int64
+	latencies := make([][]time.Duration, *workers)
+	var firstFailure atomic.Value
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			zipf := rand.NewZipf(rng, *zipfS, *zipfV, uint64(len(entries)-1))
+			client := &http.Client{Timeout: 30 * time.Second}
+			lats := make([]time.Duration, 0, *requests / *workers + 1)
+			for issued.Add(1) <= int64(*requests) {
+				e := entries[zipf.Uint64()]
+				u := frameURL(*addr, *store, e, *nearest, rng)
+				t0 := time.Now()
+				resp, err := client.Get(u)
+				if err != nil {
+					failed.Add(1)
+					firstFailure.CompareAndSwap(nil, fmt.Sprintf("GET %s: %v", u, err))
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok200.Add(1)
+					lats = append(lats, time.Since(t0))
+				case http.StatusServiceUnavailable:
+					shed503.Add(1)
+				default:
+					failed.Add(1)
+					firstFailure.CompareAndSwap(nil, fmt.Sprintf("GET %s: status %d", u, resp.StatusCode))
+				}
+			}
+			latencies[w] = lats
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, lats := range latencies {
+		all = append(all, lats...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	total := ok200.Load() + shed503.Load() + failed.Load()
+	fmt.Printf("requests:   %d total, %d ok, %d shed (503), %d failed in %v\n",
+		total, ok200.Load(), shed503.Load(), failed.Load(), elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %.0f ok/s\n", float64(ok200.Load())/elapsed.Seconds())
+	if len(all) > 0 {
+		fmt.Printf("latency:    p50 %v  p90 %v  p99 %v  max %v\n",
+			quantile(all, 0.50), quantile(all, 0.90), quantile(all, 0.99), all[len(all)-1])
+	}
+
+	if msg := firstFailure.Load(); msg != nil {
+		log.Printf("first failure: %s", msg)
+	}
+	if failed.Load() > 0 || ok200.Load() == 0 {
+		os.Exit(1)
+	}
+}
+
+// fetchIndex pulls and parses the store's index document.
+func fetchIndex(addr, store string) []cinemastore.Entry {
+	resp, err := http.Get(addr + "/cinema/" + url.PathEscape(store) + "/index.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("index fetch: status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	entries, _, err := cinemastore.DecodeIndex(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return entries
+}
+
+// frameURL builds the query for one entry. Exact mode reproduces the
+// entry's axis point bit-for-bit ('g'/-1 round-trips float64 through the
+// query string); nearest mode jitters the axes and lets the server snap.
+func frameURL(addr, store string, e cinemastore.Entry, nearest bool, rng *rand.Rand) string {
+	t, phi, theta := e.Time, e.Phi, e.Theta
+	q := url.Values{}
+	q.Set("var", e.Variable)
+	if nearest {
+		t += (rng.Float64() - 0.5) * 10
+		phi += (rng.Float64() - 0.5) * 0.1
+		theta += (rng.Float64() - 0.5) * 0.1
+		q.Set("nearest", "1")
+	}
+	q.Set("time", strconv.FormatFloat(t, 'g', -1, 64))
+	if phi != 0 {
+		q.Set("phi", strconv.FormatFloat(phi, 'g', -1, 64))
+	}
+	if theta != 0 {
+		q.Set("theta", strconv.FormatFloat(theta, 'g', -1, 64))
+	}
+	return addr + "/cinema/" + url.PathEscape(store) + "/frame?" + q.Encode()
+}
+
+// quantile returns the q'th latency of a sorted sample.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

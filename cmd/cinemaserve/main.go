@@ -1,0 +1,114 @@
+// Command cinemaserve serves one or more Cinema image databases — the
+// output of liverun / insituviz-run — over HTTP: the browsable read side
+// of the paper's in-situ workflow. Frames come out of a byte-budgeted LRU
+// cache with singleflight miss coalescing; overload is shed with 503 +
+// Retry-After rather than queued; /metrics exposes the serving telemetry
+// (under the "serve." namespace) and /trace the per-slot request
+// timeline.
+//
+// Usage:
+//
+//	cinemaserve -http :8080 -db /tmp/run/cinema
+//	cinemaserve -http :8080 -db runA=/tmp/a/cinema -db runB=/tmp/b/cinema \
+//	    -cache-bytes 33554432 -max-inflight 32
+//
+// Endpoints:
+//
+//	/cinema/                         store listing (JSON)
+//	/cinema/<store>/                 store info
+//	/cinema/<store>/index.json       the database index
+//	/cinema/<store>/frame?var=...    frame query (time/phi/theta axes, &nearest=1)
+//	/cinema/<store>/file/<name>      frame by stored file name
+//	/metrics, /trace                 serving telemetry and request timeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"insituviz/internal/cinemaserve"
+	"insituviz/internal/cinemastore"
+	"insituviz/internal/telemetry"
+	"insituviz/internal/trace"
+)
+
+// dbFlags collects repeated -db flags: "dir" or "name=dir".
+type dbFlags []string
+
+func (d *dbFlags) String() string     { return strings.Join(*d, ", ") }
+func (d *dbFlags) Set(v string) error { *d = append(*d, v); return nil }
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cinemaserve: ")
+
+	var dbs dbFlags
+	flag.Var(&dbs, "db", "database to serve: DIR or NAME=DIR (repeatable)")
+	httpAddr := flag.String("http", ":8080", "listen address (\":0\" picks a port)")
+	cacheBytes := flag.Int64("cache-bytes", cinemaserve.DefaultCacheBytes, "frame cache budget in bytes")
+	maxInflight := flag.Int("max-inflight", cinemaserve.DefaultMaxInflight, "admitted concurrent requests; beyond this, requests are shed with 503")
+	retryAfter := flag.Duration("retry-after", cinemaserve.DefaultRetryAfter, "backoff advertised on shed responses")
+	flag.Parse()
+
+	if len(dbs) == 0 {
+		log.Fatal("no databases: pass at least one -db DIR (or NAME=DIR)")
+	}
+
+	reg := telemetry.NewRegistry()
+	tracer := trace.New(trace.Options{})
+	srv := cinemaserve.NewServer(cinemaserve.Config{
+		CacheBytes:  *cacheBytes,
+		MaxInflight: *maxInflight,
+		RetryAfter:  *retryAfter,
+		Telemetry:   reg,
+		Tracer:      tracer,
+	})
+	for _, spec := range dbs {
+		name, dir, ok := strings.Cut(spec, "=")
+		if !ok {
+			dir = spec
+			name = filepath.Base(filepath.Dir(filepath.Clean(dir)))
+			if name == "." || name == string(filepath.Separator) {
+				name = filepath.Base(filepath.Clean(dir))
+			}
+		}
+		st, err := cinemastore.Open(dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := srv.Mount(name, st); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("mounted %s: %d frames, %d bytes (format %s) from %s\n",
+			name, st.Len(), st.TotalBytes(), st.Version(), dir)
+	}
+
+	// The serving metrics appear under the "serve." namespace, the same
+	// composition liverun uses when it mounts the server next to a live
+	// run's registry — so scrapes look identical either way.
+	union := telemetry.NewUnion().Add("serve.", reg)
+	mux := http.NewServeMux()
+	mux.Handle("/", trace.NewHandlerFrom(union, tracer))
+	mux.Handle("/cinema/", http.StripPrefix("/cinema", srv.Handler()))
+
+	addr, shutdown, err := trace.Serve(*httpAddr, mux)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer shutdown()
+	fmt.Printf("serving on http://%s/ (/cinema/, /metrics, /trace)\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("shutting down")
+	// Give in-flight responses a moment to drain before the listener dies.
+	time.Sleep(50 * time.Millisecond)
+}

@@ -13,12 +13,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"insituviz"
+	"insituviz/internal/cinemaserve"
+	"insituviz/internal/cinemastore"
 	"insituviz/internal/report"
 	"insituviz/internal/telemetry"
 	"insituviz/internal/trace"
@@ -41,7 +46,8 @@ func main() {
 	telemetryOut := flag.String("telemetry", "", "write the run's telemetry snapshot as JSON to this file (\"-\" for stdout, as text)")
 	traceOut := flag.String("trace", "", "write the run's timeline as Chrome trace-event JSON to this file (open in Perfetto)")
 	attribOut := flag.String("attrib", "", "write the per-phase energy attribution to this file (JSON, or CSV with a .csv suffix)")
-	httpAddr := flag.String("http", "", "serve /metrics and /trace on this address during the run (e.g. :8080; \":0\" picks a port)")
+	httpAddr := flag.String("http", "", "serve /metrics, /trace, and /cinema/ on this address during the run (e.g. :8080; \":0\" picks a port)")
+	serveFor := flag.Duration("serve", 0, "after the run, keep serving the produced Cinema database under /cinema/ for this long (requires -http)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
@@ -86,15 +92,29 @@ func main() {
 	if *traceOut != "" || *attribOut != "" || *httpAddr != "" {
 		tracer = trace.New(trace.Options{})
 	}
+	if *serveFor > 0 && *httpAddr == "" {
+		log.Fatal("-serve requires -http")
+	}
 	var reg *telemetry.Registry
+	var cinemaSrv *cinemaserve.Server
 	if *httpAddr != "" {
 		reg = telemetry.NewRegistry()
-		addr, shutdown, err := trace.Serve(*httpAddr, trace.NewHandler(reg, tracer))
+		// The Cinema query server shares the exposition: its registry is
+		// namespaced under "serve." next to the run's own metrics, and its
+		// request spans land on the same tracer. The run's database is
+		// mounted once LiveRun returns; until then /cinema/ lists nothing.
+		serveReg := telemetry.NewRegistry()
+		cinemaSrv = cinemaserve.NewServer(cinemaserve.Config{Telemetry: serveReg, Tracer: tracer})
+		union := telemetry.NewUnion().Add("", reg).Add("serve.", serveReg)
+		mux := http.NewServeMux()
+		mux.Handle("/", trace.NewHandlerFrom(union, tracer))
+		mux.Handle("/cinema/", http.StripPrefix("/cinema", cinemaSrv.Handler()))
+		addr, shutdown, err := trace.Serve(*httpAddr, mux)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer shutdown()
-		fmt.Printf("serving live exposition on http://%s/ (/metrics, /trace)\n", addr)
+		fmt.Printf("serving live exposition on http://%s/ (/metrics, /trace, /cinema/)\n", addr)
 	}
 
 	res, err := insituviz.LiveRun(insituviz.LiveConfig{
@@ -113,6 +133,17 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if cinemaSrv != nil {
+		st, err := cinemastore.Open(filepath.Join(dir, "cinema"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cinemaSrv.Mount("run", st); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cinema database mounted at /cinema/run/ (%d frames)\n", st.Len())
 	}
 
 	if *memprofile != "" {
@@ -215,5 +246,10 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("telemetry snapshot written to %s\n", *telemetryOut)
+	}
+
+	if *serveFor > 0 {
+		fmt.Printf("serving cinema database for %v\n", *serveFor)
+		time.Sleep(*serveFor)
 	}
 }

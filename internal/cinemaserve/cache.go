@@ -1,0 +1,146 @@
+package cinemaserve
+
+import (
+	"sync"
+
+	"insituviz/internal/telemetry"
+)
+
+// cacheKey addresses one cached frame: the mount's ID plus the entry's
+// canonical index in that mount's store. Both are small ints, so the key
+// is a comparable value type and map operations on it never allocate —
+// the property the 0 allocs/op hit path depends on.
+type cacheKey struct {
+	mount int32
+	entry int32
+}
+
+// centry is one resident frame. The LRU list is intrusive (prev/next
+// pointers inside the entry), so a hit moves a node with pointer surgery
+// alone — no container/list allocation per operation.
+type centry struct {
+	key        cacheKey
+	data       []byte
+	prev, next *centry
+}
+
+// lruCache is a byte-budgeted LRU over encoded frames. The budget counts
+// frame bytes only (the small per-entry bookkeeping rides free), which
+// keeps the accounting identical to what the exposition reports. All
+// methods are safe for concurrent use; a hit costs one mutex round trip
+// and allocates nothing.
+type lruCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	m      map[cacheKey]*centry
+	head   *centry // most recently used
+	tail   *centry // least recently used; next eviction victim
+
+	evictions *telemetry.Counter
+	usedGauge *telemetry.Gauge
+}
+
+func newLRUCache(budget int64, evictions *telemetry.Counter, used *telemetry.Gauge) *lruCache {
+	return &lruCache{budget: budget, m: map[cacheKey]*centry{}, evictions: evictions, usedGauge: used}
+}
+
+// get returns the cached bytes for k, promoting the entry to most
+// recently used. The returned slice is shared — callers must not modify
+// it.
+func (c *lruCache) get(k cacheKey) ([]byte, bool) {
+	c.mu.Lock()
+	e, ok := c.m[k]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.moveToFront(e)
+	data := e.data
+	c.mu.Unlock()
+	return data, true
+}
+
+// put inserts data under k, evicting from the LRU tail until the budget
+// holds. A frame larger than the whole budget is not cached at all (it
+// would evict everything and then be evicted by the next insert anyway).
+// Re-putting an existing key refreshes its position and bytes.
+func (c *lruCache) put(k cacheKey, data []byte) {
+	size := int64(len(data))
+	if size == 0 || size > c.budget {
+		return
+	}
+	c.mu.Lock()
+	if e, ok := c.m[k]; ok {
+		c.used += size - int64(len(e.data))
+		e.data = data
+		c.moveToFront(e)
+	} else {
+		e := &centry{key: k, data: data}
+		c.m[k] = e
+		c.used += size
+		c.pushFront(e)
+	}
+	for c.used > c.budget && c.tail != nil {
+		c.evict(c.tail)
+	}
+	c.usedGauge.Set(c.used)
+	c.mu.Unlock()
+}
+
+// bytes returns the current resident frame bytes.
+func (c *lruCache) bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// len returns the resident entry count.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Callers hold c.mu for the list operations below.
+
+func (c *lruCache) pushFront(e *centry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *lruCache) unlink(e *centry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *lruCache) moveToFront(e *centry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *lruCache) evict(e *centry) {
+	c.unlink(e)
+	delete(c.m, e.key)
+	c.used -= int64(len(e.data))
+	c.evictions.Inc()
+}

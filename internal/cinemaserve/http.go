@@ -1,0 +1,192 @@
+package cinemaserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"insituviz/internal/cinemastore"
+	"insituviz/internal/trace"
+)
+
+// Handler returns the server's HTTP interface. It serves paths relative
+// to its mount point, so callers mount it under a prefix:
+//
+//	mux.Handle("/cinema/", http.StripPrefix("/cinema", srv.Handler()))
+//
+// Routes (all GET):
+//
+//	/                      JSON listing of mounted stores
+//	/<store>/              JSON store info (version, axes, totals)
+//	/<store>/index.json    the store's version-2 index document
+//	/<store>/frame?var=V[&time=T&phi=P&theta=H][&nearest=1]
+//	                       one frame (image/png); nearest=1 snaps the
+//	                       requested axis point to the closest stored one
+//	/<store>/file/<name>   one frame addressed by stored file name
+//
+// Every request passes admission control: when MaxInflight requests are
+// already in flight, the response is 503 with a Retry-After header — the
+// server sheds rather than queueing unboundedly.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		slot, lane, ok := s.acquireSlot()
+		if !ok {
+			// Retry-After wants integral seconds, rounded up.
+			secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			http.Error(w, ErrOverloaded.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		defer s.releaseSlot(slot)
+		lane.Begin("serve.request")
+		s.route(w, r, lane)
+		lane.End()
+	})
+}
+
+func (s *Server) route(w http.ResponseWriter, r *http.Request, lane *trace.Lane) {
+	path := strings.TrimPrefix(r.URL.Path, "/")
+	if path == "" {
+		s.serveListing(w)
+		return
+	}
+	store, rest, _ := strings.Cut(path, "/")
+	switch {
+	case rest == "":
+		s.serveStoreInfo(w, store)
+	case rest == "index.json":
+		s.serveIndex(w, store)
+	case rest == "frame":
+		s.serveFrame(w, r, store, lane)
+	case strings.HasPrefix(rest, "file/"):
+		s.serveFile(w, store, strings.TrimPrefix(rest, "file/"), lane)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// storeInfo is the JSON shape of the listing and per-store endpoints.
+type storeInfo struct {
+	Name      string   `json:"name"`
+	Version   string   `json:"version"`
+	Frames    int      `json:"frames"`
+	Bytes     int64    `json:"bytes"`
+	Variables []string `json:"variables"`
+}
+
+func infoFor(name string, st *cinemastore.Store) storeInfo {
+	return storeInfo{
+		Name: name, Version: st.Version(),
+		Frames: st.Len(), Bytes: st.TotalBytes(),
+		Variables: st.Variables(),
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) serveListing(w http.ResponseWriter) {
+	names := s.Stores()
+	out := make([]storeInfo, 0, len(names))
+	for _, name := range names {
+		if st, ok := s.Store(name); ok {
+			out = append(out, infoFor(name, st))
+		}
+	}
+	writeJSON(w, struct {
+		Stores []storeInfo `json:"stores"`
+	}{out})
+}
+
+func (s *Server) serveStoreInfo(w http.ResponseWriter, name string) {
+	st, ok := s.Store(name)
+	if !ok {
+		http.Error(w, "unknown store", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, infoFor(name, st))
+}
+
+func (s *Server) serveIndex(w http.ResponseWriter, name string) {
+	st, ok := s.Store(name)
+	if !ok {
+		http.Error(w, "unknown store", http.StatusNotFound)
+		return
+	}
+	data, err := cinemastore.EncodeIndex(st.Entries())
+	if err != nil {
+		s.mErrors.Inc()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
+func (s *Server) serveFrame(w http.ResponseWriter, r *http.Request, store string, lane *trace.Lane) {
+	q := r.URL.Query()
+	key := cinemastore.Key{Variable: q.Get("var")}
+	if key.Variable == "" {
+		http.Error(w, "missing var parameter", http.StatusBadRequest)
+		return
+	}
+	var err error
+	for _, p := range [...]struct {
+		name string
+		dst  *float64
+	}{{"time", &key.Time}, {"phi", &key.Phi}, {"theta", &key.Theta}} {
+		if v := q.Get(p.name); v != "" {
+			if *p.dst, err = strconv.ParseFloat(v, 64); err != nil {
+				http.Error(w, fmt.Sprintf("bad %s parameter: %v", p.name, err), http.StatusBadRequest)
+				return
+			}
+		}
+	}
+	if err := key.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	nearest := false
+	if v := q.Get("nearest"); v != "" {
+		if nearest, err = strconv.ParseBool(v); err != nil {
+			http.Error(w, "bad nearest parameter", http.StatusBadRequest)
+			return
+		}
+	}
+	data, entry, err := s.frame(store, key, nearest, lane)
+	s.writeFrame(w, data, entry, err)
+}
+
+func (s *Server) serveFile(w http.ResponseWriter, store, file string, lane *trace.Lane) {
+	if file == "" {
+		http.Error(w, "missing file name", http.StatusBadRequest)
+		return
+	}
+	data, entry, err := s.frameByFile(store, file, lane)
+	s.writeFrame(w, data, entry, err)
+}
+
+func (s *Server) writeFrame(w http.ResponseWriter, data []byte, entry cinemastore.Entry, err error) {
+	switch {
+	case err == ErrNotFound:
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	default:
+		w.Header().Set("Content-Type", "image/png")
+		w.Header().Set("X-Cinema-File", entry.File)
+		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		_, _ = w.Write(data)
+	}
+}

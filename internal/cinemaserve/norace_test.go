@@ -1,0 +1,5 @@
+//go:build !race
+
+package cinemaserve
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package cinemaserve
+
+// raceEnabled makes allocation-budget tests skip under the race detector,
+// whose instrumentation allocates on paths that are otherwise clean.
+const raceEnabled = true

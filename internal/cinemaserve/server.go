@@ -1,0 +1,381 @@
+// Package cinemaserve is the read path of the in-situ workflow: a
+// production-shaped query server over one or more Cinema image databases
+// (internal/cinemastore). The paper's pipeline renders in situ precisely
+// so scientists can later browse the image store interactively; this
+// package is the half that takes the browsing traffic.
+//
+// The serving contracts, in order of importance:
+//
+//   - Bounded memory. Frames are cached in a byte-budgeted LRU; the
+//     budget is a hard ceiling on resident frame bytes.
+//
+//   - Bounded concurrency. Admission control holds a fixed number of
+//     request slots; when all slots are busy the HTTP layer sheds the
+//     request with 503 + Retry-After instead of queueing unboundedly, so
+//     overload degrades throughput, never liveness.
+//
+//   - Coalesced misses. Concurrent misses on one frame are collapsed by
+//     a singleflight group into at most one store read per key per miss
+//     window; the backing store sees cache-miss traffic, not user
+//     traffic.
+//
+//   - Zero-allocation hits. Frame resolution, cache lookup, and the
+//     telemetry on a cache hit allocate nothing, so the hot path's cost
+//     is two mutex round trips and the atomic metric updates
+//     (BenchmarkCinemaServeHot pins 0 allocs/op).
+//
+// Telemetry is registered under plain names ("requests", "cache.hits",
+// "latency.ns", ...); mount the server's registry in a telemetry.Union
+// under a prefix (conventionally "serve.") to compose it with other
+// components' expositions.
+package cinemaserve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"insituviz/internal/cinemastore"
+	"insituviz/internal/telemetry"
+	"insituviz/internal/trace"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultCacheBytes  = 64 << 20
+	DefaultMaxInflight = 64
+	DefaultRetryAfter  = 1 * time.Second
+)
+
+// LatencyBuckets are the upper bounds (nanoseconds) of the latency.ns
+// histogram: decade-ish steps from 1 µs to 1 s, the range a frame fetch
+// can plausibly occupy between a warm cache hit and a cold disk read on
+// a loaded box.
+var LatencyBuckets = []float64{1e3, 4e3, 16e3, 64e3, 256e3, 1e6, 4e6, 16e6, 64e6, 256e6, 1e9}
+
+// ResponseSizeBuckets are the upper bounds (bytes) of the response.bytes
+// histogram, matching the render layer's frame-size decades.
+var ResponseSizeBuckets = []float64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+
+// Config configures a Server.
+type Config struct {
+	// CacheBytes is the frame cache budget. Zero selects
+	// DefaultCacheBytes; negative disables caching entirely.
+	CacheBytes int64
+	// MaxInflight is the number of concurrently admitted HTTP requests;
+	// requests beyond it are shed with 503. Zero selects
+	// DefaultMaxInflight.
+	MaxInflight int
+	// RetryAfter is the backoff advertised on shed responses. Zero
+	// selects DefaultRetryAfter.
+	RetryAfter time.Duration
+	// Telemetry receives the server's metrics. Nil runs unobserved
+	// (handles no-op).
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, receives one lane per admission slot
+	// ("serve.slot<N>"): each admitted request records a "serve.frame"
+	// span (with a nested "store.read" span on a miss) on its slot's
+	// lane, so a Perfetto view shows the request lanes side by side.
+	Tracer *trace.Tracer
+}
+
+// Errors the fetch path distinguishes for the HTTP status mapping.
+var (
+	// ErrNotFound reports an unknown store, variable, or — for exact
+	// lookups — axis point.
+	ErrNotFound = errors.New("cinemaserve: not found")
+	// ErrOverloaded reports that admission control shed the request.
+	ErrOverloaded = errors.New("cinemaserve: overloaded, retry later")
+)
+
+// mount is one served store.
+type mount struct {
+	name  string
+	id    int32
+	store *cinemastore.Store
+}
+
+// Server serves frames from one or more mounted Cinema stores through a
+// shared cache with singleflight miss coalescing. Safe for concurrent
+// use.
+type Server struct {
+	cfg   Config
+	cache *lruCache
+
+	mu      sync.RWMutex
+	mounts  []*mount
+	byName  map[string]int32
+	flights flightGroup
+
+	slots     chan int32
+	slotLanes []*trace.Lane
+
+	// testLoadGate, when non-nil, blocks every store read until the gate
+	// closes — tests use it to hold a request in flight deterministically.
+	testLoadGate <-chan struct{}
+
+	mRequests   *telemetry.Counter
+	mHits       *telemetry.Counter
+	mMisses     *telemetry.Counter
+	mShed       *telemetry.Counter
+	mErrors     *telemetry.Counter
+	mStoreReads *telemetry.Counter
+	mBytesOut   *telemetry.Counter
+	gInflight   *telemetry.Gauge
+	hLatency    *telemetry.Histogram
+	hRespBytes  *telemetry.Histogram
+}
+
+// NewServer returns an empty server; mount stores with Mount.
+func NewServer(cfg Config) *Server {
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = DefaultCacheBytes
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	reg := cfg.Telemetry
+	s := &Server{
+		cfg:    cfg,
+		byName: map[string]int32{},
+
+		mRequests:   reg.Counter("requests"),
+		mHits:       reg.Counter("cache.hits"),
+		mMisses:     reg.Counter("cache.misses"),
+		mShed:       reg.Counter("shed"),
+		mErrors:     reg.Counter("errors"),
+		mStoreReads: reg.Counter("store.reads"),
+		mBytesOut:   reg.Counter("bytes.out"),
+		gInflight:   reg.Gauge("inflight.highwater"),
+		hLatency:    reg.Histogram("latency.ns", LatencyBuckets),
+		hRespBytes:  reg.Histogram("response.bytes", ResponseSizeBuckets),
+	}
+	s.cache = newLRUCache(cfg.CacheBytes, reg.Counter("cache.evictions"), reg.Gauge("cache.used.bytes"))
+	reg.Gauge("cache.budget.bytes").Set(cfg.CacheBytes)
+	reg.Gauge("slots").Set(int64(cfg.MaxInflight))
+
+	s.slots = make(chan int32, cfg.MaxInflight)
+	s.slotLanes = make([]*trace.Lane, cfg.MaxInflight)
+	for i := 0; i < cfg.MaxInflight; i++ {
+		s.slots <- int32(i)
+		s.slotLanes[i] = cfg.Tracer.Lane(fmt.Sprintf("serve.slot%d", i))
+	}
+	return s
+}
+
+// Mount serves store under name (the first path segment below /cinema/).
+// Mounting a name twice is an error.
+func (s *Server) Mount(name string, store *cinemastore.Store) error {
+	if name == "" || store == nil {
+		return fmt.Errorf("cinemaserve: empty mount name or nil store")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byName[name]; ok {
+		return fmt.Errorf("cinemaserve: store %q already mounted", name)
+	}
+	m := &mount{name: name, id: int32(len(s.mounts)), store: store}
+	s.byName[name] = m.id
+	s.mounts = append(s.mounts, m)
+	return nil
+}
+
+// Stores returns the mounted store names in mount order.
+func (s *Server) Stores() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, len(s.mounts))
+	for i, m := range s.mounts {
+		out[i] = m.name
+	}
+	return out
+}
+
+// Store returns a mounted store by name.
+func (s *Server) Store(name string) (*cinemastore.Store, bool) {
+	m := s.lookupMount(name)
+	if m == nil {
+		return nil, false
+	}
+	return m.store, true
+}
+
+func (s *Server) lookupMount(name string) *mount {
+	s.mu.RLock()
+	id, ok := s.byName[name]
+	var m *mount
+	if ok {
+		m = s.mounts[id]
+	}
+	s.mu.RUnlock()
+	return m
+}
+
+// Frame resolves key in the named store — exactly, or to the nearest
+// stored frame when nearest is true — and returns the encoded frame
+// bytes plus the entry they came from. The returned slice is shared with
+// the cache and must not be modified. On a cache hit the call allocates
+// nothing.
+func (s *Server) Frame(store string, key cinemastore.Key, nearest bool) ([]byte, cinemastore.Entry, error) {
+	return s.frame(store, key, nearest, nil)
+}
+
+func (s *Server) frame(store string, key cinemastore.Key, nearest bool, lane *trace.Lane) ([]byte, cinemastore.Entry, error) {
+	start := time.Now()
+	s.mRequests.Inc()
+	m := s.lookupMount(store)
+	if m == nil {
+		s.mErrors.Inc()
+		return nil, cinemastore.Entry{}, ErrNotFound
+	}
+	var idx int
+	var ok bool
+	if nearest {
+		idx, ok = m.store.NearestIndex(key)
+	} else {
+		idx, ok = m.store.LookupIndex(key)
+	}
+	if !ok {
+		s.mErrors.Inc()
+		return nil, cinemastore.Entry{}, ErrNotFound
+	}
+	data, err := s.frameAt(m, idx, lane)
+	if err != nil {
+		s.mErrors.Inc()
+		return nil, cinemastore.Entry{}, err
+	}
+	s.observe(start, len(data))
+	return data, m.store.EntryAt(idx), nil
+}
+
+// FrameByFile resolves a stored file name in the named store through the
+// same cache, for clients that walk the index and fetch files directly.
+func (s *Server) FrameByFile(store, file string) ([]byte, cinemastore.Entry, error) {
+	return s.frameByFile(store, file, nil)
+}
+
+func (s *Server) frameByFile(store, file string, lane *trace.Lane) ([]byte, cinemastore.Entry, error) {
+	start := time.Now()
+	s.mRequests.Inc()
+	m := s.lookupMount(store)
+	if m == nil {
+		s.mErrors.Inc()
+		return nil, cinemastore.Entry{}, ErrNotFound
+	}
+	idx, ok := m.store.LookupFileIndex(file)
+	if !ok {
+		s.mErrors.Inc()
+		return nil, cinemastore.Entry{}, ErrNotFound
+	}
+	data, err := s.frameAt(m, idx, lane)
+	if err != nil {
+		s.mErrors.Inc()
+		return nil, cinemastore.Entry{}, err
+	}
+	s.observe(start, len(data))
+	return data, m.store.EntryAt(idx), nil
+}
+
+// observe records the fetch's latency and size. Allocation-free.
+func (s *Server) observe(start time.Time, n int) {
+	s.hLatency.Observe(float64(time.Since(start)))
+	s.hRespBytes.Observe(float64(n))
+	s.mBytesOut.Add(int64(n))
+}
+
+// frameAt returns entry idx of mount m, from cache or — coalesced — from
+// the store. lane, when non-nil, receives a "store.read" span around an
+// actual disk read.
+func (s *Server) frameAt(m *mount, idx int, lane *trace.Lane) ([]byte, error) {
+	ck := cacheKey{mount: m.id, entry: int32(idx)}
+	if data, ok := s.cache.get(ck); ok {
+		s.mHits.Inc()
+		return data, nil
+	}
+	s.mMisses.Inc()
+	return s.flights.do(ck, func() ([]byte, error) {
+		// A concurrent flight may have filled the cache between our miss
+		// and this flight starting; re-check before touching the store.
+		if data, ok := s.cache.get(ck); ok {
+			return data, nil
+		}
+		if s.testLoadGate != nil {
+			<-s.testLoadGate
+		}
+		s.mStoreReads.Inc()
+		lane.Begin("store.read")
+		data, err := m.store.ReadFrameAt(idx)
+		lane.End()
+		if err != nil {
+			return nil, err
+		}
+		s.cache.put(ck, data)
+		return data, nil
+	})
+}
+
+// flight is one in-progress store read; latecomers block on done and
+// share the result.
+type flight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// flightGroup coalesces concurrent loads of the same key — a minimal
+// singleflight: the first caller for a key executes fn, everyone else
+// arriving during that window waits and shares the outcome.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[cacheKey]*flight
+}
+
+func (g *flightGroup) do(k cacheKey, fn func() ([]byte, error)) ([]byte, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[cacheKey]*flight{}
+	}
+	if f, ok := g.m[k]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.data, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[k] = f
+	g.mu.Unlock()
+
+	f.data, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, k)
+	g.mu.Unlock()
+	close(f.done)
+	return f.data, f.err
+}
+
+// acquireSlot claims an admission slot without blocking. On success it
+// returns the slot ID and its trace lane; on failure the request must be
+// shed. The high-water gauge tracks peak concurrent admissions.
+func (s *Server) acquireSlot() (int32, *trace.Lane, bool) {
+	select {
+	case id := <-s.slots:
+		s.gInflight.SetMax(int64(s.cfg.MaxInflight - len(s.slots)))
+		return id, s.slotLanes[id], true
+	default:
+		s.mShed.Inc()
+		return 0, nil, false
+	}
+}
+
+// releaseSlot returns a slot claimed by acquireSlot.
+func (s *Server) releaseSlot(id int32) { s.slots <- id }
+
+// CacheBytes reports the currently resident frame bytes.
+func (s *Server) CacheBytes() int64 { return s.cache.bytes() }
+
+// CacheLen reports the currently resident frame count.
+func (s *Server) CacheLen() int { return s.cache.len() }

@@ -1,0 +1,474 @@
+package cinemaserve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"insituviz/internal/cinemastore"
+	"insituviz/internal/telemetry"
+	"insituviz/internal/trace"
+)
+
+// buildStore writes a small database: vars variables x times steps x the
+// given cameras, every frame frameBytes long with recognizable content.
+func buildStore(t testing.TB, vars, steps int, cams []cinemastore.Key, frameBytes int) *cinemastore.Store {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := cinemastore.Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cams) == 0 {
+		cams = []cinemastore.Key{{}}
+	}
+	for v := 0; v < vars; v++ {
+		for ts := 0; ts < steps; ts++ {
+			for _, cam := range cams {
+				key := cinemastore.Key{
+					Time: float64(ts), Phi: cam.Phi, Theta: cam.Theta,
+					Variable: fmt.Sprintf("var%d", v),
+				}
+				data := bytes.Repeat([]byte{byte(v*steps + ts)}, frameBytes)
+				if _, err := w.Put(key, data); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if _, err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cinemastore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func newTestServer(t testing.TB, cfg Config) (*Server, *telemetry.Registry) {
+	t.Helper()
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	s := NewServer(cfg)
+	return s, cfg.Telemetry
+}
+
+func TestFrameExactNearestAndByFile(t *testing.T) {
+	cams := []cinemastore.Key{{Phi: 0.5, Theta: 0.25}, {Phi: -0.5, Theta: 0.25}}
+	st := buildStore(t, 2, 4, cams, 64)
+	s, _ := newTestServer(t, Config{})
+	if err := s.Mount("run", st); err != nil {
+		t.Fatal(err)
+	}
+
+	key := cinemastore.Key{Time: 2, Phi: 0.5, Theta: 0.25, Variable: "var1"}
+	data, entry, err := s.Frame("run", key, false)
+	if err != nil {
+		t.Fatalf("exact: %v", err)
+	}
+	if entry.Key != key || len(data) != 64 {
+		t.Errorf("exact entry = %+v, %d bytes", entry, len(data))
+	}
+
+	// Nearest snaps time and camera.
+	near := cinemastore.Key{Time: 2.4, Phi: 0.48, Theta: 0.3, Variable: "var1"}
+	_, entry, err = s.Frame("run", near, true)
+	if err != nil {
+		t.Fatalf("nearest: %v", err)
+	}
+	if entry.Key != key {
+		t.Errorf("nearest resolved to %+v, want %+v", entry.Key, key)
+	}
+
+	// By file name, through the same cache.
+	data2, entry2, err := s.FrameByFile("run", entry.File)
+	if err != nil {
+		t.Fatalf("by file: %v", err)
+	}
+	if entry2.File != entry.File || !bytes.Equal(data, data2) {
+		t.Errorf("by-file mismatch: %+v", entry2)
+	}
+
+	// Misses.
+	if _, _, err := s.Frame("nope", key, false); err != ErrNotFound {
+		t.Errorf("unknown store: %v", err)
+	}
+	if _, _, err := s.Frame("run", cinemastore.Key{Variable: "ghost"}, true); err != ErrNotFound {
+		t.Errorf("unknown variable: %v", err)
+	}
+	if _, _, err := s.Frame("run", cinemastore.Key{Time: 99, Variable: "var0"}, false); err != ErrNotFound {
+		t.Errorf("exact miss: %v", err)
+	}
+	if _, _, err := s.FrameByFile("run", "absent.png"); err != ErrNotFound {
+		t.Errorf("file miss: %v", err)
+	}
+}
+
+func TestCacheHitSkipsStore(t *testing.T) {
+	st := buildStore(t, 1, 2, nil, 128)
+	s, reg := newTestServer(t, Config{})
+	if err := s.Mount("run", st); err != nil {
+		t.Fatal(err)
+	}
+	key := cinemastore.Key{Time: 1, Variable: "var0"}
+	for i := 0; i < 5; i++ {
+		if _, _, err := s.Frame("run", key, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("store.reads").Value(); got != 1 {
+		t.Errorf("store.reads = %d, want 1", got)
+	}
+	if got := reg.Counter("cache.hits").Value(); got != 4 {
+		t.Errorf("cache.hits = %d, want 4", got)
+	}
+	if got := reg.Counter("cache.misses").Value(); got != 1 {
+		t.Errorf("cache.misses = %d, want 1", got)
+	}
+}
+
+// TestSingleflightCoalescesConcurrentMisses is the miss-window contract:
+// with room in the cache, any number of concurrent requests for one frame
+// cost at most one store read — the first flight reads and fills the
+// cache before returning, so latecomers either join the flight or hit the
+// cache. The store.reads == 1 assertion is deterministic, not timing-luck:
+// there is no schedule in which a second read can happen.
+func TestSingleflightCoalescesConcurrentMisses(t *testing.T) {
+	st := buildStore(t, 1, 1, nil, 256)
+	gate := make(chan struct{})
+	s, reg := newTestServer(t, Config{})
+	s.testLoadGate = gate
+	if err := s.Mount("run", st); err != nil {
+		t.Fatal(err)
+	}
+
+	key := cinemastore.Key{Variable: "var0"}
+	const N = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := s.Frame("run", key, false); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	// Let the herd pile up behind the gated store read, then release.
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := reg.Counter("store.reads").Value(); got != 1 {
+		t.Errorf("store.reads = %d, want 1 (singleflight failed to coalesce)", got)
+	}
+}
+
+func TestEvictionKeepsBudget(t *testing.T) {
+	const frame = 1 << 10
+	st := buildStore(t, 1, 8, nil, frame)
+	s, reg := newTestServer(t, Config{CacheBytes: 2 * frame})
+	if err := s.Mount("run", st); err != nil {
+		t.Fatal(err)
+	}
+	for ts := 0; ts < 8; ts++ {
+		if _, _, err := s.Frame("run", cinemastore.Key{Time: float64(ts), Variable: "var0"}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.CacheBytes(); got > 2*frame {
+		t.Errorf("cache bytes %d exceed budget %d", got, 2*frame)
+	}
+	if got := reg.Counter("cache.evictions").Value(); got != 6 {
+		t.Errorf("evictions = %d, want 6", got)
+	}
+	// The two most recent frames are resident: refetching them is free.
+	before := reg.Counter("store.reads").Value()
+	for ts := 6; ts < 8; ts++ {
+		if _, _, err := s.Frame("run", cinemastore.Key{Time: float64(ts), Variable: "var0"}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("store.reads").Value(); got != before {
+		t.Errorf("resident frames re-read the store: %d -> %d", before, got)
+	}
+}
+
+// TestConcurrentMixedLoad is the -race workout of satellite 2: hitters,
+// missers, and evictions all interleaving on a deliberately tiny budget.
+// Correctness here means every fetch returns the right bytes and the
+// budget holds; the race detector checks the rest.
+func TestConcurrentMixedLoad(t *testing.T) {
+	const frame = 512
+	st := buildStore(t, 2, 8, nil, frame)
+	s, reg := newTestServer(t, Config{CacheBytes: 3 * frame})
+	if err := s.Mount("run", st); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				v, ts := rng.Intn(2), rng.Intn(8)
+				key := cinemastore.Key{Time: float64(ts), Variable: fmt.Sprintf("var%d", v)}
+				data, _, err := s.Frame("run", key, i%3 == 0)
+				if err != nil || len(data) != frame || data[0] != byte(v*8+ts) {
+					failures.Add(1)
+				}
+			}
+		}(int64(w))
+	}
+	// Concurrent observers exercise the read side of the cache accounting.
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				s.CacheBytes()
+				s.CacheLen()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	if n := failures.Load(); n != 0 {
+		t.Errorf("%d fetches returned wrong data", n)
+	}
+	if got := s.CacheBytes(); got > 3*frame {
+		t.Errorf("cache bytes %d exceed budget %d", got, 3*frame)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["requests"] != workers*200 {
+		t.Errorf("requests = %d, want %d", snap.Counters["requests"], workers*200)
+	}
+	if snap.Counters["errors"] != 0 {
+		t.Errorf("errors = %d", snap.Counters["errors"])
+	}
+}
+
+func TestMountValidation(t *testing.T) {
+	st := buildStore(t, 1, 1, nil, 16)
+	s, _ := newTestServer(t, Config{})
+	if err := s.Mount("", st); err == nil {
+		t.Error("empty mount name accepted")
+	}
+	if err := s.Mount("run", nil); err == nil {
+		t.Error("nil store accepted")
+	}
+	if err := s.Mount("run", st); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Mount("run", st); err == nil {
+		t.Error("duplicate mount accepted")
+	}
+	if got := s.Stores(); len(got) != 1 || got[0] != "run" {
+		t.Errorf("Stores() = %v", got)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	cams := []cinemastore.Key{{Phi: 0.5, Theta: 0.25}}
+	st := buildStore(t, 1, 3, cams, 64)
+	tr := trace.New(trace.Options{})
+	s, reg := newTestServer(t, Config{Tracer: tr})
+	if err := s.Mount("run", st); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(http.StripPrefix("/cinema", s.Handler()))
+	defer ts.Close()
+
+	get := func(path string) (int, string, http.Header) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	if code, body, _ := get("/cinema/"); code != 200 || !strings.Contains(body, `"name": "run"`) {
+		t.Errorf("listing: %d %q", code, body)
+	}
+	if code, body, _ := get("/cinema/run/"); code != 200 || !strings.Contains(body, `"frames": 3`) {
+		t.Errorf("store info: %d %q", code, body)
+	}
+	code, body, _ := get("/cinema/run/index.json")
+	if code != 200 || !strings.Contains(body, cinemastore.TypeV2) {
+		t.Errorf("index: %d %q", code, body)
+	}
+	entries, _, err := cinemastore.DecodeIndex([]byte(body))
+	if err != nil || len(entries) != 3 {
+		t.Fatalf("served index does not round-trip: %v (%d entries)", err, len(entries))
+	}
+
+	code, body, hdr := get("/cinema/run/frame?var=var0&time=1&phi=0.5&theta=0.25")
+	if code != 200 || len(body) != 64 {
+		t.Errorf("frame: %d, %d bytes", code, len(body))
+	}
+	if hdr.Get("Content-Type") != "image/png" || hdr.Get("X-Cinema-File") != entries[1].File {
+		t.Errorf("frame headers = %v", hdr)
+	}
+	if code, _, _ := get("/cinema/run/file/" + entries[0].File); code != 200 {
+		t.Errorf("file fetch: %d", code)
+	}
+	if code, _, _ := get("/cinema/run/frame?var=var0&time=7&nearest=1"); code != 200 {
+		t.Errorf("nearest frame: %d", code)
+	}
+
+	// Error mapping.
+	for path, want := range map[string]int{
+		"/cinema/ghost/":                       404,
+		"/cinema/run/frame?var=ghost":          404,
+		"/cinema/run/frame?time=1":             400, // missing var
+		"/cinema/run/frame?var=var0&time=x":    400,
+		"/cinema/run/frame?var=var0&nearest=x": 400,
+		"/cinema/run/file/absent.png":          404,
+		"/cinema/run/unknown-route":            404,
+	} {
+		if code, _, _ := get(path); code != want {
+			t.Errorf("GET %s = %d, want %d", path, code, want)
+		}
+	}
+
+	// The per-slot request spans landed on the tracer.
+	tl := tr.Snapshot()
+	spans := 0
+	for _, lane := range tl.Lanes {
+		if strings.HasPrefix(lane.Name, "serve.slot") {
+			spans += len(lane.Spans)
+		}
+	}
+	if spans == 0 {
+		t.Error("no serve.request spans recorded")
+	}
+	if reg.Counter("requests").Value() == 0 {
+		t.Error("requests counter untouched")
+	}
+}
+
+// TestHTTPShedsWhenSaturated pins the overload contract: with one
+// admission slot held by an in-flight request, the next request is shed
+// with 503 + Retry-After, and service resumes once the slot frees.
+func TestHTTPShedsWhenSaturated(t *testing.T) {
+	st := buildStore(t, 1, 1, nil, 64)
+	gate := make(chan struct{})
+	s, reg := newTestServer(t, Config{MaxInflight: 1, RetryAfter: 2 * time.Second})
+	s.testLoadGate = gate
+	if err := s.Mount("run", st); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(http.StripPrefix("/cinema", s.Handler()))
+	defer ts.Close()
+
+	first := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/cinema/run/frame?var=var0")
+		if err != nil {
+			first <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		first <- resp.StatusCode
+	}()
+
+	// Wait until the first request holds the only slot (blocked on the
+	// store-read gate), so the shed below is deterministic.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.slots) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never claimed the slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Get(ts.URL + "/cinema/run/frame?var=var0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("saturated request: %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", got)
+	}
+	if got := reg.Counter("shed").Value(); got != 1 {
+		t.Errorf("shed = %d, want 1", got)
+	}
+
+	close(gate)
+	if code := <-first; code != 200 {
+		t.Errorf("gated request finished with %d, want 200", code)
+	}
+	// The freed slot admits traffic again.
+	resp2, err := http.Get(ts.URL + "/cinema/run/frame?var=var0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		t.Errorf("post-shed request: %d, want 200", resp2.StatusCode)
+	}
+	// Sheds are not errors: the error counter stays clean.
+	if got := reg.Counter("errors").Value(); got != 0 {
+		t.Errorf("errors = %d, want 0", got)
+	}
+}
+
+// TestHotPathAllocations pins the serving contract the benchmark tracks:
+// a cache hit allocates nothing.
+func TestHotPathAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	st := buildStore(t, 1, 1, nil, 256)
+	s, _ := newTestServer(t, Config{})
+	if err := s.Mount("run", st); err != nil {
+		t.Fatal(err)
+	}
+	key := cinemastore.Key{Variable: "var0"}
+	if _, _, err := s.Frame("run", key, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name    string
+		nearest bool
+	}{{"exact", false}, {"nearest", true}} {
+		allocs := testing.AllocsPerRun(100, func() {
+			if _, _, err := s.Frame("run", key, mode.nearest); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s cache hit allocates %.1f/op, want 0", mode.name, allocs)
+		}
+	}
+}

@@ -1,0 +1,339 @@
+// Package cinemastore is the durable on-disk format of the Cinema image
+// databases the in-situ pipeline emits, and the read path over them: a
+// versioned JSON index of (time, camera-phi/theta, variable) axes plus a
+// directory of PNG frames, an opener, an axis-based query engine (exact
+// and nearest-parameter lookup), and an iterator for full-database scans.
+//
+// The paper's in-situ workflow exists precisely to produce these
+// databases: render many small views in situ, then let scientists browse
+// the image store interactively instead of re-rendering from raw dumps
+// (Ahrens et al., "An Image-based Approach to Extreme Scale In Situ
+// Visualization and Analysis"). This package owns the serving-side
+// contract the write path (render.CinemaDB) and the query server
+// (internal/cinemaserve) share.
+//
+// Durability contract: every index and frame write goes to a temp file in
+// the destination directory, is fsynced, and is renamed into place, with
+// a directory fsync after the rename. A reader opening the database at
+// any moment — including mid-write — observes either the old or the new
+// index, never a torn one.
+package cinemastore
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Format identifiers. Version 2 indexes carry the full axis tuple per
+// entry; version 1 is the legacy layout (time and variable only, the
+// variable under the key "field"), which Open still reads so databases
+// written before the store existed stay servable.
+const (
+	IndexFile = "info.json"
+
+	TypeV2    = "insituviz-cinema-store"
+	VersionV2 = "2.0"
+
+	typeV1    = "simple-image-database"
+	versionV1 = "1.0"
+)
+
+// Key identifies one frame by its position on the database axes: the
+// simulated time, the camera direction (phi = azimuth and theta =
+// elevation, radians — zero for view-independent frames such as
+// equirectangular maps), and the rendered variable.
+type Key struct {
+	Time     float64 `json:"time"`
+	Phi      float64 `json:"phi"`
+	Theta    float64 `json:"theta"`
+	Variable string  `json:"variable"`
+}
+
+// Validate rejects keys that cannot live on the axes: non-finite
+// coordinates (NaN would also poison map lookups) and empty variables.
+func (k Key) Validate() error {
+	for _, v := range [...]float64{k.Time, k.Phi, k.Theta} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("cinemastore: non-finite axis value in %+v", k)
+		}
+	}
+	if k.Variable == "" {
+		return fmt.Errorf("cinemastore: empty variable")
+	}
+	return nil
+}
+
+// Entry is one frame record: its key plus the stored file (a bare name,
+// always directly inside the database directory) and its size.
+type Entry struct {
+	Key
+	File  string `json:"file"`
+	Bytes int64  `json:"bytes"`
+}
+
+// jsonEntry is the on-disk entry layout, a superset of both versions:
+// version 2 uses "variable", version 1 used "field".
+type jsonEntry struct {
+	File     string  `json:"file"`
+	Time     float64 `json:"time"`
+	Phi      float64 `json:"phi,omitempty"`
+	Theta    float64 `json:"theta,omitempty"`
+	Variable string  `json:"variable,omitempty"`
+	Field    string  `json:"field,omitempty"`
+	Bytes    int64   `json:"bytes"`
+}
+
+// jsonIndex is the on-disk index layout.
+type jsonIndex struct {
+	Type    string      `json:"type"`
+	Version string      `json:"version"`
+	Images  []jsonEntry `json:"images"`
+}
+
+// sortEntries orders entries canonically: variable, then time, then phi,
+// then theta. Both the writer and the opener sort, so the index bytes and
+// every scan order are deterministic.
+func sortEntries(entries []Entry) {
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Variable != b.Variable {
+			return a.Variable < b.Variable
+		}
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Phi != b.Phi {
+			return a.Phi < b.Phi
+		}
+		return a.Theta < b.Theta
+	})
+}
+
+// WriteFileAtomic writes data as name inside dir so that a concurrent
+// reader of dir/name sees either the previous content or the new content,
+// never a prefix: the bytes land in an fsynced temp file in the same
+// directory (same filesystem, so the rename is atomic), the temp file is
+// renamed over the destination, and the directory is fsynced so the
+// rename itself survives a crash.
+func WriteFileAtomic(dir, name string, data []byte) error {
+	if err := writeFileAtomicNoDirSync(dir, name, data); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// writeFileAtomicNoDirSync is WriteFileAtomic minus the trailing
+// directory fsync. The frame writer uses it: each frame's contents are
+// fsynced and renamed here, and the one directory fsync in the index
+// commit durably publishes every prior rename in the directory at once —
+// the committed boundary is what must survive a crash, not each
+// individual frame landing.
+func writeFileAtomicNoDirSync(dir, name string, data []byte) (err error) {
+	f, err := os.CreateTemp(dir, "."+name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("cinemastore: create temp for %s: %w", name, err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("cinemastore: write %s: %w", name, err)
+	}
+	if err = f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("cinemastore: fsync %s: %w", name, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("cinemastore: close %s: %w", name, err)
+	}
+	if err = os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("cinemastore: rename %s: %w", name, err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("cinemastore: open dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("cinemastore: fsync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// Writer accumulates frames for one database and commits a versioned
+// index over them. Frames are written (atomically) as they are put; the
+// index becomes visible to readers only on Commit, which is itself
+// atomic, so a database is always observed at a committed boundary.
+// Not safe for concurrent use.
+type Writer struct {
+	dir     string
+	entries []Entry
+	byKey   map[Key]int
+	files   map[string]bool
+	total   int64
+}
+
+// Create creates (or reuses) the database directory and returns a writer
+// over it.
+func Create(dir string) (*Writer, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cinemastore: empty database directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cinemastore: create database dir: %w", err)
+	}
+	return &Writer{dir: dir, byKey: map[Key]int{}, files: map[string]bool{}}, nil
+}
+
+// Dir returns the database directory.
+func (w *Writer) Dir() string { return w.dir }
+
+// fileName derives a readable, collision-free frame file name from a key.
+func (w *Writer) fileName(k Key) string {
+	v := sanitize(k.Variable)
+	var base string
+	if k.Phi == 0 && k.Theta == 0 {
+		base = fmt.Sprintf("t%012.0f_%s", k.Time, v)
+	} else {
+		// Milliradian camera coordinates keep the name integral and unique
+		// across the default rigs.
+		base = fmt.Sprintf("t%012.0f_p%+05.0f_h%+05.0f_%s", k.Time, k.Phi*1000, k.Theta*1000, v)
+	}
+	name := base + ".png"
+	for seq := 2; w.files[name]; seq++ {
+		name = fmt.Sprintf("%s_%d.png", base, seq)
+	}
+	return name
+}
+
+// sanitize maps a variable name onto the filename-safe alphabet.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			return r
+		}
+		return '-'
+	}, s)
+}
+
+// Put stores one encoded frame under key, writing the file atomically,
+// and returns the recorded entry. Duplicate keys are rejected: the axes
+// must address frames uniquely for the query engine to be meaningful.
+func (w *Writer) Put(key Key, data []byte) (Entry, error) {
+	if err := key.Validate(); err != nil {
+		return Entry{}, err
+	}
+	if len(data) == 0 {
+		return Entry{}, fmt.Errorf("cinemastore: empty frame for %+v", key)
+	}
+	if i, ok := w.byKey[key]; ok {
+		return Entry{}, fmt.Errorf("cinemastore: duplicate key %+v (already stored as %s)", key, w.entries[i].File)
+	}
+	name := w.fileName(key)
+	if err := writeFileAtomicNoDirSync(w.dir, name, data); err != nil {
+		return Entry{}, err
+	}
+	e := Entry{Key: key, File: name, Bytes: int64(len(data))}
+	w.byKey[key] = len(w.entries)
+	w.entries = append(w.entries, e)
+	w.files[name] = true
+	w.total += e.Bytes
+	return e, nil
+}
+
+// Entries returns the accumulated entries in canonical order.
+func (w *Writer) Entries() []Entry {
+	out := append([]Entry(nil), w.entries...)
+	sortEntries(out)
+	return out
+}
+
+// TotalBytes returns the cumulative size of all stored frames.
+func (w *Writer) TotalBytes() int64 { return w.total }
+
+// Commit writes the version-2 index atomically and returns its encoded
+// size. Commit may be called repeatedly; each call publishes the entries
+// accumulated so far, and concurrent readers observe one committed index
+// or the previous one, never a mixture. Commit's directory fsync is also
+// the durability boundary for the frames: it makes every prior frame
+// rename in the directory crash-durable along with the index referencing
+// them.
+func (w *Writer) Commit() (int64, error) {
+	data, err := EncodeIndex(w.Entries())
+	if err != nil {
+		return 0, err
+	}
+	if err := WriteFileAtomic(w.dir, IndexFile, data); err != nil {
+		return 0, err
+	}
+	return int64(len(data)), nil
+}
+
+// EncodeIndex renders entries as a version-2 index document. The entries
+// are sorted canonically first, so equal databases encode byte-identically.
+func EncodeIndex(entries []Entry) ([]byte, error) {
+	sorted := append([]Entry(nil), entries...)
+	sortEntries(sorted)
+	idx := jsonIndex{Type: TypeV2, Version: VersionV2, Images: make([]jsonEntry, len(sorted))}
+	for i, e := range sorted {
+		idx.Images[i] = jsonEntry{
+			File: e.File, Time: e.Time, Phi: e.Phi, Theta: e.Theta,
+			Variable: e.Variable, Bytes: e.Bytes,
+		}
+	}
+	data, err := json.MarshalIndent(idx, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("cinemastore: marshal index: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeIndex parses an index document of either supported version into
+// entries (canonical order) and reports the version it found.
+func DecodeIndex(data []byte) ([]Entry, string, error) {
+	var idx jsonIndex
+	if err := json.Unmarshal(data, &idx); err != nil {
+		return nil, "", fmt.Errorf("cinemastore: parse index: %w", err)
+	}
+	switch {
+	case idx.Type == TypeV2 && idx.Version == VersionV2:
+	case idx.Type == typeV1 && idx.Version == versionV1:
+	default:
+		return nil, "", fmt.Errorf("cinemastore: unsupported index type %q version %q", idx.Type, idx.Version)
+	}
+	entries := make([]Entry, len(idx.Images))
+	for i, je := range idx.Images {
+		variable := je.Variable
+		if variable == "" {
+			variable = je.Field // legacy version-1 key
+		}
+		e := Entry{
+			Key:  Key{Time: je.Time, Phi: je.Phi, Theta: je.Theta, Variable: variable},
+			File: je.File, Bytes: je.Bytes,
+		}
+		if err := e.Validate(); err != nil {
+			return nil, "", fmt.Errorf("cinemastore: index entry %d: %w", i, err)
+		}
+		if e.File == "" || filepath.Base(e.File) != e.File || e.File == "." || e.File == ".." {
+			return nil, "", fmt.Errorf("cinemastore: index entry %d: unsafe file name %q", i, je.File)
+		}
+		entries[i] = e
+	}
+	sortEntries(entries)
+	return entries, idx.Version, nil
+}

@@ -1,0 +1,389 @@
+package cinemastore
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// frame fabricates a distinguishable frame payload for a key.
+func frame(k Key, n int) []byte {
+	b := []byte(fmt.Sprintf("PNG|%s|%g|%g|%g|", k.Variable, k.Time, k.Phi, k.Theta))
+	for len(b) < n {
+		b = append(b, byte(len(b)))
+	}
+	return b
+}
+
+// buildStore writes a small 2-variable, 2-camera, 3-time database.
+func buildStore(t *testing.T, dir string) []Entry {
+	t.Helper()
+	w, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []Entry
+	for _, v := range []string{"okubo_weiss", "vorticity"} {
+		for _, cam := range [][2]float64{{0, 0}, {math.Pi / 2, 0.1}} {
+			for _, tm := range []float64{3600, 7200, 10800} {
+				k := Key{Time: tm, Phi: cam[0], Theta: cam[1], Variable: v}
+				e, err := w.Put(k, frame(k, 64))
+				if err != nil {
+					t.Fatal(err)
+				}
+				entries = append(entries, e)
+			}
+		}
+	}
+	if _, err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return entries
+}
+
+func TestWriteOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	wrote := buildStore(t, dir)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Version() != VersionV2 {
+		t.Errorf("version = %q", s.Version())
+	}
+	if s.Len() != len(wrote) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(wrote))
+	}
+	var total int64
+	for _, e := range wrote {
+		total += e.Bytes
+		got, ok := s.Lookup(e.Key)
+		if !ok {
+			t.Fatalf("Lookup(%+v) missed", e.Key)
+		}
+		if got != e {
+			t.Errorf("Lookup(%+v) = %+v, want %+v", e.Key, got, e)
+		}
+		data, err := s.ReadFrame(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, frame(e.Key, 64)) {
+			t.Errorf("frame bytes for %+v differ", e.Key)
+		}
+	}
+	if s.TotalBytes() != total {
+		t.Errorf("TotalBytes = %d, want %d", s.TotalBytes(), total)
+	}
+	if got := s.Variables(); len(got) != 2 || got[0] != "okubo_weiss" || got[1] != "vorticity" {
+		t.Errorf("Variables = %v", got)
+	}
+	if cams := s.Cameras("okubo_weiss"); len(cams) != 2 {
+		t.Errorf("Cameras = %v", cams)
+	}
+	if times := s.Times("okubo_weiss", 0, 0); len(times) != 3 || times[0] != 3600 {
+		t.Errorf("Times = %v", times)
+	}
+}
+
+func TestScanCanonicalOrder(t *testing.T) {
+	dir := t.TempDir()
+	buildStore(t, dir)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []Entry
+	if err := s.Scan(func(e Entry) error {
+		seen = append(seen, e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != s.Len() {
+		t.Fatalf("scanned %d of %d", len(seen), s.Len())
+	}
+	for i := 1; i < len(seen); i++ {
+		a, b := seen[i-1], seen[i]
+		if a.Variable > b.Variable {
+			t.Fatalf("scan order broken at %d: %+v after %+v", i, b, a)
+		}
+		if a.Variable == b.Variable && a.Time > b.Time {
+			t.Fatalf("time order broken at %d", i)
+		}
+	}
+	wantErr := fmt.Errorf("stop")
+	n := 0
+	if err := s.Scan(func(Entry) error { n++; return wantErr }); err != wantErr {
+		t.Errorf("Scan error = %v", err)
+	}
+	if n != 1 {
+		t.Errorf("Scan continued after error: %d calls", n)
+	}
+}
+
+func TestNearestLookup(t *testing.T) {
+	dir := t.TempDir()
+	buildStore(t, dir)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		query Key
+		want  Key
+	}{
+		// Exact key resolves to itself.
+		{Key{Time: 7200, Variable: "okubo_weiss"}, Key{Time: 7200, Variable: "okubo_weiss"}},
+		// Off-grid time snaps to the nearest sample; ties go earlier.
+		{Key{Time: 5000, Variable: "okubo_weiss"}, Key{Time: 3600, Variable: "okubo_weiss"}},
+		{Key{Time: 5400, Variable: "okubo_weiss"}, Key{Time: 3600, Variable: "okubo_weiss"}},
+		{Key{Time: 1e9, Variable: "okubo_weiss"}, Key{Time: 10800, Variable: "okubo_weiss"}},
+		{Key{Time: -50, Variable: "okubo_weiss"}, Key{Time: 3600, Variable: "okubo_weiss"}},
+		// Off-grid camera snaps to the nearest view, with phi wrapping:
+		// phi = -3pi/2 is the same direction as pi/2.
+		{Key{Time: 3600, Phi: 1.4, Theta: 0, Variable: "okubo_weiss"},
+			Key{Time: 3600, Phi: math.Pi / 2, Theta: 0.1, Variable: "okubo_weiss"}},
+		{Key{Time: 3600, Phi: -3 * math.Pi / 2, Theta: 0.1, Variable: "okubo_weiss"},
+			Key{Time: 3600, Phi: math.Pi / 2, Theta: 0.1, Variable: "okubo_weiss"}},
+	}
+	for _, tc := range cases {
+		got, ok := s.Nearest(tc.query)
+		if !ok {
+			t.Errorf("Nearest(%+v) missed", tc.query)
+			continue
+		}
+		if got.Key != tc.want {
+			t.Errorf("Nearest(%+v) = %+v, want %+v", tc.query, got.Key, tc.want)
+		}
+	}
+	if _, ok := s.Nearest(Key{Time: 3600, Variable: "no_such_variable"}); ok {
+		t.Error("Nearest resolved an unknown variable")
+	}
+}
+
+func TestWriterRejectsBadInput(t *testing.T) {
+	w, err := Create(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key{Time: 1, Variable: "v"}
+	if _, err := w.Put(k, nil); err == nil {
+		t.Error("empty frame accepted")
+	}
+	if _, err := w.Put(Key{Time: math.NaN(), Variable: "v"}, []byte("x")); err == nil {
+		t.Error("NaN time accepted")
+	}
+	if _, err := w.Put(Key{Time: 1}, []byte("x")); err == nil {
+		t.Error("empty variable accepted")
+	}
+	if _, err := w.Put(k, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Put(k, []byte("y")); err == nil {
+		t.Error("duplicate key accepted")
+	}
+	if _, err := Create(""); err == nil {
+		t.Error("empty dir accepted")
+	}
+}
+
+func TestFileNameCollisionsGetSequenced(t *testing.T) {
+	w, err := Create(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sub-second times collapse under the %012.0f name format; the writer
+	// must still keep the files distinct.
+	e1, err := w.Put(Key{Time: 1.2, Variable: "v"}, []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := w.Put(Key{Time: 1.4, Variable: "v"}, []byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.File == e2.File {
+		t.Fatalf("colliding file names: %q", e1.File)
+	}
+}
+
+func TestOpenLegacyV1Index(t *testing.T) {
+	dir := t.TempDir()
+	legacy := `{
+  "type": "simple-image-database",
+  "version": "1.0",
+  "images": [
+    {"file": "a.png", "time": 3600, "field": "okubo_weiss", "bytes": 3},
+    {"file": "b.png", "time": 7200, "field": "okubo_weiss", "bytes": 3}
+  ]
+}`
+	if err := os.WriteFile(filepath.Join(dir, IndexFile), []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"a.png", "b.png"} {
+		if err := os.WriteFile(filepath.Join(dir, f), []byte("png"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Version() != "1.0" || s.Len() != 2 {
+		t.Fatalf("version %q len %d", s.Version(), s.Len())
+	}
+	e, ok := s.Lookup(Key{Time: 7200, Variable: "okubo_weiss"})
+	if !ok || e.File != "b.png" {
+		t.Errorf("legacy lookup = %+v ok=%v", e, ok)
+	}
+}
+
+func TestOpenRejectsBadIndexes(t *testing.T) {
+	cases := map[string]string{
+		"unsupported version": `{"type": "insituviz-cinema-store", "version": "9.9", "images": []}`,
+		"unsafe file path":    `{"type": "insituviz-cinema-store", "version": "2.0", "images": [{"file": "../escape.png", "time": 1, "variable": "v", "bytes": 1}]}`,
+		"empty variable":      `{"type": "insituviz-cinema-store", "version": "2.0", "images": [{"file": "a.png", "time": 1, "bytes": 1}]}`,
+		"duplicate key":       `{"type": "insituviz-cinema-store", "version": "2.0", "images": [{"file": "a.png", "time": 1, "variable": "v", "bytes": 1}, {"file": "b.png", "time": 1, "variable": "v", "bytes": 1}]}`,
+		"torn json":           `{"type": "insituviz-cinema-store", "vers`,
+	}
+	for name, src := range cases {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, IndexFile), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(dir); err == nil {
+			t.Errorf("%s: opened without error", name)
+		}
+	}
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Error("missing index opened without error")
+	}
+}
+
+// TestConcurrentCommitNeverTearsIndex is the crash-safety contract of the
+// satellite task: a reader opening the database while the index is being
+// rewritten sees either the previous committed index or the new one —
+// never a partial document. The writer alternates between a 1-entry and a
+// 2-entry index as fast as it can while readers re-open continuously.
+func TestConcurrentCommitNeverTearsIndex(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := w.Put(Key{Time: 3600, Variable: "v"}, frame(Key{Time: 3600, Variable: "v"}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	one, err := EncodeIndex([]Entry{e1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := w.Put(Key{Time: 7200, Variable: "v"}, frame(Key{Time: 7200, Variable: "v"}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := EncodeIndex([]Entry{e1, e2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			doc := one
+			if i%2 == 1 {
+				doc = two
+			}
+			if err := WriteFileAtomic(dir, IndexFile, doc); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < 300; i++ {
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatalf("reader %d: mid-write open failed: %v", i, err)
+		}
+		if n := s.Len(); n != 1 && n != 2 {
+			t.Fatalf("reader %d: observed torn index with %d entries", i, n)
+		}
+		if _, ok := s.Lookup(e1.Key); !ok {
+			t.Fatalf("reader %d: committed entry missing", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestWriteFileAtomicLeavesNoTempDebris checks both the happy path and
+// that the database directory holds only final names afterwards.
+func TestWriteFileAtomicLeavesNoTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 5; i++ {
+		if err := WriteFileAtomic(dir, "x.bin", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "x.bin"))
+	if err != nil || len(got) != 1 || got[0] != 4 {
+		t.Fatalf("final content = %v (%v)", got, err)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range names {
+		if strings.Contains(de.Name(), ".tmp-") {
+			t.Errorf("temp debris left behind: %s", de.Name())
+		}
+	}
+	if len(names) != 1 {
+		t.Errorf("directory holds %d files, want 1", len(names))
+	}
+}
+
+func TestEncodeIndexIsByteStable(t *testing.T) {
+	entries := []Entry{
+		{Key: Key{Time: 7200, Variable: "b"}, File: "2.png", Bytes: 2},
+		{Key: Key{Time: 3600, Variable: "a"}, File: "1.png", Bytes: 1},
+	}
+	a, err := EncodeIndex(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reversed input order must encode identically.
+	b, err := EncodeIndex([]Entry{entries[1], entries[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("index encoding depends on entry order")
+	}
+	back, version, err := DecodeIndex(a)
+	if err != nil || version != VersionV2 {
+		t.Fatalf("decode: %v (version %q)", err, version)
+	}
+	if len(back) != 2 || back[0].Variable != "a" || back[1].Variable != "b" {
+		t.Errorf("round-trip = %+v", back)
+	}
+}

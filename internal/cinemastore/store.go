@@ -1,0 +1,251 @@
+package cinemastore
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Store is an opened Cinema database: the parsed index plus the lookup
+// structures of the query engine. A Store is immutable after Open and
+// safe for concurrent use; frames are read from disk on demand.
+type Store struct {
+	dir     string
+	version string
+	entries []Entry // canonical order
+	total   int64
+
+	byKey  map[Key]int
+	byFile map[string]int
+	vars   []*variableAxis
+	varIdx map[string]*variableAxis
+}
+
+// variableAxis is the per-variable slice of the axis space: the cameras
+// the variable was rendered from, each with its sorted time series.
+type variableAxis struct {
+	name string
+	cams []*cameraAxis
+}
+
+// cameraAxis is one (phi, theta) viewpoint's time series for a variable.
+type cameraAxis struct {
+	phi, theta float64
+	times      []float64 // ascending
+	idx        []int     // entry index per time
+}
+
+// Open loads and validates the database index in dir.
+func Open(dir string) (*Store, error) {
+	data, err := os.ReadFile(filepath.Join(dir, IndexFile))
+	if err != nil {
+		return nil, fmt.Errorf("cinemastore: read index: %w", err)
+	}
+	entries, version, err := DecodeIndex(data)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir: dir, version: version, entries: entries,
+		byKey:  make(map[Key]int, len(entries)),
+		byFile: make(map[string]int, len(entries)),
+		varIdx: map[string]*variableAxis{},
+	}
+	for i, e := range entries {
+		if _, ok := s.byKey[e.Key]; ok {
+			return nil, fmt.Errorf("cinemastore: duplicate key %+v in index", e.Key)
+		}
+		s.byKey[e.Key] = i
+		if _, ok := s.byFile[e.File]; ok {
+			return nil, fmt.Errorf("cinemastore: file %q indexed twice", e.File)
+		}
+		s.byFile[e.File] = i
+		s.total += e.Bytes
+
+		va := s.varIdx[e.Variable]
+		if va == nil {
+			va = &variableAxis{name: e.Variable}
+			s.varIdx[e.Variable] = va
+			s.vars = append(s.vars, va)
+		}
+		var cam *cameraAxis
+		for _, c := range va.cams {
+			if c.phi == e.Phi && c.theta == e.Theta {
+				cam = c
+				break
+			}
+		}
+		if cam == nil {
+			cam = &cameraAxis{phi: e.Phi, theta: e.Theta}
+			va.cams = append(va.cams, cam)
+		}
+		// Entries arrive in canonical order, so each camera's time series
+		// is already ascending.
+		cam.times = append(cam.times, e.Time)
+		cam.idx = append(cam.idx, i)
+	}
+	return s, nil
+}
+
+// Dir returns the database directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Version returns the index format version that was opened ("1.0" legacy
+// or "2.0").
+func (s *Store) Version() string { return s.version }
+
+// Len returns the number of indexed frames.
+func (s *Store) Len() int { return len(s.entries) }
+
+// TotalBytes returns the cumulative indexed frame size.
+func (s *Store) TotalBytes() int64 { return s.total }
+
+// Entries returns a copy of the index in canonical order.
+func (s *Store) Entries() []Entry { return append([]Entry(nil), s.entries...) }
+
+// EntryAt returns the i'th entry in canonical order. It panics on an
+// out-of-range index, like a slice.
+func (s *Store) EntryAt(i int) Entry { return s.entries[i] }
+
+// Variables returns the distinct variable names, sorted.
+func (s *Store) Variables() []string {
+	out := make([]string, len(s.vars))
+	for i, va := range s.vars {
+		out[i] = va.name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Cameras returns the distinct (phi, theta) viewpoints the variable was
+// rendered from, in index order, or nil for an unknown variable.
+func (s *Store) Cameras(variable string) []Key {
+	va := s.varIdx[variable]
+	if va == nil {
+		return nil
+	}
+	out := make([]Key, len(va.cams))
+	for i, c := range va.cams {
+		out[i] = Key{Phi: c.phi, Theta: c.theta, Variable: variable}
+	}
+	return out
+}
+
+// Times returns the ascending sample times of a (variable, camera) track,
+// or nil if the track does not exist.
+func (s *Store) Times(variable string, phi, theta float64) []float64 {
+	va := s.varIdx[variable]
+	if va == nil {
+		return nil
+	}
+	for _, c := range va.cams {
+		if c.phi == phi && c.theta == theta {
+			return append([]float64(nil), c.times...)
+		}
+	}
+	return nil
+}
+
+// LookupIndex resolves a key exactly, returning the entry's canonical
+// index. It allocates nothing, so it can sit on the serving hot path.
+func (s *Store) LookupIndex(key Key) (int, bool) {
+	i, ok := s.byKey[key]
+	return i, ok
+}
+
+// Lookup resolves a key exactly.
+func (s *Store) Lookup(key Key) (Entry, bool) {
+	i, ok := s.byKey[key]
+	if !ok {
+		return Entry{}, false
+	}
+	return s.entries[i], true
+}
+
+// LookupFileIndex resolves a stored file name to its canonical entry
+// index. Allocation-free.
+func (s *Store) LookupFileIndex(name string) (int, bool) {
+	i, ok := s.byFile[name]
+	return i, ok
+}
+
+// NearestIndex resolves a key to the closest stored frame: the variable
+// must match exactly, then the nearest camera by squared angular offset
+// (phi wrapped onto (-pi, pi]), then the nearest time on that camera's
+// track. Ties break toward the lower camera index and the earlier time,
+// so resolution is deterministic. Allocation-free. Returns false only for
+// an unknown variable.
+func (s *Store) NearestIndex(key Key) (int, bool) {
+	va := s.varIdx[key.Variable]
+	if va == nil || len(va.cams) == 0 {
+		return 0, false
+	}
+	best := va.cams[0]
+	bestD := angularDist2(best.phi, best.theta, key.Phi, key.Theta)
+	for _, c := range va.cams[1:] {
+		if d := angularDist2(c.phi, c.theta, key.Phi, key.Theta); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	// Nearest time by binary search; tie toward the earlier sample.
+	times := best.times
+	j := sort.SearchFloat64s(times, key.Time)
+	switch {
+	case j == 0:
+	case j == len(times):
+		j = len(times) - 1
+	case key.Time-times[j-1] <= times[j]-key.Time:
+		j--
+	}
+	return best.idx[j], true
+}
+
+// Nearest resolves a key to the closest stored frame; see NearestIndex.
+func (s *Store) Nearest(key Key) (Entry, bool) {
+	i, ok := s.NearestIndex(key)
+	if !ok {
+		return Entry{}, false
+	}
+	return s.entries[i], true
+}
+
+// angularDist2 is the squared camera offset with the azimuth wrapped, so
+// a view at phi=-pi/2 is near one at phi=3pi/2.
+func angularDist2(phi1, theta1, phi2, theta2 float64) float64 {
+	dphi := math.Mod(phi1-phi2, 2*math.Pi)
+	if dphi > math.Pi {
+		dphi -= 2 * math.Pi
+	} else if dphi < -math.Pi {
+		dphi += 2 * math.Pi
+	}
+	dtheta := theta1 - theta2
+	return dphi*dphi + dtheta*dtheta
+}
+
+// Scan iterates the index in canonical order, stopping at the first
+// error, which it returns.
+func (s *Store) Scan(fn func(Entry) error) error {
+	for _, e := range s.entries {
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame loads one frame's bytes. Entry file names were validated at
+// Open to be bare names inside the database directory.
+func (s *Store) ReadFrame(e Entry) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, e.File))
+	if err != nil {
+		return nil, fmt.Errorf("cinemastore: read frame: %w", err)
+	}
+	return data, nil
+}
+
+// ReadFrameAt loads the frame at canonical index i.
+func (s *Store) ReadFrameAt(i int) ([]byte, error) {
+	return s.ReadFrame(s.entries[i])
+}

@@ -204,7 +204,7 @@ func TestCIWorkflowIsValid(t *testing.T) {
 	if wf.Name != "ci" {
 		t.Errorf("workflow name = %q, want ci", wf.Name)
 	}
-	for _, id := range []string{"tier1", "bench", "trace-smoke", "lint"} {
+	for _, id := range []string{"tier1", "bench", "trace-smoke", "serve-smoke", "lint"} {
 		if wf.Jobs[id] == nil {
 			t.Fatalf("ci.yml is missing the %q job", id)
 		}
@@ -280,6 +280,36 @@ func TestCIWorkflowIsValid(t *testing.T) {
 	if !smokeRun || !smokeCheck || !smokeUpload {
 		t.Errorf("trace-smoke coverage: run=%v check=%v upload=%v",
 			smokeRun, smokeCheck, smokeUpload)
+	}
+
+	// The serve-smoke job proves the serving subsystem end to end on real
+	// binaries: a live run produces a Cinema database, cinemaserve serves
+	// it, cinemaload drives a Zipf burst (exiting nonzero on any failure
+	// that isn't a deliberate 503 shed), and the scraped /metrics must
+	// show nonzero cache hits, latency quantiles, and zero serve errors.
+	var servesDB, runsLoad, checksMetrics, serveUpload bool
+	for _, st := range wf.Jobs["serve-smoke"].Steps {
+		if strings.Contains(st.Run, "cmd/liverun") && strings.Contains(st.Run, "-ortho-views") {
+			servesDB = true
+		}
+		if strings.Contains(st.Run, "cmd/cinemaload") && strings.Contains(st.Run, "cmd/cinemaserve") {
+			runsLoad = true
+		}
+		if strings.Contains(st.Run, `serve\.cache\.hits [1-9]`) &&
+			strings.Contains(st.Run, `serve\.latency\.ns p99`) &&
+			strings.Contains(st.Run, `serve\.errors 0`) {
+			checksMetrics = true
+		}
+		if strings.HasPrefix(st.Uses, "actions/upload-artifact@") {
+			serveUpload = true
+			if st.If != "always()" {
+				t.Errorf("serve-smoke artifact upload must run on failure too, if = %q", st.If)
+			}
+		}
+	}
+	if !servesDB || !runsLoad || !checksMetrics || !serveUpload {
+		t.Errorf("serve-smoke coverage: db=%v load=%v metrics=%v upload=%v",
+			servesDB, runsLoad, checksMetrics, serveUpload)
 	}
 
 	// The lint job covers gofmt and go vet.

@@ -2,14 +2,13 @@ package render
 
 import (
 	"bytes"
-	"encoding/json"
 	"fmt"
 	"image"
 	"image/png"
 	"os"
 	"path/filepath"
-	"sort"
 
+	"insituviz/internal/cinemastore"
 	"insituviz/internal/telemetry"
 	"insituviz/internal/units"
 )
@@ -58,24 +57,35 @@ func (e *PNGEncoder) Encode(img image.Image) ([]byte, error) {
 	return e.buf.Bytes(), nil
 }
 
-// CinemaEntry is one image record in a Cinema-style database index.
+// CinemaEntry is one image record in a Cinema database index, in the
+// render layer's vocabulary ("field" rather than the store's "variable").
+// Phi and Theta are the camera direction in radians, zero for
+// view-independent frames such as equirectangular maps.
 type CinemaEntry struct {
 	File  string  `json:"file"`
 	Time  float64 `json:"time"`  // simulated time (s)
 	Field string  `json:"field"` // e.g. "okubo_weiss"
+	Phi   float64 `json:"phi,omitempty"`
+	Theta float64 `json:"theta,omitempty"`
 	Bytes int64   `json:"bytes"`
 }
 
-// CinemaDB is a simplified ParaView Cinema image database: a directory of
-// small pre-rendered images plus a JSON index keyed by simulation time and
-// field (Ahrens et al., "An Image-based Approach to Extreme Scale In Situ
-// Visualization and Analysis"). The in-situ pipeline writes one of these
-// instead of raw netCDF dumps.
+// CinemaDB is the write side of a ParaView-style Cinema image database: a
+// directory of small pre-rendered images plus a JSON index over the
+// (time, camera, field) axes (Ahrens et al., "An Image-based Approach to
+// Extreme Scale In Situ Visualization and Analysis"). The in-situ
+// pipeline writes one of these instead of raw netCDF dumps.
+//
+// Storage is delegated to the durable cinemastore format: every frame and
+// the committed index are written atomically (temp file, fsync, rename),
+// so a crash mid-run or a concurrent reader — the query server tailing a
+// live run — observes a committed database, never a torn one. The
+// resulting directory opens directly with cinemastore.Open and serves
+// through cinemaserve.
 type CinemaDB struct {
-	dir     string
-	entries []CinemaEntry
-	total   units.Bytes
-	enc     PNGEncoder // reused across AddImage calls
+	w     *cinemastore.Writer
+	total units.Bytes
+	enc   PNGEncoder // reused across AddImage calls
 
 	// Metric handles (nil without SetTelemetry; nil handles are no-ops).
 	mFrames     *telemetry.Counter
@@ -102,18 +112,29 @@ func NewCinemaDB(dir string) (*CinemaDB, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("render: empty cinema directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("render: create cinema dir: %w", err)
+	w, err := cinemastore.Create(dir)
+	if err != nil {
+		return nil, fmt.Errorf("render: %w", err)
 	}
-	return &CinemaDB{dir: dir}, nil
+	return &CinemaDB{w: w}, nil
 }
 
 // Dir returns the database directory.
-func (db *CinemaDB) Dir() string { return db.dir }
+func (db *CinemaDB) Dir() string { return db.w.Dir() }
 
-// AddImage encodes img and stores it under a name derived from the
-// simulated time and field, returning the encoded size.
+// AddImage encodes img and stores it under the (simTime, field) axis
+// point with no camera direction — the view-independent form the
+// equirectangular maps use.
 func (db *CinemaDB) AddImage(img image.Image, simTime float64, field string) (units.Bytes, error) {
+	return db.AddImageAt(img, simTime, 0, 0, field)
+}
+
+// AddImageAt encodes img and stores it under the full axis tuple: the
+// simulated time, the camera direction (phi azimuth, theta elevation,
+// radians), and the field name. The frame file lands atomically; the
+// entry becomes visible to readers at the next WriteIndex. Duplicate axis
+// tuples are rejected.
+func (db *CinemaDB) AddImageAt(img image.Image, simTime, phi, theta float64, field string) (units.Bytes, error) {
 	if img == nil {
 		return 0, fmt.Errorf("render: nil image")
 	}
@@ -126,63 +147,62 @@ func (db *CinemaDB) AddImage(img image.Image, simTime float64, field string) (un
 	if err != nil {
 		return 0, err
 	}
-	name := fmt.Sprintf("t%012.0f_%s.png", simTime, field)
-	if err := os.WriteFile(filepath.Join(db.dir, name), data, 0o644); err != nil {
+	key := cinemastore.Key{Time: simTime, Phi: phi, Theta: theta, Variable: field}
+	e, err := db.w.Put(key, data)
+	if err != nil {
 		return 0, fmt.Errorf("render: write image: %w", err)
 	}
-	n := units.Bytes(len(data))
-	db.entries = append(db.entries, CinemaEntry{File: name, Time: simTime, Field: field, Bytes: int64(n)})
+	n := units.Bytes(e.Bytes)
 	db.total += n
 	db.mFrames.Inc()
-	db.mBytes.Add(int64(n))
-	db.mFrameBytes.Observe(float64(n))
+	db.mBytes.Add(e.Bytes)
+	db.mFrameBytes.Observe(float64(e.Bytes))
 	return n, nil
 }
 
-// Entries returns the index entries sorted by time then field.
+// Entries returns the index entries in the store's canonical order
+// (field, then time, then camera).
 func (db *CinemaDB) Entries() []CinemaEntry {
-	out := append([]CinemaEntry(nil), db.entries...)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Time != out[j].Time {
-			return out[i].Time < out[j].Time
-		}
-		return out[i].Field < out[j].Field
-	})
-	return out
+	return entriesFromStore(db.w.Entries())
 }
 
 // TotalBytes returns the cumulative size of all stored images.
 func (db *CinemaDB) TotalBytes() units.Bytes { return db.total }
 
-// cinemaIndex is the on-disk JSON index layout.
-type cinemaIndex struct {
-	Type    string        `json:"type"`
-	Version string        `json:"version"`
-	Images  []CinemaEntry `json:"images"`
-}
-
-// WriteIndex writes the info.json database index and returns its size.
+// WriteIndex atomically commits the info.json database index and returns
+// its size. It may be called repeatedly — a live run can republish after
+// every sample, and a concurrent reader always observes a committed
+// index.
 func (db *CinemaDB) WriteIndex() (units.Bytes, error) {
-	idx := cinemaIndex{Type: "simple-image-database", Version: "1.0", Images: db.Entries()}
-	data, err := json.MarshalIndent(idx, "", "  ")
+	n, err := db.w.Commit()
 	if err != nil {
-		return 0, fmt.Errorf("render: marshal index: %w", err)
+		return 0, fmt.Errorf("render: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(db.dir, "info.json"), data, 0o644); err != nil {
-		return 0, fmt.Errorf("render: write index: %w", err)
-	}
-	return units.Bytes(len(data)), nil
+	return units.Bytes(n), nil
 }
 
-// ReadCinemaIndex loads a previously written database index.
+// ReadCinemaIndex loads a previously written database index. Both the
+// current format and the legacy version-1 layout are readable.
 func ReadCinemaIndex(dir string) ([]CinemaEntry, error) {
-	data, err := os.ReadFile(filepath.Join(dir, "info.json"))
+	data, err := os.ReadFile(filepath.Join(dir, cinemastore.IndexFile))
 	if err != nil {
 		return nil, fmt.Errorf("render: read index: %w", err)
 	}
-	var idx cinemaIndex
-	if err := json.Unmarshal(data, &idx); err != nil {
-		return nil, fmt.Errorf("render: parse index: %w", err)
+	entries, _, err := cinemastore.DecodeIndex(data)
+	if err != nil {
+		return nil, fmt.Errorf("render: %w", err)
 	}
-	return idx.Images, nil
+	return entriesFromStore(entries), nil
+}
+
+// entriesFromStore maps store entries onto the render vocabulary.
+func entriesFromStore(in []cinemastore.Entry) []CinemaEntry {
+	out := make([]CinemaEntry, len(in))
+	for i, e := range in {
+		out[i] = CinemaEntry{
+			File: e.File, Time: e.Time, Field: e.Variable,
+			Phi: e.Phi, Theta: e.Theta, Bytes: e.Bytes,
+		}
+	}
+	return out
 }

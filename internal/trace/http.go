@@ -19,6 +19,17 @@ import (
 // Handlers snapshot on every request — the scrape sees the run as it is
 // now, under the usual not-a-consistent-cut contract.
 func NewHandler(reg *telemetry.Registry, tr *Tracer) http.Handler {
+	var src telemetry.Snapshotter
+	if reg != nil {
+		src = reg
+	}
+	return NewHandlerFrom(src, tr)
+}
+
+// NewHandlerFrom is NewHandler over any snapshot source — typically a
+// telemetry.Union composing several components' registries (the live run
+// and the Cinema query server) into one /metrics exposition.
+func NewHandlerFrom(src telemetry.Snapshotter, tr *Tracer) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -31,11 +42,11 @@ func NewHandler(reg *telemetry.Registry, tr *Tracer) http.Handler {
 		fmt.Fprintln(w, "  /trace    timeline as Chrome trace-event JSON")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		if reg == nil {
+		if src == nil {
 			http.Error(w, "no telemetry registry attached", http.StatusNotFound)
 			return
 		}
-		snap := reg.Snapshot()
+		snap := src.Snapshot()
 		if r.URL.Query().Get("format") == "json" {
 			w.Header().Set("Content-Type", "application/json")
 			if err := snap.WriteJSON(w); err != nil {

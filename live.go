@@ -255,11 +255,13 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 		return nil, err
 	}
 	var setRenderer *render.ImageSetRenderer
+	var viewCams []render.Camera // the rig, for the database's camera axes
 	if cfg.OrthoViews > 0 {
 		rig := render.DefaultCameraSet()
 		if cfg.OrthoViews < len(rig) {
 			rig = rig[:cfg.OrthoViews]
 		}
+		viewCams = rig
 		if setRenderer, err = render.NewImageSetRenderer(msh, cfg.ImageHeight, cfg.ImageHeight, rig); err != nil {
 			return nil, err
 		}
@@ -335,7 +337,11 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 				return err
 			}
 			for v, img := range views {
-				n, err := db.AddImage(img, simTime, fmt.Sprintf("okubo_weiss_view%d", v))
+				// The camera direction rides on the database axes: phi is
+				// the rig longitude, theta the latitude, so the query server
+				// can resolve nearest-viewpoint requests.
+				n, err := db.AddImageAt(img, simTime, viewCams[v].Lon, viewCams[v].Lat,
+					fmt.Sprintf("okubo_weiss_view%d", v))
 				if err != nil {
 					return err
 				}

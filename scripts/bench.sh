@@ -2,7 +2,10 @@
 # Record the next BENCH_<n>.json performance snapshot and diff it against
 # the previous one. Runs the hot-loop benchmarks of the live coupled stack
 # (BenchmarkLiveCoupledRun and its Traced variant, BenchmarkStep642Cells
-# and its Traced variant, BenchmarkStepParallel10242Cells) with -benchmem.
+# and its Traced variant, BenchmarkStepParallel10242Cells) plus the Cinema
+# serving path (BenchmarkCinemaServeHot — the 0 allocs/op cached fetch —
+# and BenchmarkCinemaLoadMixed, the Zipf hit/miss/evict blend) with
+# -benchmem.
 #
 # Usage, from the repository root:
 #
