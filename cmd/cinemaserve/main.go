@@ -55,6 +55,7 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", cinemaserve.DefaultCacheBytes, "frame cache budget in bytes")
 	maxInflight := flag.Int("max-inflight", cinemaserve.DefaultMaxInflight, "admitted concurrent requests; beyond this, requests are shed with 503")
 	retryAfter := flag.Duration("retry-after", cinemaserve.DefaultRetryAfter, "backoff advertised on shed responses")
+	repair := flag.Bool("repair", false, "open databases through crash recovery: restore the last good index from its backup if the current one is torn, and quarantine unreferenced frame files")
 	flag.Parse()
 
 	if len(dbs) == 0 {
@@ -79,8 +80,22 @@ func main() {
 				name = filepath.Base(filepath.Clean(dir))
 			}
 		}
-		st, err := cinemastore.Open(dir)
-		if err != nil {
+		var st *cinemastore.Store
+		var err error
+		if *repair {
+			var rep *cinemastore.Repair
+			st, rep, err = cinemastore.RepairOpen(dir)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if rep.RecoveredBackup {
+				fmt.Printf("%s: torn index recovered from %s\n", name, cinemastore.BackupFile)
+			}
+			if len(rep.Quarantined) > 0 {
+				fmt.Printf("%s: quarantined %d unreferenced files into %s/\n",
+					name, len(rep.Quarantined), cinemastore.QuarantineDir)
+			}
+		} else if st, err = cinemastore.Open(dir); err != nil {
 			log.Fatal(err)
 		}
 		if err := srv.Mount(name, st); err != nil {

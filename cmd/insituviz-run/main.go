@@ -15,8 +15,10 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"insituviz"
+	"insituviz/internal/faults"
 	"insituviz/internal/pipeline"
 	"insituviz/internal/report"
 	"insituviz/internal/telemetry"
@@ -38,6 +40,8 @@ func main() {
 	telemetryOut := flag.String("telemetry", "", "write the run's telemetry snapshot as JSON to this file (\"-\" for stdout, as text)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
+	chaos := flag.String("chaos", "", fmt.Sprintf("arm deterministic storage fault injection: seed=N[,profile] (profiles: %s)",
+		strings.Join(faults.ProfileNames(), ", ")))
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -75,6 +79,15 @@ func main() {
 
 	platform := insituviz.CaddyPlatform()
 	platform.StagingNodes = *stagingNodes
+	if *chaos != "" {
+		plan, err := faults.ParseSpec(*chaos)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if platform.Faults, err = faults.New(plan); err != nil {
+			log.Fatal(err)
+		}
+	}
 	var reg *telemetry.Registry
 	if *telemetryOut != "" || *httpAddr != "" {
 		reg = telemetry.NewRegistry()

@@ -24,9 +24,11 @@ import (
 	"insituviz"
 	"insituviz/internal/cinemaserve"
 	"insituviz/internal/cinemastore"
+	"insituviz/internal/faults"
 	"insituviz/internal/report"
 	"insituviz/internal/telemetry"
 	"insituviz/internal/trace"
+	"insituviz/internal/units"
 )
 
 func main() {
@@ -50,6 +52,10 @@ func main() {
 	serveFor := flag.Duration("serve", 0, "after the run, keep serving the produced Cinema database under /cinema/ for this long (requires -http)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
+	chaos := flag.String("chaos", "", fmt.Sprintf("arm deterministic fault injection: seed=N[,profile] (profiles: %s)",
+		strings.Join(faults.ProfileNames(), ", ")))
+	vizDeadline := flag.Float64("viz-deadline", 0, "per-sample visualization budget in seconds; injected stalls at or beyond it drop the sample's frames (0 = 0.5 s when -chaos is set)")
+	faultlog := flag.String("faultlog", "", "write the byte-stable injected-fault log to this file (\"-\" for stdout; requires -chaos)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -83,6 +89,20 @@ func main() {
 		if dir, err = os.MkdirTemp("", "insituviz-live-"); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	var injector *faults.Injector
+	if *chaos != "" {
+		plan, err := faults.ParseSpec(*chaos)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if injector, err = faults.New(plan); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *faultlog != "" && injector == nil {
+		log.Fatal("-faultlog requires -chaos")
 	}
 
 	// The tracer and (shared) registry exist whenever any observability
@@ -130,6 +150,8 @@ func main() {
 		Workers:          *workers,
 		Telemetry:        reg,
 		Tracer:           tracer,
+		Faults:           injector,
+		VizDeadline:      units.Seconds(*vizDeadline),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -175,8 +197,31 @@ func main() {
 	tb.AddRow("longest eddy drift", fmt.Sprintf("%.0f km", res.LongestTrackDistance/1000))
 	tb.AddRow("peak flow speed", fmt.Sprintf("%.1f m/s", res.MaxVelocity))
 	tb.AddRow("halo exchange per field", res.HaloBytesPerField.String())
+	if injector != nil {
+		tb.AddRow("chaos", fmt.Sprintf("%d faults injected (seed %d)", injector.Fired(), injector.Seed()))
+		tb.AddRow("degradation", fmt.Sprintf("%d samples / %d frames dropped, %d rank crashes, %d failovers",
+			res.DroppedSamples, res.DroppedFrames, res.RankCrashes, res.Failovers))
+	}
 	tb.AddRow("output directory", res.OutputDir)
 	fmt.Print(tb.String())
+
+	if *faultlog != "" {
+		w := os.Stdout
+		if *faultlog != "-" {
+			f, err := os.Create(*faultlog)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := injector.WriteLog(w); err != nil {
+			log.Fatal(err)
+		}
+		if *faultlog != "-" {
+			fmt.Printf("fault log written to %s\n", *faultlog)
+		}
+	}
 
 	if res.PhaseEnergy != nil {
 		at := report.NewTable(fmt.Sprintf("phase-aligned energy attribution (%s meter)", res.PhaseEnergy.Meter),

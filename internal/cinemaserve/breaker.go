@@ -1,0 +1,136 @@
+package cinemaserve
+
+import (
+	"sync"
+	"time"
+
+	"insituviz/internal/telemetry"
+)
+
+// Breaker states, exposed as the breaker.<mount>.state gauge.
+const (
+	breakerClosed   = 0
+	breakerOpen     = 1
+	breakerHalfOpen = 2
+)
+
+// breaker is a per-mount circuit breaker around store reads. Consecutive
+// read failures past the threshold open it; while open, reads are
+// rejected outright (ErrUnavailable) so a sick store cannot pin every
+// admission slot on doomed disk I/O. After the cooldown one probe read
+// is let through half-open: success closes the breaker, failure reopens
+// it for another cooldown.
+//
+// A nil *breaker (breaker disabled) allows everything and records
+// nothing.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    int
+	failures int
+	openedAt time.Time
+	probing  bool
+
+	gState    *telemetry.Gauge
+	mOpens    *telemetry.Counter
+	mRejected *telemetry.Counter
+}
+
+// newBreaker builds a breaker registering its gauges under
+// breaker.<name>.*. A non-positive threshold disables the breaker (nil).
+func newBreaker(name string, threshold int, cooldown time.Duration, reg *telemetry.Registry) *breaker {
+	if threshold <= 0 {
+		return nil
+	}
+	b := &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		gState:    reg.Gauge("breaker." + name + ".state"),
+		mOpens:    reg.Counter("breaker." + name + ".opens"),
+		mRejected: reg.Counter("breaker." + name + ".rejected"),
+	}
+	b.gState.Set(breakerClosed)
+	return b
+}
+
+// allow reports whether a store read may proceed.
+func (b *breaker) allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			b.mRejected.Inc()
+			return false
+		}
+		// Cooldown over: go half-open and admit this caller as the probe.
+		b.state = breakerHalfOpen
+		b.probing = true
+		b.gState.Set(breakerHalfOpen)
+		return true
+	default: // half-open
+		if b.probing {
+			b.mRejected.Inc()
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// onSuccess records a completed store read.
+func (b *breaker) onSuccess() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.probing = false
+	if b.state != breakerClosed {
+		b.state = breakerClosed
+		b.gState.Set(breakerClosed)
+	}
+}
+
+// onFailure records a failed store read.
+func (b *breaker) onFailure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if b.state == breakerHalfOpen {
+		// The probe failed: reopen for another cooldown.
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.mOpens.Inc()
+		b.gState.Set(breakerOpen)
+		return
+	}
+	b.failures++
+	if b.state == breakerClosed && b.failures >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.mOpens.Inc()
+		b.gState.Set(breakerOpen)
+	}
+}
+
+// currentState returns the state constant (closed on nil).
+func (b *breaker) currentState() int {
+	if b == nil {
+		return breakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,7 +1,9 @@
 package cinemaserve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -66,7 +68,7 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request, lane *trace.Lane)
 	case rest == "frame":
 		s.serveFrame(w, r, store, lane)
 	case strings.HasPrefix(rest, "file/"):
-		s.serveFile(w, store, strings.TrimPrefix(rest, "file/"), lane)
+		s.serveFile(w, r, store, strings.TrimPrefix(rest, "file/"), lane)
 	default:
 		http.NotFound(w, r)
 	}
@@ -164,23 +166,29 @@ func (s *Server) serveFrame(w http.ResponseWriter, r *http.Request, store string
 			return
 		}
 	}
-	data, entry, err := s.frame(store, key, nearest, lane)
+	data, entry, err := s.frame(r.Context(), store, key, nearest, lane)
 	s.writeFrame(w, data, entry, err)
 }
 
-func (s *Server) serveFile(w http.ResponseWriter, store, file string, lane *trace.Lane) {
+func (s *Server) serveFile(w http.ResponseWriter, r *http.Request, store, file string, lane *trace.Lane) {
 	if file == "" {
 		http.Error(w, "missing file name", http.StatusBadRequest)
 		return
 	}
-	data, entry, err := s.frameByFile(store, file, lane)
+	data, entry, err := s.frameByFile(r.Context(), store, file, lane)
 	s.writeFrame(w, data, entry, err)
 }
 
 func (s *Server) writeFrame(w http.ResponseWriter, data []byte, entry cinemastore.Entry, err error) {
 	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// The client went away; there is no one to write to.
 	case err == ErrNotFound:
 		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, ErrUnavailable):
+		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case err != nil:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	default:

@@ -1,0 +1,278 @@
+package cinemaserve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"insituviz/internal/cinemastore"
+	"insituviz/internal/faults"
+	"insituviz/internal/leakcheck"
+	"insituviz/internal/telemetry"
+)
+
+func newFaultyServer(t *testing.T, plan faults.Plan, cfg Config) (*Server, *telemetry.Registry, *cinemastore.Store) {
+	t.Helper()
+	in, err := faults.New(plan)
+	if err != nil {
+		t.Fatalf("faults.New: %v", err)
+	}
+	cfg.Faults = in
+	st := buildStore(t, 1, 8, nil, 64)
+	s, reg := newTestServer(t, cfg)
+	if err := s.Mount("run", st); err != nil {
+		t.Fatal(err)
+	}
+	return s, reg, st
+}
+
+// TestBreakerOpensOnConsecutiveFailures drives injected read failures
+// past the threshold and asserts the breaker opens, rejects, and
+// half-open-probes back closed after the cooldown.
+func TestBreakerOpensOnConsecutiveFailures(t *testing.T) {
+	// The first 3 read occurrences fail; everything after succeeds.
+	s, reg, _ := newFaultyServer(t, faults.Plan{Seed: 1, Rules: []faults.Rule{
+		{Site: "serve.read", Kind: faults.KindError, At: []uint64{1, 2, 3}},
+	}}, Config{CacheBytes: -1, BreakerThreshold: 3, BreakerCooldown: 50 * time.Millisecond})
+
+	key := cinemastore.Key{Time: 0, Variable: "var0"}
+	for i := 0; i < 3; i++ {
+		_, _, err := s.Frame("run", key, false)
+		var inj *InjectedReadError
+		if !errors.As(err, &inj) {
+			t.Fatalf("read %d error = %v, want InjectedReadError", i, err)
+		}
+	}
+	if got := s.BreakerState("run"); got != breakerOpen {
+		t.Fatalf("breaker state after %d failures = %d, want open", 3, got)
+	}
+	if got := reg.Gauge("breaker.run.state").Value(); got != breakerOpen {
+		t.Errorf("breaker.run.state gauge = %d, want %d", got, breakerOpen)
+	}
+	if got := reg.Counter("breaker.run.opens").Value(); got != 1 {
+		t.Errorf("breaker.run.opens = %d, want 1", got)
+	}
+
+	// While open, reads are rejected without touching the store.
+	reads := reg.Counter("store.reads").Value()
+	if _, _, err := s.Frame("run", key, false); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("read while open = %v, want ErrUnavailable", err)
+	}
+	if got := reg.Counter("breaker.run.rejected").Value(); got == 0 {
+		t.Error("breaker.run.rejected not counted")
+	}
+	if got := reg.Counter("store.reads").Value(); got != reads {
+		t.Errorf("rejected read touched the store (%d -> %d reads)", reads, got)
+	}
+	// Rejections are backpressure, not serve errors.
+	if got := reg.Counter("errors").Value(); got != 3 {
+		t.Errorf("errors = %d, want only the 3 injected failures", got)
+	}
+
+	// After the cooldown the half-open probe succeeds and closes it.
+	time.Sleep(60 * time.Millisecond)
+	if _, _, err := s.Frame("run", key, false); err != nil {
+		t.Fatalf("probe read: %v", err)
+	}
+	if got := s.BreakerState("run"); got != breakerClosed {
+		t.Errorf("breaker state after successful probe = %d, want closed", got)
+	}
+	if got := reg.Gauge("breaker.run.state").Value(); got != breakerClosed {
+		t.Errorf("breaker.run.state gauge = %d, want closed", got)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	s, reg, _ := newFaultyServer(t, faults.Plan{Seed: 1, Rules: []faults.Rule{
+		{Site: "serve.read", Kind: faults.KindError, At: []uint64{1, 2, 3}},
+	}}, Config{CacheBytes: -1, BreakerThreshold: 2, BreakerCooldown: 30 * time.Millisecond})
+
+	key := cinemastore.Key{Time: 0, Variable: "var0"}
+	for i := 0; i < 2; i++ {
+		if _, _, err := s.Frame("run", key, false); err == nil {
+			t.Fatal("expected injected failure")
+		}
+	}
+	if s.BreakerState("run") != breakerOpen {
+		t.Fatal("breaker not open")
+	}
+	time.Sleep(40 * time.Millisecond)
+	// The probe (occurrence 3) also fails → breaker reopens.
+	if _, _, err := s.Frame("run", key, false); err == nil {
+		t.Fatal("probe unexpectedly succeeded")
+	}
+	if got := s.BreakerState("run"); got != breakerOpen {
+		t.Errorf("breaker state after failed probe = %d, want open", got)
+	}
+	if got := reg.Counter("breaker.run.opens").Value(); got != 2 {
+		t.Errorf("breaker.run.opens = %d, want 2", got)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	s, reg, _ := newFaultyServer(t, faults.Plan{Seed: 1, Rules: []faults.Rule{
+		{Site: "serve.read", Kind: faults.KindError, At: []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+	}}, Config{CacheBytes: -1, BreakerThreshold: -1})
+
+	key := cinemastore.Key{Time: 0, Variable: "var0"}
+	for i := 0; i < 10; i++ {
+		if _, _, err := s.Frame("run", key, false); errors.Is(err, ErrUnavailable) {
+			t.Fatal("disabled breaker rejected a read")
+		}
+	}
+	if got := s.BreakerState("run"); got != breakerClosed {
+		t.Errorf("disabled breaker state = %d", got)
+	}
+	if got := reg.Counter("errors").Value(); got != 10 {
+		t.Errorf("errors = %d, want 10", got)
+	}
+}
+
+// TestCanceledWaiterCountsAsCanceled holds a store read open with the
+// test load gate, cancels a waiter mid-flight, and asserts it returns
+// promptly, is counted as serve.canceled (not an error, not a breaker
+// strike), and that the flight still completes for the store.
+func TestCanceledWaiterCountsAsCanceled(t *testing.T) {
+	defer leakcheck.Check(t)()
+	st := buildStore(t, 1, 4, nil, 64)
+	gate := make(chan struct{})
+	s, reg := newTestServer(t, Config{CacheBytes: -1})
+	s.testLoadGate = gate
+	if err := s.Mount("run", st); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := s.frame(ctx, "run", cinemastore.Key{Time: 0, Variable: "var0"}, false, nil)
+		errc <- err
+	}()
+
+	// Let the flight start and park on the gate, then cancel the waiter.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled fetch error = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled fetch did not return promptly")
+	}
+	if got := reg.Counter("canceled").Value(); got != 1 {
+		t.Errorf("canceled = %d, want 1", got)
+	}
+	if got := reg.Counter("errors").Value(); got != 0 {
+		t.Errorf("errors = %d, want 0 (cancellation is not an error)", got)
+	}
+	if got := s.BreakerState("run"); got != breakerClosed {
+		t.Errorf("cancellation struck the breaker (state %d)", got)
+	}
+
+	// Release the gate: the detached flight finishes and fills the cache.
+	close(gate)
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Counter("store.reads").Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := reg.Counter("store.reads").Value(); got != 1 {
+		t.Errorf("detached flight store.reads = %d, want 1", got)
+	}
+}
+
+// TestHTTPClientDisconnectIsCanceled exercises the cancellation contract
+// through the real HTTP layer: a client that disconnects mid-read shows
+// up as serve.canceled and zero serve errors.
+func TestHTTPClientDisconnectIsCanceled(t *testing.T) {
+	defer leakcheck.Check(t)()
+	st := buildStore(t, 1, 4, nil, 256)
+	gate := make(chan struct{})
+	s, reg := newTestServer(t, Config{CacheBytes: -1})
+	s.testLoadGate = gate
+	if err := s.Mount("run", st); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet,
+		srv.URL+"/run/frame?var=var0&time=0", nil)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req) //nolint:bodyclose // request is canceled
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("canceled request returned a response")
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Counter("canceled").Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := reg.Counter("canceled").Value(); got != 1 {
+		t.Errorf("canceled = %d, want 1", got)
+	}
+	if got := reg.Counter("errors").Value(); got != 0 {
+		t.Errorf("errors = %d, want 0", got)
+	}
+	close(gate)
+}
+
+func TestHTTPBreakerOpenMapsTo503(t *testing.T) {
+	s, _, _ := newFaultyServer(t, faults.Plan{Seed: 1, Rules: []faults.Rule{
+		{Site: "serve.read", Kind: faults.KindError, Prob: 1},
+	}}, Config{CacheBytes: -1, BreakerThreshold: 2, BreakerCooldown: time.Minute})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	url := srv.URL + "/run/frame?var=var0&time=0"
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("injected failure %d status = %d, want 500", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("breaker-open status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("breaker-open response missing Retry-After")
+	}
+}
+
+func TestInjectedFaultsAreDeterministic(t *testing.T) {
+	run := func() (int64, int64) {
+		s, reg, _ := newFaultyServer(t, faults.Plan{Seed: 21, Rules: []faults.Rule{
+			{Site: "serve.read", Kind: faults.KindError, Prob: 0.5},
+		}}, Config{CacheBytes: -1, BreakerThreshold: -1})
+		for i := 0; i < 16; i++ {
+			s.Frame("run", cinemastore.Key{Time: float64(i % 8), Variable: "var0"}, false) //nolint:errcheck
+		}
+		return reg.Counter("faults.injected").Value(), reg.Counter("errors").Value()
+	}
+	f1, e1 := run()
+	f2, e2 := run()
+	if f1 != f2 || e1 != e2 {
+		t.Errorf("same seed, different outcomes: (%d,%d) vs (%d,%d)", f1, e1, f2, e2)
+	}
+	if f1 == 0 {
+		t.Error("probabilistic plan injected nothing over 8 reads")
+	}
+}

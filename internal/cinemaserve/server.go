@@ -31,21 +31,25 @@
 package cinemaserve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"insituviz/internal/cinemastore"
+	"insituviz/internal/faults"
 	"insituviz/internal/telemetry"
 	"insituviz/internal/trace"
 )
 
 // Defaults for Config zero values.
 const (
-	DefaultCacheBytes  = 64 << 20
-	DefaultMaxInflight = 64
-	DefaultRetryAfter  = 1 * time.Second
+	DefaultCacheBytes       = 64 << 20
+	DefaultMaxInflight      = 64
+	DefaultRetryAfter       = 1 * time.Second
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 500 * time.Millisecond
 )
 
 // LatencyBuckets are the upper bounds (nanoseconds) of the latency.ns
@@ -78,6 +82,17 @@ type Config struct {
 	// span (with a nested "store.read" span on a miss) on its slot's
 	// lane, so a Perfetto view shows the request lanes side by side.
 	Tracer *trace.Tracer
+	// BreakerThreshold is the consecutive store-read failures that open
+	// a mount's circuit breaker. Zero selects DefaultBreakerThreshold;
+	// negative disables the breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects reads before
+	// admitting a half-open probe. Zero selects DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+	// Faults, when non-nil, arms the "serve.read" fault site: injected
+	// errors fail store reads (and strike the breaker) exactly as a
+	// failing disk would.
+	Faults *faults.Injector
 }
 
 // Errors the fetch path distinguishes for the HTTP status mapping.
@@ -87,13 +102,25 @@ var (
 	ErrNotFound = errors.New("cinemaserve: not found")
 	// ErrOverloaded reports that admission control shed the request.
 	ErrOverloaded = errors.New("cinemaserve: overloaded, retry later")
+	// ErrUnavailable reports that the mount's circuit breaker is open:
+	// the backing store has been failing and reads are rejected until a
+	// half-open probe succeeds.
+	ErrUnavailable = errors.New("cinemaserve: store unavailable, breaker open")
 )
+
+// InjectedReadError is a fault-injected store-read failure.
+type InjectedReadError struct{ Seq uint64 }
+
+func (e *InjectedReadError) Error() string {
+	return fmt.Sprintf("cinemaserve: injected store-read failure (fault #%d)", e.Seq)
+}
 
 // mount is one served store.
 type mount struct {
 	name  string
 	id    int32
 	store *cinemastore.Store
+	brk   *breaker
 }
 
 // Server serves frames from one or more mounted Cinema stores through a
@@ -115,11 +142,15 @@ type Server struct {
 	// closes — tests use it to hold a request in flight deterministically.
 	testLoadGate <-chan struct{}
 
+	readSite *faults.Site
+
 	mRequests   *telemetry.Counter
 	mHits       *telemetry.Counter
 	mMisses     *telemetry.Counter
 	mShed       *telemetry.Counter
 	mErrors     *telemetry.Counter
+	mCanceled   *telemetry.Counter
+	mInjected   *telemetry.Counter
 	mStoreReads *telemetry.Counter
 	mBytesOut   *telemetry.Counter
 	gInflight   *telemetry.Gauge
@@ -138,16 +169,25 @@ func NewServer(cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = DefaultRetryAfter
 	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = DefaultBreakerCooldown
+	}
 	reg := cfg.Telemetry
 	s := &Server{
-		cfg:    cfg,
-		byName: map[string]int32{},
+		cfg:      cfg,
+		byName:   map[string]int32{},
+		readSite: cfg.Faults.Site("serve.read"),
 
 		mRequests:   reg.Counter("requests"),
 		mHits:       reg.Counter("cache.hits"),
 		mMisses:     reg.Counter("cache.misses"),
 		mShed:       reg.Counter("shed"),
 		mErrors:     reg.Counter("errors"),
+		mCanceled:   reg.Counter("canceled"),
+		mInjected:   reg.Counter("faults.injected"),
 		mStoreReads: reg.Counter("store.reads"),
 		mBytesOut:   reg.Counter("bytes.out"),
 		gInflight:   reg.Gauge("inflight.highwater"),
@@ -178,10 +218,23 @@ func (s *Server) Mount(name string, store *cinemastore.Store) error {
 	if _, ok := s.byName[name]; ok {
 		return fmt.Errorf("cinemaserve: store %q already mounted", name)
 	}
-	m := &mount{name: name, id: int32(len(s.mounts)), store: store}
+	m := &mount{
+		name: name, id: int32(len(s.mounts)), store: store,
+		brk: newBreaker(name, s.cfg.BreakerThreshold, s.cfg.BreakerCooldown, s.cfg.Telemetry),
+	}
 	s.byName[name] = m.id
 	s.mounts = append(s.mounts, m)
 	return nil
+}
+
+// BreakerState reports the named mount's breaker state (0 closed,
+// 1 open, 2 half-open); closed for unknown mounts or disabled breakers.
+func (s *Server) BreakerState(name string) int {
+	m := s.lookupMount(name)
+	if m == nil {
+		return breakerClosed
+	}
+	return m.brk.currentState()
 }
 
 // Stores returns the mounted store names in mount order.
@@ -221,10 +274,10 @@ func (s *Server) lookupMount(name string) *mount {
 // the cache and must not be modified. On a cache hit the call allocates
 // nothing.
 func (s *Server) Frame(store string, key cinemastore.Key, nearest bool) ([]byte, cinemastore.Entry, error) {
-	return s.frame(store, key, nearest, nil)
+	return s.frame(nil, store, key, nearest, nil)
 }
 
-func (s *Server) frame(store string, key cinemastore.Key, nearest bool, lane *trace.Lane) ([]byte, cinemastore.Entry, error) {
+func (s *Server) frame(ctx context.Context, store string, key cinemastore.Key, nearest bool, lane *trace.Lane) ([]byte, cinemastore.Entry, error) {
 	start := time.Now()
 	s.mRequests.Inc()
 	m := s.lookupMount(store)
@@ -243,9 +296,9 @@ func (s *Server) frame(store string, key cinemastore.Key, nearest bool, lane *tr
 		s.mErrors.Inc()
 		return nil, cinemastore.Entry{}, ErrNotFound
 	}
-	data, err := s.frameAt(m, idx, lane)
+	data, err := s.frameAt(ctx, m, idx, lane)
 	if err != nil {
-		s.mErrors.Inc()
+		s.countFetchError(err)
 		return nil, cinemastore.Entry{}, err
 	}
 	s.observe(start, len(data))
@@ -255,10 +308,10 @@ func (s *Server) frame(store string, key cinemastore.Key, nearest bool, lane *tr
 // FrameByFile resolves a stored file name in the named store through the
 // same cache, for clients that walk the index and fetch files directly.
 func (s *Server) FrameByFile(store, file string) ([]byte, cinemastore.Entry, error) {
-	return s.frameByFile(store, file, nil)
+	return s.frameByFile(nil, store, file, nil)
 }
 
-func (s *Server) frameByFile(store, file string, lane *trace.Lane) ([]byte, cinemastore.Entry, error) {
+func (s *Server) frameByFile(ctx context.Context, store, file string, lane *trace.Lane) ([]byte, cinemastore.Entry, error) {
 	start := time.Now()
 	s.mRequests.Inc()
 	m := s.lookupMount(store)
@@ -271,13 +324,27 @@ func (s *Server) frameByFile(store, file string, lane *trace.Lane) ([]byte, cine
 		s.mErrors.Inc()
 		return nil, cinemastore.Entry{}, ErrNotFound
 	}
-	data, err := s.frameAt(m, idx, lane)
+	data, err := s.frameAt(ctx, m, idx, lane)
 	if err != nil {
-		s.mErrors.Inc()
+		s.countFetchError(err)
 		return nil, cinemastore.Entry{}, err
 	}
 	s.observe(start, len(data))
 	return data, m.store.EntryAt(idx), nil
+}
+
+// countFetchError classifies a failed fetch: a client that went away is
+// serve.canceled (never an error, never a breaker strike — the detached
+// read keeps running for the peers that stayed), a breaker rejection is
+// already counted by the breaker, and everything else is a serve error.
+func (s *Server) countFetchError(err error) {
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.mCanceled.Inc()
+	case errors.Is(err, ErrUnavailable):
+	default:
+		s.mErrors.Inc()
+	}
 }
 
 // observe records the fetch's latency and size. Allocation-free.
@@ -289,30 +356,42 @@ func (s *Server) observe(start time.Time, n int) {
 
 // frameAt returns entry idx of mount m, from cache or — coalesced — from
 // the store. lane, when non-nil, receives a "store.read" span around an
-// actual disk read.
-func (s *Server) frameAt(m *mount, idx int, lane *trace.Lane) ([]byte, error) {
+// actual disk read. A cancelable ctx lets the caller stop waiting; the
+// read itself runs detached, so one impatient client cannot poison the
+// result its coalesced peers are still waiting for.
+func (s *Server) frameAt(ctx context.Context, m *mount, idx int, lane *trace.Lane) ([]byte, error) {
 	ck := cacheKey{mount: m.id, entry: int32(idx)}
 	if data, ok := s.cache.get(ck); ok {
 		s.mHits.Inc()
 		return data, nil
 	}
 	s.mMisses.Inc()
-	return s.flights.do(ck, func() ([]byte, error) {
+	return s.flights.do(ctx, ck, func() ([]byte, error) {
 		// A concurrent flight may have filled the cache between our miss
 		// and this flight starting; re-check before touching the store.
 		if data, ok := s.cache.get(ck); ok {
 			return data, nil
 		}
+		if !m.brk.allow() {
+			return nil, ErrUnavailable
+		}
 		if s.testLoadGate != nil {
 			<-s.testLoadGate
+		}
+		if f, ok := s.readSite.Next(); ok && f.Kind == faults.KindError {
+			s.mInjected.Inc()
+			m.brk.onFailure()
+			return nil, &InjectedReadError{Seq: f.Seq}
 		}
 		s.mStoreReads.Inc()
 		lane.Begin("store.read")
 		data, err := m.store.ReadFrameAt(idx)
 		lane.End()
 		if err != nil {
+			m.brk.onFailure()
 			return nil, err
 		}
+		m.brk.onSuccess()
 		s.cache.put(ck, data)
 		return data, nil
 	})
@@ -327,34 +406,45 @@ type flight struct {
 }
 
 // flightGroup coalesces concurrent loads of the same key — a minimal
-// singleflight: the first caller for a key executes fn, everyone else
-// arriving during that window waits and shares the outcome.
+// singleflight: the first caller for a key starts fn on a detached
+// goroutine, everyone arriving during that window waits and shares the
+// outcome. Waiters honor their context: a canceled caller returns its
+// ctx error immediately while the flight runs to completion for the
+// others (and still fills the cache).
 type flightGroup struct {
 	mu sync.Mutex
 	m  map[cacheKey]*flight
 }
 
-func (g *flightGroup) do(k cacheKey, fn func() ([]byte, error)) ([]byte, error) {
+func (g *flightGroup) do(ctx context.Context, k cacheKey, fn func() ([]byte, error)) ([]byte, error) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = map[cacheKey]*flight{}
 	}
-	if f, ok := g.m[k]; ok {
-		g.mu.Unlock()
+	f, ok := g.m[k]
+	if !ok {
+		f = &flight{done: make(chan struct{})}
+		g.m[k] = f
+		go func() {
+			f.data, f.err = fn()
+			g.mu.Lock()
+			delete(g.m, k)
+			g.mu.Unlock()
+			close(f.done)
+		}()
+	}
+	g.mu.Unlock()
+
+	if ctx == nil {
 		<-f.done
 		return f.data, f.err
 	}
-	f := &flight{done: make(chan struct{})}
-	g.m[k] = f
-	g.mu.Unlock()
-
-	f.data, f.err = fn()
-
-	g.mu.Lock()
-	delete(g.m, k)
-	g.mu.Unlock()
-	close(f.done)
-	return f.data, f.err
+	select {
+	case <-f.done:
+		return f.data, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // acquireSlot claims an admission slot without blocking. On success it

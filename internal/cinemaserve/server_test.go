@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"insituviz/internal/cinemastore"
+	"insituviz/internal/leakcheck"
 	"insituviz/internal/telemetry"
 	"insituviz/internal/trace"
 )
@@ -213,6 +214,7 @@ func TestEvictionKeepsBudget(t *testing.T) {
 // Correctness here means every fetch returns the right bytes and the
 // budget holds; the race detector checks the rest.
 func TestConcurrentMixedLoad(t *testing.T) {
+	defer leakcheck.Check(t)()
 	const frame = 512
 	st := buildStore(t, 2, 8, nil, frame)
 	s, reg := newTestServer(t, Config{CacheBytes: 3 * frame})

@@ -27,6 +27,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"insituviz/internal/faults"
 )
 
 // Format identifiers. Version 2 indexes carry the full axis tuple per
@@ -35,6 +37,16 @@ import (
 // written before the store existed stay servable.
 const (
 	IndexFile = "info.json"
+
+	// BackupFile preserves the last successfully committed, parseable
+	// index. Commit refreshes it before overwriting IndexFile, so a torn
+	// index commit can be repaired back to the previous good boundary by
+	// RepairOpen.
+	BackupFile = "info.json.bak"
+
+	// QuarantineDir is where RepairOpen moves files the recovered index
+	// does not reference, instead of deleting them.
+	QuarantineDir = "quarantine"
 
 	TypeV2    = "insituviz-cinema-store"
 	VersionV2 = "2.0"
@@ -185,6 +197,31 @@ type Writer struct {
 	byKey   map[Key]int
 	files   map[string]bool
 	total   int64
+
+	// Fault injection (nil without SetFaults; a nil site never fires).
+	inj        *faults.Injector
+	commitSite *faults.Site
+}
+
+// SetFaults arms the writer's "cinema.commit" fault site: an injected
+// torn fault makes the next Commit leave a corrupt index prefix on disk
+// — the crash mode RepairOpen recovers — instead of committing cleanly.
+func (w *Writer) SetFaults(in *faults.Injector) {
+	w.inj = in
+	w.commitSite = in.Site("cinema.commit")
+}
+
+// TornCommitError reports a Commit that tore mid-write, leaving a
+// corrupt index on disk. The database is recoverable: retry Commit, or
+// reopen through RepairOpen to fall back to the last good index.
+type TornCommitError struct {
+	Dir     string
+	Written int // corrupt prefix length left in IndexFile
+	Total   int // full index length that should have been written
+}
+
+func (e *TornCommitError) Error() string {
+	return fmt.Sprintf("cinemastore: torn index commit in %s (%d of %d bytes)", e.Dir, e.Written, e.Total)
 }
 
 // Create creates (or reuses) the database directory and returns a writer
@@ -277,6 +314,25 @@ func (w *Writer) Commit() (int64, error) {
 	data, err := EncodeIndex(w.Entries())
 	if err != nil {
 		return 0, err
+	}
+	// Preserve the previous committed index (if parseable) as the repair
+	// fallback before the new one replaces it. The backup rename is made
+	// durable by the same directory fsync that publishes the new index.
+	if prev, err := os.ReadFile(filepath.Join(w.dir, IndexFile)); err == nil {
+		if _, _, err := DecodeIndex(prev); err == nil {
+			if err := writeFileAtomicNoDirSync(w.dir, BackupFile, prev); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if f, ok := w.commitSite.Next(); ok && f.Kind == faults.KindTorn {
+		// Model the crash mid-write: a non-atomic partial overwrite of
+		// the index, torn at a deterministic, seed-derived offset.
+		tear := 1 + int(w.inj.Uniform("cinema.tear", f.Seq)*float64(len(data)-1))
+		if err := os.WriteFile(filepath.Join(w.dir, IndexFile), data[:tear], 0o644); err != nil {
+			return 0, fmt.Errorf("cinemastore: tearing index: %w", err)
+		}
+		return 0, &TornCommitError{Dir: w.dir, Written: tear, Total: len(data)}
 	}
 	if err := WriteFileAtomic(w.dir, IndexFile, data); err != nil {
 		return 0, err

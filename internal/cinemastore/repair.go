@@ -1,0 +1,97 @@
+package cinemastore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Repair reports what RepairOpen did to bring a database back to a
+// committed boundary.
+type Repair struct {
+	// RecoveredBackup is true when the live index was unreadable and the
+	// last good index was restored from BackupFile — byte-identical to
+	// the bytes Commit preserved.
+	RecoveredBackup bool
+	// Quarantined lists the files (sorted) moved into QuarantineDir
+	// because the recovered index does not reference them: frames from
+	// the torn commit, stray temp files, and other debris.
+	Quarantined []string
+}
+
+// RepairOpen opens a database that may have been left mid-commit — a
+// torn index, stray temp files, frames written but never referenced by a
+// committed index. It restores the last good index from BackupFile when
+// the live one does not parse, moves every unreferenced regular file
+// into QuarantineDir (nothing is deleted), and finishes with a strict
+// Open over the repaired directory.
+//
+// RepairOpen is for crashed or torn databases only. It must not run
+// against a database a live writer is still appending to: frames put
+// since the last Commit are unreferenced by definition and would be
+// quarantined.
+func RepairOpen(dir string) (*Store, *Repair, error) {
+	rep := &Repair{}
+	data, err := os.ReadFile(filepath.Join(dir, IndexFile))
+	entries, _, decodeErr := []Entry(nil), "", error(nil)
+	if err != nil {
+		decodeErr = err
+	} else {
+		entries, _, decodeErr = DecodeIndex(data)
+	}
+	if decodeErr != nil {
+		// The live index is torn or missing: fall back to the last good
+		// index Commit preserved, restoring its bytes verbatim so the
+		// recovery round-trips byte-identically.
+		backup, berr := os.ReadFile(filepath.Join(dir, BackupFile))
+		if berr != nil {
+			return nil, nil, fmt.Errorf("cinemastore: index unreadable (%v) and no backup: %w", decodeErr, berr)
+		}
+		if entries, _, err = DecodeIndex(backup); err != nil {
+			return nil, nil, fmt.Errorf("cinemastore: backup index is also corrupt: %w", err)
+		}
+		if err := WriteFileAtomic(dir, IndexFile, backup); err != nil {
+			return nil, nil, err
+		}
+		rep.RecoveredBackup = true
+	}
+
+	referenced := make(map[string]bool, len(entries)+2)
+	referenced[IndexFile] = true
+	referenced[BackupFile] = true
+	for _, e := range entries {
+		referenced[e.File] = true
+	}
+
+	listing, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cinemastore: list database dir: %w", err)
+	}
+	for _, de := range listing {
+		if de.IsDir() || referenced[de.Name()] {
+			continue
+		}
+		if len(rep.Quarantined) == 0 {
+			if err := os.MkdirAll(filepath.Join(dir, QuarantineDir), 0o755); err != nil {
+				return nil, nil, fmt.Errorf("cinemastore: create quarantine dir: %w", err)
+			}
+		}
+		if err := os.Rename(filepath.Join(dir, de.Name()), filepath.Join(dir, QuarantineDir, de.Name())); err != nil {
+			return nil, nil, fmt.Errorf("cinemastore: quarantine %s: %w", de.Name(), err)
+		}
+		rep.Quarantined = append(rep.Quarantined, de.Name())
+	}
+	if len(rep.Quarantined) > 0 || rep.RecoveredBackup {
+		if err := syncDir(dir); err != nil {
+			return nil, nil, err
+		}
+	}
+	sort.Strings(rep.Quarantined)
+
+	st, err := Open(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cinemastore: reopen after repair: %w", err)
+	}
+	return st, rep, nil
+}

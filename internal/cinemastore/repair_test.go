@@ -1,0 +1,303 @@
+package cinemastore
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"insituviz/internal/faults"
+)
+
+// twoGenerationDB builds a database with two committed generations and
+// returns (dir, firstIndexBytes, secondIndexBytes, firstFiles,
+// secondOnlyFiles). After the second commit, BackupFile holds the first
+// generation's exact index bytes.
+func twoGenerationDB(t *testing.T) (string, []byte, []byte, map[string]bool, []string) {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := Create(dir)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	frame := []byte("not-really-a-png-but-bytes-enough")
+	for i := 0; i < 3; i++ {
+		if _, err := w.Put(Key{Time: float64(i), Variable: "ow"}, frame); err != nil {
+			t.Fatalf("Put gen1: %v", err)
+		}
+	}
+	if _, err := w.Commit(); err != nil {
+		t.Fatalf("first Commit: %v", err)
+	}
+	gen1, err := os.ReadFile(filepath.Join(dir, IndexFile))
+	if err != nil {
+		t.Fatalf("read gen1 index: %v", err)
+	}
+	firstFiles := map[string]bool{}
+	for _, e := range w.Entries() {
+		firstFiles[e.File] = true
+	}
+
+	var secondOnly []string
+	for i := 3; i < 6; i++ {
+		e, err := w.Put(Key{Time: float64(i), Variable: "ow"}, frame)
+		if err != nil {
+			t.Fatalf("Put gen2: %v", err)
+		}
+		secondOnly = append(secondOnly, e.File)
+	}
+	if _, err := w.Commit(); err != nil {
+		t.Fatalf("second Commit: %v", err)
+	}
+	gen2, err := os.ReadFile(filepath.Join(dir, IndexFile))
+	if err != nil {
+		t.Fatalf("read gen2 index: %v", err)
+	}
+	return dir, gen1, gen2, firstFiles, secondOnly
+}
+
+// TestRepairRecoversTornIndexAtEveryOffset tears the committed index at
+// every prefix length and asserts RepairOpen restores the last good
+// index byte-identically and quarantines the now-unreferenced frames.
+func TestRepairRecoversTornIndexAtEveryOffset(t *testing.T) {
+	_, _, gen2Probe, _, _ := twoGenerationDB(t)
+	for tear := 0; tear < len(gen2Probe); tear += 97 {
+		dir, gen1, gen2, _, secondOnly := twoGenerationDB(t)
+		if err := os.WriteFile(filepath.Join(dir, IndexFile), gen2[:tear], 0o644); err != nil {
+			t.Fatalf("tear at %d: %v", tear, err)
+		}
+		st, rep, err := RepairOpen(dir)
+		if err != nil {
+			t.Fatalf("RepairOpen (tear %d): %v", tear, err)
+		}
+		if !rep.RecoveredBackup {
+			t.Errorf("tear %d: repair did not report backup recovery", tear)
+		}
+		restored, err := os.ReadFile(filepath.Join(dir, IndexFile))
+		if err != nil {
+			t.Fatalf("read restored index: %v", err)
+		}
+		if !bytes.Equal(restored, gen1) {
+			t.Fatalf("tear %d: restored index differs from last good index", tear)
+		}
+		if got, want := len(st.Entries()), 3; got != want {
+			t.Errorf("tear %d: recovered store has %d entries, want %d", tear, got, want)
+		}
+		// Every second-generation frame is quarantined, none deleted.
+		quarantined := map[string]bool{}
+		for _, q := range rep.Quarantined {
+			quarantined[q] = true
+			if _, err := os.Stat(filepath.Join(dir, QuarantineDir, q)); err != nil {
+				t.Errorf("tear %d: quarantined file %s missing: %v", tear, q, err)
+			}
+		}
+		for _, f := range secondOnly {
+			if !quarantined[f] {
+				t.Errorf("tear %d: unreferenced frame %s not quarantined", tear, f)
+			}
+		}
+	}
+}
+
+func TestRepairTable(t *testing.T) {
+	cases := map[string]func(t *testing.T, dir string, gen2 []byte){
+		"empty index": func(t *testing.T, dir string, _ []byte) {
+			if err := os.WriteFile(filepath.Join(dir, IndexFile), nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"garbage index": func(t *testing.T, dir string, _ []byte) {
+			if err := os.WriteFile(filepath.Join(dir, IndexFile), []byte("{\"type\":\"wrong"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"missing index": func(t *testing.T, dir string, _ []byte) {
+			if err := os.Remove(filepath.Join(dir, IndexFile)); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"valid json wrong type": func(t *testing.T, dir string, _ []byte) {
+			if err := os.WriteFile(filepath.Join(dir, IndexFile), []byte(`{"type":"x","version":"9"}`), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for name, breakIt := range cases {
+		t.Run(name, func(t *testing.T) {
+			dir, gen1, gen2, _, _ := twoGenerationDB(t)
+			breakIt(t, dir, gen2)
+			st, rep, err := RepairOpen(dir)
+			if err != nil {
+				t.Fatalf("RepairOpen: %v", err)
+			}
+			if !rep.RecoveredBackup {
+				t.Error("repair did not recover from backup")
+			}
+			restored, _ := os.ReadFile(filepath.Join(dir, IndexFile))
+			if !bytes.Equal(restored, gen1) {
+				t.Error("restored index not byte-identical to last good index")
+			}
+			if len(st.Entries()) != 3 {
+				t.Errorf("recovered %d entries, want 3", len(st.Entries()))
+			}
+		})
+	}
+}
+
+func TestRepairHealthyDatabaseQuarantinesStrays(t *testing.T) {
+	dir, _, gen2, _, _ := twoGenerationDB(t)
+	stray := filepath.Join(dir, ".t000_ow.png.tmp-123")
+	if err := os.WriteFile(stray, []byte("half-written frame"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, rep, err := RepairOpen(dir)
+	if err != nil {
+		t.Fatalf("RepairOpen: %v", err)
+	}
+	if rep.RecoveredBackup {
+		t.Error("healthy database reported backup recovery")
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != ".t000_ow.png.tmp-123" {
+		t.Errorf("Quarantined = %v, want the stray temp file", rep.Quarantined)
+	}
+	if len(st.Entries()) != 6 {
+		t.Errorf("healthy store has %d entries, want 6", len(st.Entries()))
+	}
+	now, _ := os.ReadFile(filepath.Join(dir, IndexFile))
+	if !bytes.Equal(now, gen2) {
+		t.Error("healthy index was rewritten")
+	}
+}
+
+func TestRepairUnrecoverableWithoutBackup(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Put(Key{Time: 1, Variable: "ow"}, []byte("frame")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the only index; there has been a single commit, so no backup.
+	if err := os.WriteFile(filepath.Join(dir, IndexFile), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RepairOpen(dir); err == nil {
+		t.Fatal("RepairOpen recovered a database with no backup")
+	}
+}
+
+func TestInjectedTornCommitAndRetry(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := faults.New(faults.Plan{Seed: 7, Rules: []faults.Rule{
+		{Site: "cinema.commit", Kind: faults.KindTorn, At: []uint64{2}, Count: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetFaults(in)
+	if _, err := w.Put(Key{Time: 1, Variable: "ow"}, []byte("frame")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Commit(); err != nil {
+		t.Fatalf("first commit: %v", err)
+	}
+	gen1, _ := os.ReadFile(filepath.Join(dir, IndexFile))
+
+	if _, err := w.Put(Key{Time: 2, Variable: "ow"}, []byte("frame")); err != nil {
+		t.Fatal(err)
+	}
+	_, err = w.Commit()
+	var torn *TornCommitError
+	if !errors.As(err, &torn) {
+		t.Fatalf("second commit error = %v, want TornCommitError", err)
+	}
+	if torn.Written <= 0 || torn.Written >= torn.Total {
+		t.Errorf("tear offset %d not a strict prefix of %d", torn.Written, torn.Total)
+	}
+	onDisk, _ := os.ReadFile(filepath.Join(dir, IndexFile))
+	if len(onDisk) != torn.Written {
+		t.Errorf("index on disk is %d bytes, reported tear %d", len(onDisk), torn.Written)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("strict Open accepted the torn index")
+	}
+
+	// Path 1: the writer retries the commit (the injected fault was
+	// one-shot) and the database lands complete.
+	if _, err := w.Commit(); err != nil {
+		t.Fatalf("retried commit: %v", err)
+	}
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open after retried commit: %v", err)
+	}
+	if len(st.Entries()) != 2 {
+		t.Errorf("retried commit published %d entries, want 2", len(st.Entries()))
+	}
+
+	// Path 2 (fresh tear, no retry): RepairOpen falls back to gen1.
+	in2, err := faults.New(faults.Plan{Seed: 7, Rules: []faults.Rule{
+		{Site: "cinema.commit", Kind: faults.KindTorn, At: []uint64{1}, Count: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetFaults(in2)
+	if _, err := w.Put(Key{Time: 3, Variable: "ow"}, []byte("frame")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Commit(); err == nil {
+		t.Fatal("expected torn commit")
+	}
+	st2, rep, err := RepairOpen(dir)
+	if err != nil {
+		t.Fatalf("RepairOpen after torn commit: %v", err)
+	}
+	if !rep.RecoveredBackup {
+		t.Error("repair did not use the backup")
+	}
+	// The backup now holds the 2-entry index (it was the last good one
+	// before the torn third commit).
+	if len(st2.Entries()) != 2 {
+		t.Errorf("recovered %d entries, want 2", len(st2.Entries()))
+	}
+	_ = gen1
+}
+
+func TestTornCommitDeterministicOffset(t *testing.T) {
+	run := func() int {
+		dir := t.TempDir()
+		w, err := Create(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := faults.New(faults.Plan{Seed: 11, Rules: []faults.Rule{
+			{Site: "cinema.commit", Kind: faults.KindTorn, At: []uint64{1}},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.SetFaults(in)
+		if _, err := w.Put(Key{Time: 1, Variable: "ow"}, []byte("frame")); err != nil {
+			t.Fatal(err)
+		}
+		_, err = w.Commit()
+		var torn *TornCommitError
+		if !errors.As(err, &torn) {
+			t.Fatalf("commit error = %v", err)
+		}
+		return torn.Written
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed, different tear offsets: %d vs %d", a, b)
+	}
+}

@@ -204,7 +204,7 @@ func TestCIWorkflowIsValid(t *testing.T) {
 	if wf.Name != "ci" {
 		t.Errorf("workflow name = %q, want ci", wf.Name)
 	}
-	for _, id := range []string{"tier1", "bench", "trace-smoke", "serve-smoke", "lint"} {
+	for _, id := range []string{"tier1", "bench", "trace-smoke", "serve-smoke", "chaos-smoke", "lint"} {
 		if wf.Jobs[id] == nil {
 			t.Fatalf("ci.yml is missing the %q job", id)
 		}
@@ -310,6 +310,46 @@ func TestCIWorkflowIsValid(t *testing.T) {
 	if !servesDB || !runsLoad || !checksMetrics || !serveUpload {
 		t.Errorf("serve-smoke coverage: db=%v load=%v metrics=%v upload=%v",
 			servesDB, runsLoad, checksMetrics, serveUpload)
+	}
+
+	// The chaos-smoke job holds the resilience contracts end to end: two
+	// seeded runs complete under injected faults with byte-identical
+	// fault logs and degradation counters, every drop/crash/failover/
+	// retry is accounted in the exposition, energy conservation survives
+	// the degraded timeline, and serving the recovered database leaves
+	// the circuit breaker closed.
+	var chaosRuns, chaosStable, chaosCounts, chaosEnergy, chaosServe, chaosUpload bool
+	for _, st := range wf.Jobs["chaos-smoke"].Steps {
+		if strings.Contains(st.Run, "cmd/liverun") && strings.Contains(st.Run, "-chaos seed=") &&
+			strings.Contains(st.Run, "-faultlog") {
+			chaosRuns = true
+		}
+		if strings.Contains(st.Run, "cmp faultA.log faultB.log") {
+			chaosStable = true
+		}
+		if strings.Contains(st.Run, `live\.frames\.dropped [1-9]`) &&
+			strings.Contains(st.Run, `render\.rank\.crashes [1-9]`) &&
+			strings.Contains(st.Run, `render\.failover [1-9]`) &&
+			strings.Contains(st.Run, `cinema\.commit\.retries [1-9]`) {
+			chaosCounts = true
+		}
+		if strings.Contains(st.Run, "cmd/tracecheck") {
+			chaosEnergy = true
+		}
+		if strings.Contains(st.Run, "-repair") &&
+			strings.Contains(st.Run, `serve\.breaker\.run\.state 0`) {
+			chaosServe = true
+		}
+		if strings.HasPrefix(st.Uses, "actions/upload-artifact@") {
+			chaosUpload = true
+			if st.If != "always()" {
+				t.Errorf("chaos artifact upload must run on failure too, if = %q", st.If)
+			}
+		}
+	}
+	if !chaosRuns || !chaosStable || !chaosCounts || !chaosEnergy || !chaosServe || !chaosUpload {
+		t.Errorf("chaos-smoke coverage: runs=%v stable=%v counts=%v energy=%v serve=%v upload=%v",
+			chaosRuns, chaosStable, chaosCounts, chaosEnergy, chaosServe, chaosUpload)
 	}
 
 	// The lint job covers gofmt and go vet.

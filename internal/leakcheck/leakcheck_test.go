@@ -1,0 +1,95 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recorder captures Errorf calls so the checker itself can be tested.
+type recorder struct {
+	failures []string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.failures = append(r.failures, format)
+}
+
+func TestCleanRunPasses(t *testing.T) {
+	rec := &recorder{}
+	done := Check(rec)
+	done()
+	if len(rec.failures) != 0 {
+		t.Errorf("clean run reported %d leaks", len(rec.failures))
+	}
+}
+
+func TestSettledGoroutinePasses(t *testing.T) {
+	rec := &recorder{}
+	done := Check(rec)
+	// A goroutine that finishes within the settle window is not a leak.
+	go func() { time.Sleep(50 * time.Millisecond) }()
+	done()
+	if len(rec.failures) != 0 {
+		t.Errorf("settling goroutine reported as leak: %v", rec.failures)
+	}
+}
+
+func TestLeakedGoroutineFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("settle window wait")
+	}
+	rec := &recorder{}
+	done := Check(rec)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() { <-stop }() // parked past the settle window: a leak
+	done()
+	if len(rec.failures) == 0 {
+		t.Fatal("parked goroutine not reported as leak")
+	}
+}
+
+func TestExtraIgnores(t *testing.T) {
+	if testing.Short() {
+		t.Skip("settle window wait")
+	}
+	rec := &recorder{}
+	done := Check(rec, "leakcheck.TestExtraIgnores")
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() { <-stop }() // stack contains this test's function name
+	done()
+	if len(rec.failures) != 0 {
+		t.Errorf("ignored goroutine reported as leak: %v", rec.failures)
+	}
+}
+
+func TestParseGoroutineHeader(t *testing.T) {
+	id, ok := parseGoroutineHeader("goroutine 42 [running]:\nmain.main()")
+	if !ok || id != 42 {
+		t.Errorf("parse = (%d, %v), want (42, true)", id, ok)
+	}
+	for _, bad := range []string{"", "goroutine", "goroutine x [r]:", "not a header"} {
+		if _, ok := parseGoroutineHeader(bad); ok {
+			t.Errorf("parsed %q", bad)
+		}
+	}
+}
+
+func TestGoroutineStacksSeeSelf(t *testing.T) {
+	stacks := goroutineStacks()
+	if len(stacks) == 0 {
+		t.Fatal("no goroutines found")
+	}
+	found := false
+	for _, g := range stacks {
+		if strings.Contains(g.stack, "TestGoroutineStacksSeeSelf") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("own test goroutine not in snapshot")
+	}
+}

@@ -16,9 +16,11 @@
 package lustre
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
+	"insituviz/internal/faults"
 	"insituviz/internal/power"
 	"insituviz/internal/telemetry"
 	"insituviz/internal/units"
@@ -50,6 +52,78 @@ func CaddyStorage() Config {
 	}
 }
 
+// RetryPolicy governs how the rack's clients answer injected transient
+// data-path failures: capped exponential backoff with deterministic
+// jitter, bounded per operation by MaxAttempts and per phase by a shared
+// retry budget.
+type RetryPolicy struct {
+	// MaxAttempts bounds the tries per operation (first try included).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; attempt k waits
+	// min(BaseDelay·2^(k-1), MaxDelay) scaled by a jitter in [0.5, 1).
+	BaseDelay units.Seconds
+	// MaxDelay caps a single backoff.
+	MaxDelay units.Seconds
+	// PhaseBudget bounds the total retries between ResetRetryBudget
+	// calls; once spent, further transient failures surface immediately.
+	PhaseBudget int
+}
+
+// DefaultRetryPolicy is the stack's standard answer to transient storage
+// faults: four attempts, 50 ms base backoff capped at 2 s, sixteen
+// retries per phase.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 0.05, MaxDelay: 2, PhaseBudget: 16}
+}
+
+// Validate rejects policies that cannot terminate.
+func (p RetryPolicy) Validate() error {
+	if p.MaxAttempts < 1 {
+		return fmt.Errorf("lustre: retry policy needs at least one attempt, got %d", p.MaxAttempts)
+	}
+	if p.BaseDelay < 0 || p.MaxDelay < p.BaseDelay {
+		return fmt.Errorf("lustre: invalid backoff range [%v, %v]", p.BaseDelay, p.MaxDelay)
+	}
+	if p.PhaseBudget < 0 {
+		return fmt.Errorf("lustre: negative retry budget %d", p.PhaseBudget)
+	}
+	return nil
+}
+
+// TransientError is one injected data-path failure. It is what an
+// operation reports when retries cannot absorb the fault.
+type TransientError struct {
+	Op   string // "write" or "read"
+	Name string // file name
+	Seq  uint64 // the fault's occurrence number at its site
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("lustre: transient %s failure on %q (fault #%d)", e.Op, e.Name, e.Seq)
+}
+
+// ErrRetryBudgetExhausted marks failures surfaced because the retry
+// policy ran out — either the per-operation attempts or the per-phase
+// budget. Match with errors.Is.
+var ErrRetryBudgetExhausted = errors.New("lustre: retry budget exhausted")
+
+// BudgetError reports an operation abandoned after the retry policy was
+// exhausted. It wraps both ErrRetryBudgetExhausted and the final
+// TransientError.
+type BudgetError struct {
+	Op       string
+	Name     string
+	Attempts int
+	Last     error
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("lustre: %s %q abandoned after %d attempts: %v", e.Op, e.Name, e.Attempts, e.Last)
+}
+
+// Unwrap exposes the sentinel and the final transient failure.
+func (e *BudgetError) Unwrap() []error { return []error{ErrRetryBudgetExhausted, e.Last} }
+
 // Stats aggregates the rack's lifetime activity.
 type Stats struct {
 	BytesWritten units.Bytes
@@ -79,6 +153,13 @@ type Cluster struct {
 	// active, kept sorted and non-overlapping.
 	busy []interval
 
+	// Fault injection (nil without SetFaults; nil handles never fire).
+	inj       *faults.Injector
+	writeSite *faults.Site
+	readSite  *faults.Site
+	retry     RetryPolicy
+	budget    int // retries remaining in the current phase
+
 	// Metric handles (nil without SetTelemetry; nil handles are no-ops).
 	mWritten  *telemetry.Counter
 	mRead     *telemetry.Counter
@@ -86,6 +167,8 @@ type Cluster struct {
 	mMetaOps  *telemetry.Counter
 	mStallMS  *telemetry.Counter
 	mXferSize *telemetry.Histogram
+	mRetries  *telemetry.Counter
+	mFaults   *telemetry.Counter
 }
 
 // TransferSizeBuckets are the upper bounds (bytes) of the
@@ -109,6 +192,72 @@ func (c *Cluster) SetTelemetry(reg *telemetry.Registry) {
 	c.mMetaOps = reg.Counter("lustre.metadata.ops")
 	c.mStallMS = reg.Counter("lustre.stall.ms")
 	c.mXferSize = reg.Histogram("lustre.transfer.bytes", TransferSizeBuckets)
+	c.mRetries = reg.Counter("lustre.retries")
+	c.mFaults = reg.Counter("lustre.faults.injected")
+}
+
+// SetFaults arms the rack's fault sites ("lustre.write", "lustre.read")
+// against an injector. A nil injector (the default) disarms them; the
+// data path then pays only a nil test per operation.
+func (c *Cluster) SetFaults(in *faults.Injector) {
+	c.inj = in
+	c.writeSite = in.Site("lustre.write")
+	c.readSite = in.Site("lustre.read")
+}
+
+// SetRetry installs the retry policy and refills the phase budget. The
+// zero Cluster uses DefaultRetryPolicy.
+func (c *Cluster) SetRetry(p RetryPolicy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	c.retry = p
+	c.budget = p.PhaseBudget
+	return nil
+}
+
+// ResetRetryBudget refills the per-phase retry budget; the pipeline calls
+// it at each phase boundary so one noisy phase cannot starve the next.
+func (c *Cluster) ResetRetryBudget() { c.budget = c.retry.PhaseBudget }
+
+// RetryBudget returns the retries remaining in the current phase.
+func (c *Cluster) RetryBudget() int { return c.budget }
+
+// consultFaults runs one operation's fault consult-and-retry loop before
+// any rack state changes. It returns the (possibly backoff-delayed)
+// start time and any injected stall to add to the transfer duration; a
+// non-nil error means the operation must fail with rack state untouched.
+func (c *Cluster) consultFaults(site *faults.Site, op, name string, start units.Seconds) (units.Seconds, units.Seconds, error) {
+	if site == nil {
+		return start, 0, nil
+	}
+	var stall units.Seconds
+	for attempt := 1; ; attempt++ {
+		f, ok := site.Next()
+		if !ok {
+			return start, stall, nil
+		}
+		c.mFaults.Inc()
+		if f.Kind == faults.KindStall {
+			// A stall delays the transfer but does not fail it.
+			stall += f.Stall
+			return start, stall, nil
+		}
+		last := &TransientError{Op: op, Name: name, Seq: f.Seq}
+		if attempt >= c.retry.MaxAttempts || c.budget <= 0 {
+			return 0, 0, &BudgetError{Op: op, Name: name, Attempts: attempt, Last: last}
+		}
+		c.budget--
+		c.mRetries.Inc()
+		// Capped exponential backoff with deterministic jitter in
+		// [0.5, 1), keyed on the failed fault's occurrence so the delay
+		// sequence is part of the reproducible run.
+		delay := c.retry.BaseDelay * units.Seconds(uint64(1)<<uint(attempt-1))
+		if delay > c.retry.MaxDelay {
+			delay = c.retry.MaxDelay
+		}
+		start += delay * units.Seconds(0.5+0.5*c.inj.Uniform("lustre.backoff", f.Seq))
+	}
 }
 
 // noteTransfer records one data-path transfer in the telemetry stream.
@@ -144,6 +293,8 @@ func New(cfg Config) (*Cluster, error) {
 		cfg:     cfg,
 		files:   make(map[string]file),
 		ossUsed: make([]units.Bytes, cfg.OSSCount),
+		retry:   DefaultRetryPolicy(),
+		budget:  DefaultRetryPolicy().PhaseBudget,
 	}, nil
 }
 
@@ -171,6 +322,11 @@ func (c *Cluster) FileSize(name string) (units.Bytes, error) {
 // FileCount returns the number of stored files.
 func (c *Cluster) FileCount() int { return len(c.files) }
 
+// OSSUsed returns a copy of the per-OSS stripe load.
+func (c *Cluster) OSSUsed() []units.Bytes {
+	return append([]units.Bytes(nil), c.ossUsed...)
+}
+
 // leastLoadedOSS returns the OSS indices to stripe a new file across,
 // preferring the emptiest targets (Lustre's default allocator heuristic).
 func (c *Cluster) leastLoadedOSS(n int) []int {
@@ -190,7 +346,10 @@ func (c *Cluster) leastLoadedOSS(n int) []int {
 // Write stores a new file of the given size starting at simulated time
 // start, returning the completion time. It fails when the name exists or
 // capacity would be exceeded — the failure mode that forces the paper's
-// climate scientists to cut their sampling rates.
+// climate scientists to cut their sampling rates — or when injected
+// transient faults outlast the retry policy. Every failure path leaves
+// the rack unchanged: no used bytes, file entries, OSS load, stats, or
+// busy time leak from an abandoned write.
 func (c *Cluster) Write(name string, size units.Bytes, start units.Seconds) (units.Seconds, error) {
 	if name == "" {
 		return 0, fmt.Errorf("lustre: empty file name")
@@ -207,6 +366,9 @@ func (c *Cluster) Write(name string, size units.Bytes, start units.Seconds) (uni
 	if c.used+size > c.cfg.Capacity {
 		return 0, fmt.Errorf("lustre: out of space writing %q: need %v, free %v", name, size, c.Free())
 	}
+
+	// Plan the stripe layout locally and consult the fault sites before
+	// mutating anything, so an abandoned write commits nothing.
 	stripes := make([]units.Bytes, c.cfg.StripeCount)
 	targets := c.leastLoadedOSS(c.cfg.StripeCount)
 	per := size / units.Bytes(c.cfg.StripeCount)
@@ -216,6 +378,13 @@ func (c *Cluster) Write(name string, size units.Bytes, start units.Seconds) (uni
 		if units.Bytes(i) < rem {
 			stripes[i]++
 		}
+	}
+	start, stall, err := c.consultFaults(c.writeSite, "write", name, start)
+	if err != nil {
+		return 0, err
+	}
+
+	for i := range stripes {
 		c.ossUsed[targets[i]] += stripes[i]
 	}
 	c.files[name] = file{size: size, stripes: stripes}
@@ -224,7 +393,7 @@ func (c *Cluster) Write(name string, size units.Bytes, start units.Seconds) (uni
 	c.stats.FilesCreated++
 	c.stats.MetadataOps++ // create on the MDS
 
-	end := start + c.cfg.Bandwidth.TimeToTransfer(size)
+	end := start + c.cfg.Bandwidth.TimeToTransfer(size) + stall
 	c.markBusy(start, end)
 	c.mWritten.Add(int64(size))
 	c.mFiles.Inc()
@@ -242,9 +411,13 @@ func (c *Cluster) Read(name string, start units.Seconds) (units.Seconds, error) 
 	if !ok {
 		return 0, fmt.Errorf("lustre: no such file %q", name)
 	}
+	start, stall, err := c.consultFaults(c.readSite, "read", name, start)
+	if err != nil {
+		return 0, err
+	}
 	c.stats.BytesRead += f.size
 	c.stats.MetadataOps++ // open on the MDS
-	end := start + c.cfg.Bandwidth.TimeToTransfer(f.size)
+	end := start + c.cfg.Bandwidth.TimeToTransfer(f.size) + stall
 	c.markBusy(start, end)
 	c.mRead.Add(int64(f.size))
 	c.noteTransfer(f.size, start, end)
@@ -265,9 +438,13 @@ func (c *Cluster) ReadAt(name string, start units.Seconds, rate units.BytesPerSe
 	if start < 0 {
 		return 0, fmt.Errorf("lustre: negative start time %v", start)
 	}
+	start, stall, err := c.consultFaults(c.readSite, "read", name, start)
+	if err != nil {
+		return 0, err
+	}
 	c.stats.BytesRead += f.size
 	c.stats.MetadataOps++
-	end := start + rate.TimeToTransfer(f.size)
+	end := start + rate.TimeToTransfer(f.size) + stall
 	c.markBusy(start, end)
 	c.mRead.Add(int64(f.size))
 	c.noteTransfer(f.size, start, end)

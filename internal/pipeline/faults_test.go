@@ -1,0 +1,130 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+
+	"insituviz/internal/faults"
+	"insituviz/internal/lustre"
+	"insituviz/internal/telemetry"
+	"insituviz/internal/units"
+)
+
+// faultyPlatform arms the Caddy platform with the given plan.
+func faultyPlatform(t *testing.T, plan faults.Plan) (Platform, *telemetry.Registry) {
+	t.Helper()
+	in, err := faults.New(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := CaddyPlatform()
+	p.Telemetry = telemetry.NewRegistry()
+	p.Faults = in
+	return p, p.Telemetry
+}
+
+// TestRunAbsorbsTransientStorageFaults: a plan of scheduled transient
+// write failures is retried away — the run completes, the retries are
+// visible in telemetry, and the output volume is unaffected.
+func TestRunAbsorbsTransientStorageFaults(t *testing.T) {
+	w := ReferenceWorkload(units.Hours(8))
+	p, reg := faultyPlatform(t, faults.Plan{Seed: 5, Rules: []faults.Rule{
+		{Site: "lustre.write", Kind: faults.KindError, At: []uint64{1, 3}, Count: 2},
+	}})
+	m, err := Run(InSitu, w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("lustre.retries").Value(); got != 2 {
+		t.Errorf("lustre.retries = %d, want 2", got)
+	}
+	if got := reg.Counter("lustre.faults.injected").Value(); got != 2 {
+		t.Errorf("lustre.faults.injected = %d, want 2", got)
+	}
+
+	clean, err := Run(InSitu, w, CaddyPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.StorageUsed != clean.StorageUsed || m.Outputs != clean.Outputs {
+		t.Errorf("faulty run output %v/%d, clean run %v/%d",
+			m.StorageUsed, m.Outputs, clean.StorageUsed, clean.Outputs)
+	}
+	// Retries delay completion; they never make the run faster.
+	if m.ExecutionTime < clean.ExecutionTime {
+		t.Errorf("faulty run finished earlier (%v) than clean (%v)", m.ExecutionTime, clean.ExecutionTime)
+	}
+}
+
+// TestRunFaultsAreDeterministic: two runs under the same seeded plan
+// produce identical metrics and identical fault logs.
+func TestRunFaultsAreDeterministic(t *testing.T) {
+	w := ReferenceWorkload(units.Hours(8))
+	// Stalls only: they delay transfers without consuming retry budget,
+	// so a probabilistic rate is safe at any output count.
+	plan := faults.Plan{Seed: 17, Rules: []faults.Rule{
+		{Site: "lustre.write", Kind: faults.KindStall, Prob: 0.05, Stall: 5},
+		{Site: "lustre.read", Kind: faults.KindStall, Prob: 0.05, Stall: 5},
+	}}
+	run := func() (*Metrics, int64) {
+		p, reg := faultyPlatform(t, plan)
+		m, err := Run(PostProcessing, w, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, reg.Counter("lustre.faults.injected").Value()
+	}
+	a, af := run()
+	b, bf := run()
+	if af != bf || af == 0 {
+		t.Fatalf("injected fault counts: %d vs %d, want equal and nonzero", af, bf)
+	}
+	if a.ExecutionTime != b.ExecutionTime || a.Energy != b.Energy {
+		t.Errorf("same seed, different outcomes: time %v vs %v, energy %v vs %v",
+			a.ExecutionTime, b.ExecutionTime, a.Energy, b.Energy)
+	}
+}
+
+// TestRunFailsWhenRetryBudgetExhausted: a fault storm the policy cannot
+// absorb surfaces as a typed budget-exhaustion error, not a hang.
+func TestRunFailsWhenRetryBudgetExhausted(t *testing.T) {
+	w := ReferenceWorkload(units.Hours(8))
+	p, _ := faultyPlatform(t, faults.Plan{Seed: 1, Rules: []faults.Rule{
+		{Site: "lustre.write", Kind: faults.KindError, Prob: 1},
+	}})
+	_, err := Run(InSitu, w, p)
+	if err == nil {
+		t.Fatal("permanent-failure run succeeded")
+	}
+	if !errors.Is(err, lustre.ErrRetryBudgetExhausted) {
+		t.Errorf("error = %v, want ErrRetryBudgetExhausted", err)
+	}
+}
+
+// TestPostProcessingBudgetResetsAtPhaseBoundary: the dump phase may
+// drain the budget entirely; the readback phase still gets a full one.
+func TestPostProcessingBudgetResetsAtPhaseBoundary(t *testing.T) {
+	w := ReferenceWorkload(units.Hours(8))
+	// Default policy: 4 attempts, budget 16 retries per phase. Every
+	// retry consults the site again, so the faults sit at odd
+	// occurrences: each hit write fails once and succeeds on the retry.
+	// 14 write faults nearly drain the dump phase's budget; the 8 read
+	// faults in the viz phase would overflow it without the reset.
+	var writeAts, readAts []uint64
+	for i := 0; i < 14; i++ {
+		writeAts = append(writeAts, uint64(2*i+1))
+	}
+	for i := 0; i < 8; i++ {
+		readAts = append(readAts, uint64(2*i+1))
+	}
+	p, reg := faultyPlatform(t, faults.Plan{Seed: 2, Rules: []faults.Rule{
+		{Site: "lustre.write", Kind: faults.KindError, At: writeAts, Count: 14},
+		{Site: "lustre.read", Kind: faults.KindError, At: readAts, Count: 8},
+	}})
+	if _, err := Run(PostProcessing, w, p); err != nil {
+		t.Fatalf("run failed despite per-phase budgets: %v", err)
+	}
+	if got := reg.Counter("lustre.retries").Value(); got != 22 {
+		t.Errorf("lustre.retries = %d, want 22", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"insituviz/internal/clustersim"
+	"insituviz/internal/faults"
 	"insituviz/internal/lustre"
 	"insituviz/internal/power"
 	"insituviz/internal/telemetry"
@@ -67,6 +68,13 @@ type Platform struct {
 	// windows on a "storage" lane, all at simulated time, exportable as
 	// a Chrome trace with the metered power profiles as counter tracks.
 	Tracer *trace.Tracer
+	// Faults, when non-nil, arms the storage rack's "lustre.write" and
+	// "lustre.read" fault sites: injected transient errors and stalls are
+	// absorbed by the rack's retry policy (lustre.retries / lustre.faults
+	// counters in Telemetry), with the per-phase retry budget reset at
+	// each pipeline phase boundary. Faults that outlast the policy fail
+	// the run with a lustre.BudgetError.
+	Faults *faults.Injector
 }
 
 // ioPhase returns the phase kind charged while the machine waits on
@@ -156,6 +164,7 @@ func Run(k Kind, w Workload, p Platform) (*Metrics, error) {
 	if p.Telemetry != nil {
 		storage.SetTelemetry(p.Telemetry)
 	}
+	storage.SetFaults(p.Faults)
 	switch k {
 	case PostProcessing, InSitu:
 		machine, err := clustersim.New(p.Compute)
@@ -215,7 +224,9 @@ func runPostProcessing(w Workload, p Platform, machine *clustersim.Machine, stor
 	}
 
 	// Visualization: read each dump back and render, then write the
-	// resulting image set.
+	// resulting image set. This is a new pipeline phase, so the storage
+	// retry budget starts fresh.
+	storage.ResetRetryBudget()
 	imgBytes := w.ImageBytesPerOutput()
 	readRate := p.readRate()
 	for out := 0; out < outputs; out++ {

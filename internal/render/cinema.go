@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 
 	"insituviz/internal/cinemastore"
+	"insituviz/internal/faults"
 	"insituviz/internal/telemetry"
 	"insituviz/internal/units"
 )
@@ -106,6 +107,12 @@ func (db *CinemaDB) SetTelemetry(reg *telemetry.Registry) {
 	db.mBytes = reg.Counter("render.encoded.bytes")
 	db.mFrameBytes = reg.Histogram("render.frame.bytes", FrameSizeBuckets)
 }
+
+// SetFaults arms the underlying store writer's "cinema.commit" fault
+// site: an injected torn fault makes WriteIndex leave a corrupt index
+// prefix on disk — returning *cinemastore.TornCommitError — instead of
+// committing. A nil injector disarms.
+func (db *CinemaDB) SetFaults(in *faults.Injector) { db.w.SetFaults(in) }
 
 // NewCinemaDB creates (or reuses) the database directory.
 func NewCinemaDB(dir string) (*CinemaDB, error) {

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"insituviz/internal/leakcheck"
 )
 
 func TestRunCoversRangeExactlyOnce(t *testing.T) {
@@ -101,8 +103,10 @@ func TestRunNested(t *testing.T) {
 }
 
 // TestRunConcurrentCallers exercises independent goroutines sharing the
-// pool simultaneously.
+// pool simultaneously. The leak check proves a Run leaves nothing behind
+// but the pool's own persistent workers (which it ignores by name).
 func TestRunConcurrentCallers(t *testing.T) {
+	defer leakcheck.Check(t)()
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)

@@ -1,6 +1,7 @@
 package insituviz
 
 import (
+	"errors"
 	"fmt"
 	"image"
 	"math"
@@ -8,7 +9,9 @@ import (
 	"path/filepath"
 
 	"insituviz/internal/catalyst"
+	"insituviz/internal/cinemastore"
 	"insituviz/internal/eddy"
+	"insituviz/internal/faults"
 	"insituviz/internal/mesh"
 	"insituviz/internal/ncfile"
 	"insituviz/internal/ocean"
@@ -88,6 +91,23 @@ type LiveConfig struct {
 	// joins the driver timeline against the Caddy node power model and
 	// fills LiveResult.Timeline, PowerProfile, and PhaseEnergy.
 	Tracer *trace.Tracer
+	// Faults, when non-nil, arms the run's chaos sites: "render.rank"
+	// (consulted once per alive rank per sample; an injected crash kills
+	// that rank for the rest of the run and its blocks fail over to
+	// survivors), "viz.sample" (consulted once per sample; an injected
+	// stall at or beyond VizDeadline blows the visualization deadline and
+	// the whole sample's frames are dropped instead of stalling the
+	// solver), and the Cinema writer's "cinema.commit" torn-index site
+	// (the final index commit retries through it). All degradation is
+	// deterministic in the plan's seed and accounted in telemetry
+	// (render.rank.crashes, render.failover, live.samples.dropped,
+	// live.frames.dropped, cinema.commit.retries).
+	Faults *faults.Injector
+	// VizDeadline is the per-sample in-situ visualization budget
+	// (simulated seconds) that injected "viz.sample" stalls are compared
+	// against. Zero defaults to 0.5 s when Faults is armed; negative
+	// disables the deadline (stalls are logged but nothing is dropped).
+	VizDeadline units.Seconds
 }
 
 func (c *LiveConfig) applyDefaults() {
@@ -114,6 +134,9 @@ func (c *LiveConfig) applyDefaults() {
 	}
 	if c.IORanks == 0 {
 		c.IORanks = 8
+	}
+	if c.VizDeadline == 0 && c.Faults != nil {
+		c.VizDeadline = 0.5
 	}
 }
 
@@ -148,6 +171,15 @@ type LiveResult struct {
 	MeanTrackLifetime Seconds
 	// LongestTrackDistance is the farthest any eddy centroid traveled (m).
 	LongestTrackDistance float64
+
+	// DroppedSamples and DroppedFrames count graceful degradation under
+	// injected faults: samples whose visualization blew the VizDeadline
+	// and the frames those samples would have produced. RankCrashes is
+	// the number of render ranks killed by injection; Failovers counts
+	// render blocks (and ortho views) a surviving rank rendered on a dead
+	// owner's behalf. All zero on a fault-free run.
+	DroppedSamples, DroppedFrames int
+	RankCrashes, Failovers        int
 
 	// HaloBytesPerField is the per-field halo-exchange volume of the
 	// render-rank decomposition — the on-fabric traffic a distributed run
@@ -250,6 +282,7 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 		return nil, err
 	}
 	db.SetTelemetry(reg)
+	db.SetFaults(cfg.Faults)
 	tracker, err := eddy.NewTracker(msh.Radius, 2e6)
 	if err != nil {
 		return nil, err
@@ -295,6 +328,38 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 		rankLanes[i] = cfg.Tracer.Lane(fmt.Sprintf("render.rank%d", i))
 	}
 
+	// Chaos state: the fault sites the sampling path consults and the
+	// liveness of each render rank. A nil injector yields nil sites, so a
+	// fault-free run pays one pointer test per consult.
+	vizSite := cfg.Faults.Site("viz.sample")
+	rankSite := cfg.Faults.Site("render.rank")
+	alive := make([]bool, len(masks))
+	for i := range alive {
+		alive[i] = true
+	}
+	aliveCount := len(masks)
+	mCrashes := reg.Counter("render.rank.crashes")
+	mFailover := reg.Counter("render.failover")
+	mDroppedSamples := reg.Counter("live.samples.dropped")
+	mDroppedFrames := reg.Counter("live.frames.dropped")
+	// framesPerSample is how many frames one sample commits to the
+	// database — the equirectangular map, the ortho views, and the eddy-
+	// core image when enabled — i.e. what a dropped sample costs.
+	framesPerSample := 1 + len(viewCams)
+	if cfg.EddyCoreImages {
+		framesPerSample++
+	}
+	// standIn returns the surviving rank that renders dead rank i's
+	// block, walking the ring to the next alive rank.
+	standIn := func(i int) int {
+		for j := (i + 1) % len(masks); j != i; j = (j + 1) % len(masks) {
+			if alive[j] {
+				return j
+			}
+		}
+		return i
+	}
+
 	// visualize renders one Okubo-Weiss snapshot with the parallel
 	// rank-partitioned renderer, stores it in the Cinema database, and
 	// feeds the eddy tracker. cellVort, when non-nil, is the cell
@@ -303,15 +368,53 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 	visualize := func(simTime float64, field, cellVort []float64) error {
 		tm := sampleSpan.Start()
 		defer tm.End()
+		// Deadline check first: an injected stall at or beyond the budget
+		// means this sample's visualization would not finish in time. The
+		// degraded path drops the sample's frames — recorded as a
+		// "degraded" phase on the driver lane — rather than stalling the
+		// solver behind it.
+		if f, ok := vizSite.Next(); ok && f.Kind == faults.KindStall &&
+			cfg.VizDeadline > 0 && f.Stall >= cfg.VizDeadline {
+			drv.Begin("degraded")
+			drv.End()
+			mDroppedSamples.Inc()
+			mDroppedFrames.Add(int64(framesPerSample))
+			res.DroppedSamples++
+			res.DroppedFrames += framesPerSample
+			res.EddiesPerSample = append(res.EddiesPerSample, 0)
+			return tracker.Advance(simTime, nil)
+		}
 		drv.Begin("viz.sample")
 		defer drv.End()
+		// Crash roulette: each still-alive rank consults the injector
+		// once per sample. A crash kills the rank for the rest of the
+		// run; its blocks fail over below. The last survivor is immune —
+		// total loss is a run failure, not graceful degradation.
+		for i := range masks {
+			if !alive[i] || aliveCount <= 1 {
+				continue
+			}
+			if f, ok := rankSite.Next(); ok && f.Kind == faults.KindCrash {
+				alive[i] = false
+				aliveCount--
+				mCrashes.Inc()
+				res.RankCrashes++
+				rankLanes[i].Instant("rank.crash")
+			}
+		}
 		norm := render.SymmetricRange(field)
 		cm := render.OkuboWeissMap()
 		drv.Begin("viz.render")
 		for i, mask := range masks {
-			rankLanes[i].Begin("render.rank")
+			owner := i
+			if !alive[i] {
+				owner = standIn(i)
+				mFailover.Inc()
+				res.Failovers++
+			}
+			rankLanes[owner].Begin("render.rank")
 			err := rast.RenderOwnedInto(partials[i], field, cm, norm, mask)
-			rankLanes[i].End()
+			rankLanes[owner].End()
 			if err != nil {
 				return err
 			}
@@ -337,6 +440,12 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 				return err
 			}
 			for v, img := range views {
+				// Each view is owned round-robin by a render rank; a dead
+				// owner's view fails over to a survivor like its blocks do.
+				if !alive[v%len(masks)] {
+					mFailover.Inc()
+					res.Failovers++
+				}
 				// The camera direction rides on the database axes: phi is
 				// the rig longitude, theta the latitude, so the query server
 				// can resolve nearest-viewpoint requests.
@@ -428,8 +537,21 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 		return nil, fmt.Errorf("insituviz: unknown mode %v", cfg.Mode)
 	}
 
-	if _, err := db.WriteIndex(); err != nil {
-		return nil, err
+	// The index commit is the one write the whole run hinges on, so it
+	// retries through injected torn commits: a TornCommitError leaves a
+	// corrupt prefix the next atomic commit simply overwrites.
+	mCommitRetries := reg.Counter("cinema.commit.retries")
+	const commitAttempts = 4
+	for attempt := 1; ; attempt++ {
+		_, err := db.WriteIndex()
+		if err == nil {
+			break
+		}
+		var torn *cinemastore.TornCommitError
+		if !errors.As(err, &torn) || attempt >= commitAttempts {
+			return nil, err
+		}
+		mCommitRetries.Inc()
 	}
 	tracks := tracker.Finish()
 	res.Tracks = len(tracks)

@@ -1,0 +1,260 @@
+package insituviz
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"insituviz/internal/cinemastore"
+	"insituviz/internal/faults"
+	"insituviz/internal/telemetry"
+	"insituviz/internal/trace"
+	"insituviz/internal/units"
+)
+
+// chaosLiveRun runs a small in-situ configuration under the given fault
+// plan and returns the result, the run's registry, and the injector (for
+// its fault log).
+func chaosLiveRun(t *testing.T, plan faults.Plan, mutate func(*LiveConfig)) (*LiveResult, *telemetry.Registry, *faults.Injector) {
+	t.Helper()
+	in, err := faults.New(plan)
+	if err != nil {
+		t.Fatalf("faults.New: %v", err)
+	}
+	reg := telemetry.NewRegistry()
+	cfg := LiveConfig{
+		Mode:             InSitu,
+		MeshSubdivisions: 2,
+		Steps:            32,
+		SampleEverySteps: 8,
+		OutputDir:        t.TempDir(),
+		ImageWidth:       64,
+		ImageHeight:      32,
+		RenderRanks:      4,
+		OrthoViews:       2,
+		Telemetry:        reg,
+		Faults:           in,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := LiveRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, reg, in
+}
+
+// chaosPlan mirrors the CLI's default chaos profile: one rank crash, one
+// blown visualization deadline, one torn index commit.
+func chaosPlan(seed uint64) faults.Plan {
+	return faults.Plan{Seed: seed, Rules: []faults.Rule{
+		{Site: "render.rank", Kind: faults.KindCrash, At: []uint64{4}, Count: 1},
+		{Site: "viz.sample", Kind: faults.KindStall, At: []uint64{3}, Stall: 1.0},
+		{Site: "cinema.commit", Kind: faults.KindTorn, At: []uint64{1}, Count: 1},
+	}}
+}
+
+// TestLiveRunChaosDeterministic is the reproducibility acceptance
+// criterion: two runs under the same seeded plan produce byte-identical
+// fault logs, identical degradation counts, and identical image output.
+func TestLiveRunChaosDeterministic(t *testing.T) {
+	type outcome struct {
+		res  *LiveResult
+		log  []byte
+		snap *telemetry.Snapshot
+	}
+	run := func() outcome {
+		res, reg, in := chaosLiveRun(t, chaosPlan(7), nil)
+		var buf bytes.Buffer
+		if err := in.WriteLog(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return outcome{res: res, log: buf.Bytes(), snap: reg.Snapshot()}
+	}
+	a, b := run(), run()
+
+	if len(a.log) == 0 {
+		t.Fatal("chaos run produced an empty fault log")
+	}
+	if !bytes.Equal(a.log, b.log) {
+		t.Errorf("fault logs differ:\n--- run A ---\n%s--- run B ---\n%s", a.log, b.log)
+	}
+	if a.res.DroppedSamples != b.res.DroppedSamples || a.res.DroppedFrames != b.res.DroppedFrames ||
+		a.res.RankCrashes != b.res.RankCrashes || a.res.Failovers != b.res.Failovers {
+		t.Errorf("degradation differs: A={%d %d %d %d} B={%d %d %d %d}",
+			a.res.DroppedSamples, a.res.DroppedFrames, a.res.RankCrashes, a.res.Failovers,
+			b.res.DroppedSamples, b.res.DroppedFrames, b.res.RankCrashes, b.res.Failovers)
+	}
+	if a.res.Images != b.res.Images || a.res.ImageBytes != b.res.ImageBytes {
+		t.Errorf("image output differs: %d/%d bytes vs %d/%d bytes",
+			a.res.Images, a.res.ImageBytes, b.res.Images, b.res.ImageBytes)
+	}
+	for _, c := range []string{"render.rank.crashes", "render.failover",
+		"live.samples.dropped", "live.frames.dropped", "cinema.commit.retries"} {
+		if a.snap.Counters[c] != b.snap.Counters[c] {
+			t.Errorf("counter %s differs: %d vs %d", c, a.snap.Counters[c], b.snap.Counters[c])
+		}
+	}
+
+	// The plan fired everything it scheduled.
+	if a.res.RankCrashes != 1 || a.res.DroppedSamples != 1 {
+		t.Errorf("crashes=%d dropped=%d, want 1 and 1", a.res.RankCrashes, a.res.DroppedSamples)
+	}
+	if got := a.snap.Counters["cinema.commit.retries"]; got != 1 {
+		t.Errorf("cinema.commit.retries = %d, want 1 (torn commit retried once)", got)
+	}
+	// Despite the torn first commit, the retried index is complete.
+	st, err := cinemastore.Open(filepath.Join(a.res.OutputDir, "cinema"))
+	if err != nil {
+		t.Fatalf("database after torn-commit retry: %v", err)
+	}
+	if st.Len() != a.res.Images {
+		t.Errorf("index has %d entries, run wrote %d images", st.Len(), a.res.Images)
+	}
+}
+
+// TestLiveRunRankFailover is the failover acceptance criterion: killing
+// a render rank mid-run still yields a complete Cinema database, with
+// the dead rank's blocks accounted as render.failover work on survivors.
+func TestLiveRunRankFailover(t *testing.T) {
+	res, reg, _ := chaosLiveRun(t, faults.Plan{Seed: 3, Rules: []faults.Rule{
+		// The very first consult — rank 0, sample 1 — crashes.
+		{Site: "render.rank", Kind: faults.KindCrash, At: []uint64{1}, Count: 1},
+	}}, nil)
+
+	if res.RankCrashes != 1 {
+		t.Fatalf("RankCrashes = %d, want 1", res.RankCrashes)
+	}
+	if got := reg.Counter("render.rank.crashes").Value(); got != 1 {
+		t.Errorf("render.rank.crashes = %d, want 1", got)
+	}
+	// Rank 0 dead for all 4 samples: its block plus its round-robin ortho
+	// view fail over every sample.
+	if res.Failovers != 8 {
+		t.Errorf("Failovers = %d, want 8 (block + view, 4 samples)", res.Failovers)
+	}
+	if got := reg.Counter("render.failover").Value(); got != int64(res.Failovers) {
+		t.Errorf("render.failover counter = %d, result says %d", got, res.Failovers)
+	}
+
+	// Nothing was dropped: survivors covered the dead rank's work, so the
+	// database is complete — every sample's map and both views.
+	if res.DroppedFrames != 0 {
+		t.Errorf("DroppedFrames = %d, want 0", res.DroppedFrames)
+	}
+	wantImages := 4 * 3 // 4 samples x (map + 2 views)
+	if res.Images != wantImages {
+		t.Errorf("Images = %d, want %d", res.Images, wantImages)
+	}
+	st, err := cinemastore.Open(filepath.Join(res.OutputDir, "cinema"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != wantImages {
+		t.Errorf("database has %d frames, want %d", st.Len(), wantImages)
+	}
+	for _, e := range st.Entries() {
+		if _, err := st.ReadFrame(e); err != nil {
+			t.Errorf("frame %s unreadable: %v", e.File, err)
+		}
+	}
+}
+
+// TestLiveRunVizDeadlineDrops checks graceful degradation under a blown
+// visualization deadline: the sample's frames are dropped and accounted,
+// the solver is never stalled, the degraded phase lands on the timeline,
+// and the energy attribution still conserves.
+func TestLiveRunVizDeadlineDrops(t *testing.T) {
+	tr := trace.New(trace.Options{})
+	res, reg, _ := chaosLiveRun(t, faults.Plan{Seed: 11, Rules: []faults.Rule{
+		{Site: "viz.sample", Kind: faults.KindStall, At: []uint64{2}, Stall: 2.0},
+	}}, func(cfg *LiveConfig) {
+		cfg.Tracer = tr
+		cfg.VizDeadline = units.Seconds(0.25)
+	})
+
+	// One sample of four dropped: the map, both views — 3 frames.
+	if res.DroppedSamples != 1 || res.DroppedFrames != 3 {
+		t.Fatalf("dropped samples/frames = %d/%d, want 1/3", res.DroppedSamples, res.DroppedFrames)
+	}
+	if got := reg.Counter("live.samples.dropped").Value(); got != 1 {
+		t.Errorf("live.samples.dropped = %d, want 1", got)
+	}
+	if got := reg.Counter("live.frames.dropped").Value(); got != 3 {
+		t.Errorf("live.frames.dropped = %d, want 3", got)
+	}
+	if res.Images != 3*3 {
+		t.Errorf("Images = %d, want 9 (3 surviving samples x 3 frames)", res.Images)
+	}
+	// The run itself completed every solver step.
+	if res.Steps != 32 || res.Samples != 4 {
+		t.Errorf("steps/samples = %d/%d, want 32/4", res.Steps, res.Samples)
+	}
+	// Every sample point still has an eddy census entry (zero when
+	// dropped), so downstream consumers keep their sample alignment.
+	if len(res.EddiesPerSample) != 4 {
+		t.Errorf("EddiesPerSample has %d entries, want 4", len(res.EddiesPerSample))
+	}
+
+	// The degraded phase is on the driver lane, and only 3 full
+	// visualization spans remain.
+	drv := res.Timeline.Lane("driver")
+	if drv == nil {
+		t.Fatal("no driver lane")
+	}
+	counts := map[string]int{}
+	for _, s := range drv.Spans {
+		counts[s.Name]++
+	}
+	if counts["degraded"] != 1 {
+		t.Errorf("degraded spans = %d, want 1", counts["degraded"])
+	}
+	if counts["viz.sample"] != 3 {
+		t.Errorf("viz.sample spans = %d, want 3", counts["viz.sample"])
+	}
+
+	// Energy conservation holds with degradation in the timeline.
+	if res.PowerProfile == nil || res.PhaseEnergy == nil {
+		t.Fatal("no attribution on the degraded run")
+	}
+	var sum float64
+	for _, p := range res.PhaseEnergy.Phases {
+		sum += float64(p.Energy)
+	}
+	total := float64(res.PowerProfile.Energy())
+	if d := math.Abs(sum-total) / total; d > 1e-9 {
+		t.Errorf("phase energies sum to %g, profile energy %g (rel %g)", sum, total, d)
+	}
+}
+
+// TestLiveRunDisarmed: a nil injector leaves every chaos counter and
+// result field at zero and the run identical to a plain one.
+func TestLiveRunDisarmed(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	res, err := LiveRun(LiveConfig{
+		Mode:             InSitu,
+		MeshSubdivisions: 2,
+		Steps:            16,
+		SampleEverySteps: 8,
+		OutputDir:        t.TempDir(),
+		ImageWidth:       64,
+		ImageHeight:      32,
+		RenderRanks:      3,
+		Telemetry:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DroppedSamples+res.DroppedFrames+res.RankCrashes+res.Failovers != 0 {
+		t.Errorf("fault-free run reports degradation: %+v", res)
+	}
+	snap := reg.Snapshot()
+	for _, c := range []string{"render.rank.crashes", "render.failover",
+		"live.samples.dropped", "live.frames.dropped", "cinema.commit.retries"} {
+		if snap.Counters[c] != 0 {
+			t.Errorf("counter %s = %d on a fault-free run", c, snap.Counters[c])
+		}
+	}
+}

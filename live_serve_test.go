@@ -12,6 +12,7 @@ import (
 
 	"insituviz/internal/cinemaserve"
 	"insituviz/internal/cinemastore"
+	"insituviz/internal/leakcheck"
 	"insituviz/internal/telemetry"
 	"insituviz/internal/trace"
 )
@@ -23,6 +24,7 @@ import (
 // into one exposition next to the run's own metrics, the way liverun's
 // -http endpoint wires it.
 func TestLiveRunDatabaseServesEndToEnd(t *testing.T) {
+	defer leakcheck.Check(t)()
 	dir := t.TempDir()
 	liveReg := telemetry.NewRegistry()
 	res, err := LiveRun(LiveConfig{
