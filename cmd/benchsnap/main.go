@@ -18,6 +18,7 @@ import (
 	"log"
 	"os"
 	"os/exec"
+	"runtime"
 	"strings"
 
 	"insituviz/internal/perf"
@@ -35,6 +36,8 @@ func main() {
 	benchtime := flag.String("benchtime", "", "optional -benchtime passed to go test (e.g. 10x, 2s)")
 	failOver := flag.Float64("fail-over", 0,
 		"exit 1 when ns/op or allocs/op regresses by more than this fraction vs the previous snapshot (0 = report only)")
+	scalingFail := flag.Bool("scaling-fail", false,
+		"exit 1 (instead of only warning) when the solver scaling matrix shows workers4 not beating serial or workers8 slower than workers4")
 	flag.Parse()
 
 	prev, err := perf.LatestSnapshot(*dir)
@@ -93,4 +96,47 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if !checkScaling(snap) && *scalingFail {
+		os.Exit(1)
+	}
+}
+
+// checkScaling inspects the solver's worker scaling matrix
+// (BenchmarkStepParallel10242Cells/{serial,workers2,workers4,workers8}):
+// on a host with at least 4 cores, workers4 should beat serial by 1.3x and
+// workers8 should be no slower than workers4. Violations are advisory by
+// default — a single-core CI runner cannot scale and correctly shows
+// workers4 == serial — so they only warn unless -scaling-fail is set.
+// Returns false when a check (applicable on this host) failed.
+func checkScaling(snap *perf.Snapshot) bool {
+	const prefix = "BenchmarkStepParallel10242Cells/"
+	ns := map[string]float64{}
+	for _, r := range snap.Results {
+		if strings.HasPrefix(r.Name, prefix) {
+			ns[strings.TrimPrefix(r.Name, prefix)] = r.NsPerOp
+		}
+	}
+	serial, w4, w8 := ns["serial"], ns["workers4"], ns["workers8"]
+	if serial == 0 || w4 == 0 {
+		return true // matrix not in this run's benchmark set
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		// Below 4 cores every matrix entry resolves to (nearly) the same
+		// execution, so the differences are scheduler noise, not scaling.
+		log.Printf("scaling checks skipped: GOMAXPROCS=%d < 4", runtime.GOMAXPROCS(0))
+		return true
+	}
+	ok := true
+	if w4 > serial/1.3 {
+		log.Printf("SCALING: workers4 = %.0f ns/op, want <= serial/1.3 = %.0f ns/op (serial %.0f)",
+			w4, serial/1.3, serial)
+		ok = false
+	}
+	// No oversubscription penalty: configuring more workers than help must
+	// not make the pooled run meaningfully slower.
+	if w8 != 0 && w8 > w4*1.10 {
+		log.Printf("SCALING: workers8 = %.0f ns/op is >10%% slower than workers4 = %.0f ns/op", w8, w4)
+		ok = false
+	}
+	return ok
 }

@@ -23,6 +23,7 @@ import (
 	"insituviz/internal/report"
 	"insituviz/internal/telemetry"
 	"insituviz/internal/trace"
+	"insituviz/internal/workpool"
 )
 
 func main() {
@@ -42,7 +43,12 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	chaos := flag.String("chaos", "", fmt.Sprintf("arm deterministic storage fault injection: seed=N[,profile] (profiles: %s)",
 		strings.Join(faults.ProfileNames(), ", ")))
+	poolWorkers := flag.Int("pool-workers", 0, "cap the shared worker pool's width below GOMAXPROCS (0 = no cap)")
 	flag.Parse()
+
+	if *poolWorkers > 0 && !workpool.SetLimit(*poolWorkers) {
+		log.Fatal("-pool-workers: the shared worker pool already started")
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -29,6 +29,7 @@ import (
 	"insituviz/internal/telemetry"
 	"insituviz/internal/trace"
 	"insituviz/internal/units"
+	"insituviz/internal/workpool"
 )
 
 func main() {
@@ -44,6 +45,8 @@ func main() {
 	ranks := flag.Int("render-ranks", 8, "parallel render ranks (RCB partition)")
 	orthoViews := flag.Int("ortho-views", 0, "extra orthographic globe views per sample (0-6)")
 	workers := flag.Int("workers", 0, "solver worker count (0 = GOMAXPROCS, negative = serial)")
+	renderWorkers := flag.Int("render-workers", 0, "render fan-out budget in concurrent tiles per rasterizer (0 = GOMAXPROCS)")
+	poolWorkers := flag.Int("pool-workers", 0, "cap the shared worker pool's width below GOMAXPROCS (0 = no cap)")
 	out := flag.String("out", "", "output directory (default: temp dir)")
 	telemetryOut := flag.String("telemetry", "", "write the run's telemetry snapshot as JSON to this file (\"-\" for stdout, as text)")
 	traceOut := flag.String("trace", "", "write the run's timeline as Chrome trace-event JSON to this file (open in Perfetto)")
@@ -72,6 +75,10 @@ func main() {
 				log.Fatal(err)
 			}
 		}()
+	}
+
+	if *poolWorkers > 0 && !workpool.SetLimit(*poolWorkers) {
+		log.Fatal("-pool-workers: the shared worker pool already started")
 	}
 
 	var kind insituviz.Kind
@@ -148,6 +155,7 @@ func main() {
 		RenderRanks:      *ranks,
 		OrthoViews:       *orthoViews,
 		Workers:          *workers,
+		RenderWorkers:    *renderWorkers,
 		Telemetry:        reg,
 		Tracer:           tracer,
 		Faults:           injector,

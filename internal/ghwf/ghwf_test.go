@@ -287,10 +287,15 @@ func TestCIWorkflowIsValid(t *testing.T) {
 	// it, cinemaload drives a Zipf burst (exiting nonzero on any failure
 	// that isn't a deliberate 503 shed), and the scraped /metrics must
 	// show nonzero cache hits, latency quantiles, and zero serve errors.
-	var servesDB, runsLoad, checksMetrics, serveUpload bool
+	var servesDB, runsLoad, checksMetrics, checksPool, serveUpload bool
 	for _, st := range wf.Jobs["serve-smoke"].Steps {
 		if strings.Contains(st.Run, "cmd/liverun") && strings.Contains(st.Run, "-ortho-views") {
 			servesDB = true
+		}
+		if strings.Contains(st.Run, `workpool\.parks [1-9]`) &&
+			strings.Contains(st.Run, `workpool\.wakeups [1-9]`) &&
+			strings.Contains(st.Run, `workpool\.steals [1-9]`) {
+			checksPool = true
 		}
 		if strings.Contains(st.Run, "cmd/cinemaload") && strings.Contains(st.Run, "cmd/cinemaserve") {
 			runsLoad = true
@@ -307,9 +312,9 @@ func TestCIWorkflowIsValid(t *testing.T) {
 			}
 		}
 	}
-	if !servesDB || !runsLoad || !checksMetrics || !serveUpload {
-		t.Errorf("serve-smoke coverage: db=%v load=%v metrics=%v upload=%v",
-			servesDB, runsLoad, checksMetrics, serveUpload)
+	if !servesDB || !runsLoad || !checksMetrics || !checksPool || !serveUpload {
+		t.Errorf("serve-smoke coverage: db=%v load=%v metrics=%v pool=%v upload=%v",
+			servesDB, runsLoad, checksMetrics, checksPool, serveUpload)
 	}
 
 	// The chaos-smoke job holds the resilience contracts end to end: two
@@ -318,7 +323,7 @@ func TestCIWorkflowIsValid(t *testing.T) {
 	// retry is accounted in the exposition, energy conservation survives
 	// the degraded timeline, and serving the recovered database leaves
 	// the circuit breaker closed.
-	var chaosRuns, chaosStable, chaosCounts, chaosEnergy, chaosServe, chaosUpload bool
+	var chaosRuns, chaosStable, chaosCounts, chaosPool, chaosEnergy, chaosServe, chaosUpload bool
 	for _, st := range wf.Jobs["chaos-smoke"].Steps {
 		if strings.Contains(st.Run, "cmd/liverun") && strings.Contains(st.Run, "-chaos seed=") &&
 			strings.Contains(st.Run, "-faultlog") {
@@ -332,6 +337,11 @@ func TestCIWorkflowIsValid(t *testing.T) {
 			strings.Contains(st.Run, `render\.failover [1-9]`) &&
 			strings.Contains(st.Run, `cinema\.commit\.retries [1-9]`) {
 			chaosCounts = true
+		}
+		if strings.Contains(st.Run, `workpool\.parks [1-9]`) &&
+			strings.Contains(st.Run, `workpool\.wakeups [1-9]`) &&
+			strings.Contains(st.Run, `workpool\.steals [1-9]`) {
+			chaosPool = true
 		}
 		if strings.Contains(st.Run, "cmd/tracecheck") {
 			chaosEnergy = true
@@ -347,9 +357,9 @@ func TestCIWorkflowIsValid(t *testing.T) {
 			}
 		}
 	}
-	if !chaosRuns || !chaosStable || !chaosCounts || !chaosEnergy || !chaosServe || !chaosUpload {
-		t.Errorf("chaos-smoke coverage: runs=%v stable=%v counts=%v energy=%v serve=%v upload=%v",
-			chaosRuns, chaosStable, chaosCounts, chaosEnergy, chaosServe, chaosUpload)
+	if !chaosRuns || !chaosStable || !chaosCounts || !chaosPool || !chaosEnergy || !chaosServe || !chaosUpload {
+		t.Errorf("chaos-smoke coverage: runs=%v stable=%v counts=%v pool=%v energy=%v serve=%v upload=%v",
+			chaosRuns, chaosStable, chaosCounts, chaosPool, chaosEnergy, chaosServe, chaosUpload)
 	}
 
 	// The lint job covers gofmt and go vet.

@@ -360,3 +360,75 @@ func TestTransposeInvolutionProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRefactorSolveIntoReuse(t *testing.T) {
+	// One LU and one solution buffer reused across several systems must
+	// reproduce the one-shot Factor/Solve results exactly.
+	var f LU
+	x := make([]float64, 3)
+	systems := [][][]float64{
+		{{2, 1, 0}, {1, 3, 1}, {0, 1, 4}},
+		{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}},
+		{{4, -2, 1}, {3, 6, -4}, {2, 1, 8}},
+	}
+	b := []float64{1, -2, 3}
+	for si, rows := range systems {
+		a, err := FromRows(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Refactor(a); err != nil {
+			t.Fatalf("system %d: %v", si, err)
+		}
+		if err := f.SolveInto(x, b); err != nil {
+			t.Fatalf("system %d: %v", si, err)
+		}
+		want, err := Solve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if x[i] != want[i] {
+				t.Fatalf("system %d: x[%d] = %v, want %v", si, i, x[i], want[i])
+			}
+		}
+	}
+	// Shape errors: non-square refactor, wrong-length buffers.
+	rect, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if err := f.Refactor(rect); err == nil {
+		t.Error("non-square Refactor accepted")
+	}
+	sq, _ := FromRows([][]float64{{2, 1, 0}, {1, 3, 1}, {0, 1, 4}})
+	if err := f.Refactor(sq); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SolveInto(x[:2], b); err == nil {
+		t.Error("short solution buffer accepted")
+	}
+	if err := f.SolveInto(x, b[:2]); err == nil {
+		t.Error("short rhs accepted")
+	}
+	// A singular refactor must error, and the LU must recover on the next
+	// valid Refactor.
+	if err := f.Refactor(NewMatrix(3, 3)); err == nil {
+		t.Error("zero matrix accepted")
+	}
+	if err := f.Refactor(sq); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SolveInto(x, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixZero(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	m.Zero()
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("element (%d,%d) = %v after Zero", i, j, m.At(i, j))
+			}
+		}
+	}
+}

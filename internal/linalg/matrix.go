@@ -86,6 +86,14 @@ func (m *Matrix) check(i, j int) {
 	}
 }
 
+// Zero resets every element to zero, letting accumulation loops reuse one
+// matrix where they would otherwise allocate a fresh one per iteration.
+func (m *Matrix) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
 // Clone returns a deep copy of m.
 func (m *Matrix) Clone() *Matrix {
 	out := NewMatrix(m.rows, m.cols)

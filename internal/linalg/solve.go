@@ -15,13 +15,30 @@ type LU struct {
 // Factor computes the LU factorization of the square matrix a with partial
 // pivoting. It returns ErrSingular if a pivot is exactly zero or smaller
 // than a conservative numerical threshold relative to the matrix scale.
+// Loops that factor many same-sized systems should reuse one LU through
+// Refactor instead.
 func Factor(a *Matrix) (*LU, error) {
+	var f LU
+	if err := f.Refactor(a); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// Refactor computes the LU factorization of a into f, reusing f's storage
+// when the dimensions match: the allocation-free form of Factor. The zero
+// LU is ready for use; after an error f holds no valid factorization.
+func (f *LU) Refactor(a *Matrix) error {
 	if a.rows != a.cols {
-		return nil, fmt.Errorf("%w: Factor requires a square matrix, got %dx%d", ErrShape, a.rows, a.cols)
+		return fmt.Errorf("%w: Factor requires a square matrix, got %dx%d", ErrShape, a.rows, a.cols)
 	}
 	n := a.rows
-	lu := a.Clone()
-	piv := make([]int, n)
+	if f.lu == nil || f.lu.rows != n || f.lu.cols != n {
+		f.lu = NewMatrix(n, n)
+		f.piv = make([]int, n)
+	}
+	lu, piv := f.lu, f.piv
+	copy(lu.data, a.data)
 	for i := range piv {
 		piv[i] = i
 	}
@@ -29,7 +46,7 @@ func Factor(a *Matrix) (*LU, error) {
 	scale := lu.MaxAbs()
 	tol := scale * 1e-14 * float64(n)
 	if scale == 0 {
-		return nil, fmt.Errorf("%w: zero matrix", ErrSingular)
+		return fmt.Errorf("%w: zero matrix", ErrSingular)
 	}
 	for k := 0; k < n; k++ {
 		// Find the pivot row.
@@ -41,7 +58,7 @@ func Factor(a *Matrix) (*LU, error) {
 			}
 		}
 		if mx <= tol {
-			return nil, fmt.Errorf("%w: pivot %d is %g (tolerance %g)", ErrSingular, k, mx, tol)
+			return fmt.Errorf("%w: pivot %d is %g (tolerance %g)", ErrSingular, k, mx, tol)
 		}
 		if p != k {
 			swapRows(lu, p, k)
@@ -50,17 +67,18 @@ func Factor(a *Matrix) (*LU, error) {
 		}
 		pivot := lu.At(k, k)
 		for i := k + 1; i < n; i++ {
-			f := lu.At(i, k) / pivot
-			lu.Set(i, k, f)
-			if f == 0 {
+			mult := lu.At(i, k) / pivot
+			lu.Set(i, k, mult)
+			if mult == 0 {
 				continue
 			}
 			for j := k + 1; j < n; j++ {
-				lu.Set(i, j, lu.At(i, j)-f*lu.At(k, j))
+				lu.Set(i, j, lu.At(i, j)-mult*lu.At(k, j))
 			}
 		}
 	}
-	return &LU{lu: lu, piv: piv, sign: sign}, nil
+	f.sign = sign
+	return nil
 }
 
 func swapRows(m *Matrix, a, b int) {
@@ -80,14 +98,27 @@ func (f *LU) Det() float64 {
 	return d
 }
 
-// Solve solves A*x = b for x using the factorization.
+// Solve solves A*x = b for x using the factorization. The result is
+// freshly allocated; hot loops should reuse a buffer through SolveInto.
 func (f *LU) Solve(b []float64) ([]float64, error) {
+	x := make([]float64, f.lu.rows)
+	if err := f.SolveInto(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto solves A*x = b into x, which must have length n and not alias
+// b: the allocation-free form of Solve.
+func (f *LU) SolveInto(x, b []float64) error {
 	n := f.lu.rows
 	if len(b) != n {
-		return nil, fmt.Errorf("%w: rhs length %d, want %d", ErrShape, len(b), n)
+		return fmt.Errorf("%w: rhs length %d, want %d", ErrShape, len(b), n)
+	}
+	if len(x) != n {
+		return fmt.Errorf("%w: solution length %d, want %d", ErrShape, len(x), n)
 	}
 	// Apply the permutation.
-	x := make([]float64, n)
 	for i, p := range f.piv {
 		x[i] = b[p]
 	}
@@ -104,7 +135,7 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 		}
 		x[i] /= f.lu.At(i, i)
 	}
-	return x, nil
+	return nil
 }
 
 // Solve solves the square system A*x = b in one call.

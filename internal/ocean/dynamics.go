@@ -63,8 +63,10 @@ func (md *Model) ComputeDiagnosticsInto(s *State, d *Diagnostics) error {
 func (md *Model) computeDiagnosticsInto(s *State, d *Diagnostics) {
 	md.instr.diagEvals.Inc()
 	md.sc.loopS, md.sc.loopD = s, d
-	md.parallelFor(md.Mesh.NCells(), md.sc.diagCells)
-	md.parallelFor(md.Mesh.NVertices(), md.sc.diagVerts)
+	// The cell and vertex loops are independent (both read only s), so
+	// they fuse into one fan-out sharing a single barrier.
+	md.parallelPair(md.Mesh.NCells(), md.grainDiagCells, md.sc.diagCells,
+		md.Mesh.NVertices(), md.grainDiagVerts, md.sc.diagVerts)
 }
 
 // Tendency evaluates the right-hand side of the shallow-water equations at
@@ -87,8 +89,11 @@ func (md *Model) Tendency(s *State, out *State) error {
 	md.computeDiagnosticsInto(s, d)
 
 	md.sc.loopS, md.sc.loopOut, md.sc.loopD = s, out, d
-	md.parallelFor(m.NCells(), md.sc.continuity)
-	md.parallelFor(m.NEdges(), md.sc.momentum)
+	// Continuity writes out.Thickness, momentum writes out.NormalVelocity;
+	// both read only s and the already-complete diagnostics, so the pair
+	// fuses under one barrier.
+	md.parallelPair(m.NCells(), md.grainContinuity, md.sc.continuity,
+		m.NEdges(), md.grainMomentum, md.sc.momentum)
 	return nil
 }
 

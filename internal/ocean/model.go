@@ -104,6 +104,13 @@ type Model struct {
 	// lazily for the Okubo-Weiss loops (see ensureOkubo).
 	cellEast, cellNorth []mesh.Vec3
 
+	// Per-loop grain sizes (minimum indices per chunk), derived once at
+	// NewModel from the pool's measured fan-out overhead and each loop
+	// body's approximate per-index cost (see parallel.go).
+	grainDiagCells, grainDiagVerts  int
+	grainContinuity, grainMomentum  int
+	grainOWProject, grainOWGradient int
+
 	// sc holds the preallocated stage/diagnostics scratch and the bound
 	// loop bodies of the allocation-free hot path (see scratch.go).
 	sc stepScratch
@@ -157,7 +164,26 @@ func NewModel(m *mesh.Mesh, cfg Config) (*Model, error) {
 		return nil, err
 	}
 	md.initLoopBindings()
+	md.initGrains()
 	return md, nil
+}
+
+// initGrains derives the per-loop grain sizes. A serial model never fans
+// out, so it skips the pool calibration (grainFor lazily starts the pool
+// and measures its overhead on first use).
+func (md *Model) initGrains() {
+	if md.workers <= 1 {
+		md.grainDiagCells, md.grainDiagVerts = grainMax, grainMax
+		md.grainContinuity, md.grainMomentum = grainMax, grainMax
+		md.grainOWProject, md.grainOWGradient = grainMax, grainMax
+		return
+	}
+	md.grainDiagCells = grainFor(costDiagCells)
+	md.grainDiagVerts = grainFor(costDiagVerts)
+	md.grainContinuity = grainFor(costContinuity)
+	md.grainMomentum = grainFor(costMomentum)
+	md.grainOWProject = grainFor(costOWProject)
+	md.grainOWGradient = grainFor(costOWGradient)
 }
 
 // buildReconstruction precomputes, for every cell, the least-squares
@@ -172,17 +198,30 @@ func NewModel(m *mesh.Mesh, cfg Config) (*Model, error) {
 func (md *Model) buildReconstruction() error {
 	m := md.Mesh
 	md.recon = make([][]mesh.Vec3, m.NCells())
+	// One flat array backs every cell's coefficient slice, and the normal
+	// equations reuse one matrix, factorization, and solve buffer across
+	// cells: model construction dominates a short coupled run's allocation
+	// profile, so the builder is as reuse-conscious as the hot path.
+	total := 0
+	for ci := range m.Cells {
+		total += len(m.Cells[ci].Edges)
+	}
+	flat := make([]mesh.Vec3, total)
+	ata := linalg.NewMatrix(3, 3)
+	var f linalg.LU
+	var rows []mesh.Vec3
+	var b, x [3]float64
 	for ci := range m.Cells {
 		c := &m.Cells[ci]
 		ne := len(c.Edges)
 		// Normal equations: (A^T A) X = A^T, where A is (ne+1) x 3 with
 		// edge normals and the radial constraint row.
-		ata := linalg.NewMatrix(3, 3)
-		rows := make([]mesh.Vec3, ne+1)
-		for k, ei := range c.Edges {
-			rows[k] = m.Edges[ei].Normal
+		ata.Zero()
+		rows = rows[:0]
+		for _, ei := range c.Edges {
+			rows = append(rows, m.Edges[ei].Normal)
 		}
-		rows[ne] = c.Center
+		rows = append(rows, c.Center)
 		for _, r := range rows {
 			for a := 0; a < 3; a++ {
 				for b := 0; b < 3; b++ {
@@ -190,16 +229,16 @@ func (md *Model) buildReconstruction() error {
 				}
 			}
 		}
-		f, err := linalg.Factor(ata)
-		if err != nil {
+		if err := f.Refactor(ata); err != nil {
 			return fmt.Errorf("ocean: reconstruction at cell %d: %w", ci, err)
 		}
-		coeffs := make([]mesh.Vec3, ne)
+		coeffs := flat[:ne:ne]
+		flat = flat[ne:]
 		for k := 0; k < ne; k++ {
 			// Column of the pseudo-inverse for edge k: solve (A^T A) x = n_k.
 			n := rows[k]
-			x, err := f.Solve([]float64{n[0], n[1], n[2]})
-			if err != nil {
+			b = [3]float64{n[0], n[1], n[2]}
+			if err := f.SolveInto(x[:], b[:]); err != nil {
 				return fmt.Errorf("ocean: reconstruction at cell %d: %w", ci, err)
 			}
 			coeffs[k] = mesh.Vec3{x[0], x[1], x[2]}
@@ -214,19 +253,26 @@ func (md *Model) buildReconstruction() error {
 func (md *Model) buildGradients() error {
 	m := md.Mesh
 	md.gradWeights = make([][][2]float64, m.NCells())
+	// As in buildReconstruction: one flat array backs every cell's weight
+	// slice, and the displacement scratch is reused across cells.
+	total := 0
+	for ci := range m.Cells {
+		total += len(m.Cells[ci].Neighbors)
+	}
+	flat := make([][2]float64, total)
+	var dx [][2]float64
 	for ci := range m.Cells {
 		c := &m.Cells[ci]
 		east, north := mesh.TangentBasis(c.Center)
-		nn := len(c.Neighbors)
 		// Design matrix rows: displacement of each neighbor center in the
 		// local (east, north) frame, scaled to physical meters.
-		dx := make([][2]float64, nn)
+		dx = dx[:0]
 		var sxx, sxy, syy float64
-		for k, nb := range c.Neighbors {
+		for _, nb := range c.Neighbors {
 			d := mesh.ProjectToTangent(c.Center, m.Cells[nb].Center.Sub(c.Center))
 			x := d.Dot(east) * m.Radius
 			y := d.Dot(north) * m.Radius
-			dx[k] = [2]float64{x, y}
+			dx = append(dx, [2]float64{x, y})
 			sxx += x * x
 			sxy += x * y
 			syy += y * y
@@ -235,7 +281,8 @@ func (md *Model) buildGradients() error {
 		if det == 0 {
 			return fmt.Errorf("ocean: degenerate gradient stencil at cell %d", ci)
 		}
-		w := make([][2]float64, nn)
+		w := flat[:len(dx):len(dx)]
+		flat = flat[len(dx):]
 		for k := range dx {
 			x, y := dx[k][0], dx[k][1]
 			// (X^T X)^{-1} X^T row by row.

@@ -60,8 +60,8 @@ func (md *Model) okuboWeissFromDiagnostics(d *Diagnostics, out []float64) {
 	// velocities, evaluated once per cell in each cell's own basis.
 	// Phase 2 reads neighbor projections, so the phases cannot fuse.
 	md.sc.loopD, md.sc.loopOW = d, out
-	md.parallelFor(m.NCells(), md.sc.owProject)
-	md.parallelFor(m.NCells(), md.sc.owGradient)
+	md.parallelFor(m.NCells(), md.grainOWProject, md.sc.owProject)
+	md.parallelFor(m.NCells(), md.grainOWGradient, md.sc.owGradient)
 }
 
 // OkuboWeissThreshold returns the conventional eddy-detection threshold

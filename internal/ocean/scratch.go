@@ -1,6 +1,9 @@
 package ocean
 
-import "insituviz/internal/mesh"
+import (
+	"insituviz/internal/mesh"
+	"insituviz/internal/workpool"
+)
 
 // uvComp is a reconstructed cell velocity expressed in the cell's own local
 // (east, north) tangent basis.
@@ -24,6 +27,10 @@ type stepScratch struct {
 	diag   *Diagnostics
 	owComp []uvComp
 	ow     []float64 // OkuboWeiss's owned output buffer
+
+	// pair holds the fused fan-out headers of parallelPair, so building a
+	// two-loop fan-out writes two structs instead of allocating a slice.
+	pair [2]workpool.Loop
 
 	// Loop operands for the bound closures.
 	loopS   *State

@@ -5,7 +5,6 @@ import (
 	"image"
 	"image/color"
 	"math"
-	"runtime"
 
 	"insituviz/internal/mesh"
 	"insituviz/internal/workpool"
@@ -44,6 +43,8 @@ type OrthoRasterizer struct {
 	Height int
 	View   Camera
 
+	workers int // fan-out budget; 0 = GOMAXPROCS
+
 	pixelCell []int // cell per pixel; -1 = background (off-globe)
 
 	colors  []color.RGBA // per-cell color LUT, reused across frames
@@ -73,7 +74,7 @@ func NewOrthoRasterizer(m *mesh.Mesh, width, height int, view Camera) (*OrthoRas
 	east, north := mesh.TangentBasis(dir)
 	half := float64(minInt(width, height)) / 2
 
-	workpool.Run(height, runtime.GOMAXPROCS(0), func(y0, y1 int) {
+	workpool.Run(height, tileChunks(height, 0), func(y0, y1 int) {
 		last := 0
 		for y := y0; y < y1; y++ {
 			py := (float64(height)/2 - (float64(y) + 0.5)) / half
@@ -111,6 +112,15 @@ func NewOrthoRasterizer(m *mesh.Mesh, width, height int, view Camera) (*OrthoRas
 		}
 	}
 	return r, nil
+}
+
+// SetWorkers caps the render fan-out at n concurrent tiles (0 restores the
+// GOMAXPROCS default); see Rasterizer.SetWorkers.
+func (r *OrthoRasterizer) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	r.workers = n
 }
 
 func minInt(a, b int) int {
@@ -163,7 +173,7 @@ func (r *OrthoRasterizer) RenderInto(img *image.RGBA, field []float64, cm *Color
 		r.colors[ci] = cm.At(n.Normalize(v))
 	}
 	r.envImg = img
-	workpool.Run(r.Height, runtime.GOMAXPROCS(0), r.rowLoop)
+	workpool.Run(r.Height, tileChunks(r.Height, r.workers), r.rowLoop)
 	return nil
 }
 
@@ -205,6 +215,14 @@ func NewImageSetRenderer(m *mesh.Mesh, width, height int, cameras []Camera) (*Im
 
 // Views returns the number of cameras.
 func (sr *ImageSetRenderer) Views() int { return len(sr.rasters) }
+
+// SetWorkers caps every camera's render fan-out at n concurrent tiles (0
+// restores the GOMAXPROCS default).
+func (sr *ImageSetRenderer) SetWorkers(n int) {
+	for _, r := range sr.rasters {
+		r.SetWorkers(n)
+	}
+}
 
 // Render draws the field from every camera into freshly allocated images.
 func (sr *ImageSetRenderer) Render(field []float64, cm *Colormap, n Normalizer) ([]*image.RGBA, error) {

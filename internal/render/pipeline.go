@@ -1,0 +1,174 @@
+package render
+
+import (
+	"fmt"
+	"image"
+	"sync"
+
+	"insituviz/internal/units"
+)
+
+// pipeJob is one unit of encoder work: a staged frame plus its axis tuple,
+// or a flush barrier when ack is non-nil.
+type pipeJob struct {
+	frame *image.RGBA
+	time  float64
+	phi   float64
+	theta float64
+	field string
+	ack   chan pipeTotals
+}
+
+// pipeTotals is the accounting the encoder hands back at a flush barrier:
+// what it wrote since the previous barrier, and the first error it hit.
+type pipeTotals struct {
+	frames int
+	bytes  units.Bytes
+	err    error
+}
+
+// PipelinedCinemaWriter overlaps PNG encoding and store writes with the
+// caller's next render. Submit copies the frame into an owned staging
+// buffer and returns as soon as the copy lands in the bounded queue; a
+// single encoder goroutine drains the queue in submission order through
+// CinemaDB.AddImageAt, so the store sees exactly the sequential write
+// pattern it would from a serial caller. Flush is the accounting barrier:
+// it waits for the queue to drain and returns the frames and bytes written
+// since the previous barrier, plus the first write error (later frames
+// after an error are dropped, not written).
+//
+// One goroutine may Submit at a time, and the underlying CinemaDB must not
+// be used directly between a Submit and the next Flush — the encoder
+// goroutine owns it in that window. Close releases the goroutine and is
+// safe to call more than once and after errors; a final implicit barrier
+// surfaces any error not yet collected by Flush.
+type PipelinedCinemaWriter struct {
+	db   *CinemaDB
+	jobs chan pipeJob
+	free chan *image.RGBA
+	done chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewPipelinedCinemaWriter wraps db with an asynchronous encode stage whose
+// queue holds up to depth staged frames (a non-positive depth selects a
+// small default). Memory cost is roughly depth+1 frames of staging.
+func NewPipelinedCinemaWriter(db *CinemaDB, depth int) *PipelinedCinemaWriter {
+	if depth < 1 {
+		depth = 2
+	}
+	w := &PipelinedCinemaWriter{
+		db:   db,
+		jobs: make(chan pipeJob, depth),
+		free: make(chan *image.RGBA, depth+1),
+		done: make(chan struct{}),
+	}
+	go w.run()
+	return w
+}
+
+func (w *PipelinedCinemaWriter) run() {
+	defer close(w.done)
+	var t pipeTotals
+	for j := range w.jobs {
+		if j.ack != nil {
+			j.ack <- t
+			// Counters restart at the barrier; the error stays sticky so a
+			// Close after a failed Flush reports it again rather than
+			// pretending the tail of the run was clean.
+			t.frames, t.bytes = 0, 0
+			continue
+		}
+		if t.err != nil {
+			// The pipeline is poisoned: recycle and drop so Flush surfaces
+			// the first error instead of a cascade of follow-on failures.
+			w.recycle(j.frame)
+			continue
+		}
+		n, err := w.db.AddImageAt(j.frame, j.time, j.phi, j.theta, j.field)
+		w.recycle(j.frame)
+		if err != nil {
+			t.err = err
+			continue
+		}
+		t.frames++
+		t.bytes += n
+	}
+}
+
+// recycle returns a staging frame to the free list, dropping it when the
+// list is full (the next Submit just allocates).
+func (w *PipelinedCinemaWriter) recycle(f *image.RGBA) {
+	select {
+	case w.free <- f:
+	default:
+	}
+}
+
+// stageFrame copies src into dst, reallocating when the geometry differs.
+// Frames from NewFrame share the exact layout of their staging copies, so
+// the steady state is one bulk copy with no allocation.
+func stageFrame(dst, src *image.RGBA) *image.RGBA {
+	if dst == nil || dst.Rect != src.Rect || dst.Stride != src.Stride || len(dst.Pix) != len(src.Pix) {
+		dst = image.NewRGBA(src.Rect)
+	}
+	if dst.Stride == src.Stride && len(dst.Pix) == len(src.Pix) {
+		copy(dst.Pix, src.Pix)
+		return dst
+	}
+	// Stride mismatch (src is a sub-image): copy the visible rows.
+	n := 4 * src.Rect.Dx()
+	for y := 0; y < src.Rect.Dy(); y++ {
+		copy(dst.Pix[y*dst.Stride:y*dst.Stride+n], src.Pix[y*src.Stride:y*src.Stride+n])
+	}
+	return dst
+}
+
+// Submit stages img for encoding under the full Cinema axis tuple and
+// returns once the copy is queued — the caller may immediately rerender
+// into img. Blocks only when the queue is full (encoder behind by depth
+// frames). Write errors surface at the next Flush, in submission order.
+func (w *PipelinedCinemaWriter) Submit(img *image.RGBA, simTime, phi, theta float64, field string) error {
+	if img == nil {
+		return fmt.Errorf("render: nil image")
+	}
+	if field == "" {
+		return fmt.Errorf("render: empty field name")
+	}
+	var st *image.RGBA
+	select {
+	case st = <-w.free:
+	default:
+	}
+	st = stageFrame(st, img)
+	w.jobs <- pipeJob{frame: st, time: simTime, phi: phi, theta: theta, field: field}
+	return nil
+}
+
+// Flush waits for every submitted frame to be encoded and written, then
+// returns the frame count and byte total since the previous Flush and the
+// first error encountered. After an error the skipped frames are not
+// retried; the caller decides whether to abort or keep sampling.
+func (w *PipelinedCinemaWriter) Flush() (int, units.Bytes, error) {
+	ack := make(chan pipeTotals, 1)
+	w.jobs <- pipeJob{ack: ack}
+	t := <-ack
+	return t.frames, t.bytes, t.err
+}
+
+// Close drains the queue, stops the encoder goroutine, and returns any
+// error not yet collected by a Flush. Idempotent; later calls return the
+// first result.
+func (w *PipelinedCinemaWriter) Close() error {
+	w.closeOnce.Do(func() {
+		ack := make(chan pipeTotals, 1)
+		w.jobs <- pipeJob{ack: ack}
+		t := <-ack
+		close(w.jobs)
+		<-w.done
+		w.closeErr = t.err
+	})
+	return w.closeErr
+}

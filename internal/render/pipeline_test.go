@@ -1,0 +1,116 @@
+package render
+
+import (
+	"image"
+	"testing"
+
+	"insituviz/internal/leakcheck"
+)
+
+func fillFrame(img *image.RGBA, v byte) {
+	for i := range img.Pix {
+		img.Pix[i] = v
+	}
+}
+
+func TestPipelinedWriterRoundTrip(t *testing.T) {
+	defer leakcheck.Check(t)()
+	db, err := NewCinemaDB(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewPipelinedCinemaWriter(db, 2)
+	defer w.Close()
+
+	// The writer must copy: the source frame is clobbered right after every
+	// Submit, the way a reused render frame is.
+	frame := image.NewRGBA(image.Rect(0, 0, 32, 16))
+	serial := image.NewRGBA(image.Rect(0, 0, 32, 16))
+	sdb, err := NewCinemaDB(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	for i := 0; i < n; i++ {
+		fillFrame(frame, byte(10*i+1))
+		fillFrame(serial, byte(10*i+1))
+		if _, err := sdb.AddImageAt(serial, float64(i), 0.5, -0.25, "w"); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Submit(frame, float64(i), 0.5, -0.25, "w"); err != nil {
+			t.Fatal(err)
+		}
+		fillFrame(frame, 0xEE)
+	}
+	frames, bytes, err := w.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames != n {
+		t.Fatalf("Flush frames = %d, want %d", frames, n)
+	}
+	if bytes != db.TotalBytes() {
+		t.Fatalf("Flush bytes = %d, db total %d", bytes, db.TotalBytes())
+	}
+	// Byte-for-byte what a serial writer produces: same entry count and the
+	// same per-frame sizes in the same order.
+	got, want := db.Entries(), sdb.Entries()
+	if len(got) != len(want) {
+		t.Fatalf("entries = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Bytes != want[i].Bytes || got[i].Time != want[i].Time {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// A second Flush covers only what came after the first.
+	fillFrame(frame, 7)
+	if err := w.Submit(frame, float64(n), 0, 0, "w"); err != nil {
+		t.Fatal(err)
+	}
+	frames, _, err = w.Flush()
+	if err != nil || frames != 1 {
+		t.Fatalf("second Flush = (%d, %v), want (1, nil)", frames, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal("second Close should be a no-op, got", err)
+	}
+}
+
+func TestPipelinedWriterErrors(t *testing.T) {
+	defer leakcheck.Check(t)()
+	db, err := NewCinemaDB(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewPipelinedCinemaWriter(db, 1)
+	defer w.Close()
+	if err := w.Submit(nil, 0, 0, 0, "w"); err == nil {
+		t.Error("nil image accepted")
+	}
+	frame := image.NewRGBA(image.Rect(0, 0, 8, 8))
+	if err := w.Submit(frame, 0, 0, 0, ""); err == nil {
+		t.Error("empty field accepted")
+	}
+	// Duplicate axis tuples are a store error; it must surface at Flush and
+	// poison the frames after it.
+	for i := 0; i < 3; i++ {
+		if err := w.Submit(frame, 1, 0, 0, "w"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frames, _, err := w.Flush()
+	if err == nil {
+		t.Fatal("duplicate key error lost")
+	}
+	if frames != 1 {
+		t.Fatalf("frames before poison = %d, want 1", frames)
+	}
+	if cerr := w.Close(); cerr == nil {
+		t.Fatal("Close should report the uncollected sticky error")
+	}
+}

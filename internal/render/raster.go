@@ -25,6 +25,8 @@ type Rasterizer struct {
 	Width  int
 	Height int
 
+	workers int // fan-out budget; 0 = GOMAXPROCS
+
 	pixelCell []int // cell index per pixel, row-major
 
 	colors   []color.RGBA // per-cell color LUT, reused across frames
@@ -52,7 +54,7 @@ func NewRasterizer(m *mesh.Mesh, width, height int) (*Rasterizer, error) {
 	// Precompute the mapping in parallel row bands. Within a row the walk
 	// search starts from the previous pixel's cell, so lookups are O(1)
 	// amortized.
-	workpool.Run(height, runtime.GOMAXPROCS(0), func(y0, y1 int) {
+	workpool.Run(height, tileChunks(height, 0), func(y0, y1 int) {
 		last := 0
 		for y := y0; y < y1; y++ {
 			lat := math.Pi/2 - (float64(y)+0.5)/float64(height)*math.Pi
@@ -91,6 +93,35 @@ func NewRasterizer(m *mesh.Mesh, width, height int) (*Rasterizer, error) {
 		}
 	}
 	return r, nil
+}
+
+// SetWorkers caps the render fan-out at n concurrent tiles (0 restores the
+// GOMAXPROCS default). Renderers embedded in a larger pipeline should be
+// handed the pipeline's per-component budget rather than assuming the whole
+// machine: the solver, other render ranks, and the encoder share the same
+// pool.
+func (r *Rasterizer) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	r.workers = n
+}
+
+// tileChunks returns the fan-out width for rendering height rows under a
+// worker budget (0 = GOMAXPROCS): a few tiles per worker so work stealing
+// can balance rows of uneven cost, never more tiles than rows.
+func tileChunks(height, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	c := 4 * workers
+	if c > height {
+		c = height
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
 }
 
 // NewFrame allocates an RGBA frame sized for the rasterizer, for reuse with
@@ -166,6 +197,6 @@ func (r *Rasterizer) renderOwnedInto(img *image.RGBA, field []float64, cm *Color
 	}
 
 	r.envImg, r.envOwned = img, owned
-	workpool.Run(r.Height, runtime.GOMAXPROCS(0), r.rowLoop)
+	workpool.Run(r.Height, tileChunks(r.Height, r.workers), r.rowLoop)
 	return nil
 }

@@ -74,6 +74,12 @@ type LiveConfig struct {
 	// Config.Workers): 0 uses GOMAXPROCS, negative forces serial. Results
 	// are bit-identical at any worker count.
 	Workers int
+	// RenderWorkers caps each rasterizer's fan-out at this many concurrent
+	// tiles (0 uses GOMAXPROCS). The solver, render ranks, and encoder all
+	// share one worker pool, so a coupled run can budget the render share
+	// explicitly instead of letting every rasterizer assume the whole
+	// machine.
+	RenderWorkers int
 	// Scenario selects the initial condition: "jet" (default, the
 	// Galewsky barotropically unstable jet that rolls up into eddies) or
 	// "rossby" (the Williamson TC6 Rossby-Haurwitz wave).
@@ -270,6 +276,7 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	rast.SetWorkers(cfg.RenderWorkers)
 	// Rendering ranks own spatially compact RCB blocks, as MPAS ranks do;
 	// the partition also yields the per-step halo-exchange volume.
 	part, err := partition.New(msh, cfg.RenderRanks)
@@ -298,7 +305,15 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 		if setRenderer, err = render.NewImageSetRenderer(msh, cfg.ImageHeight, cfg.ImageHeight, rig); err != nil {
 			return nil, err
 		}
+		setRenderer.SetWorkers(cfg.RenderWorkers)
 	}
+
+	// The encode+store stage runs behind the renders: Submit stages a copy
+	// and the encoder goroutine drains in order, so each frame's PNG encode
+	// overlaps the next frame's rasterization. Every sample flushes before
+	// returning, which is when the frame/byte accounting lands.
+	pw := render.NewPipelinedCinemaWriter(db, 4)
+	defer pw.Close()
 
 	res := &LiveResult{OutputDir: cfg.OutputDir}
 	res.HaloBytesPerField = Bytes(part.Exchange().BytesPerField)
@@ -427,12 +442,9 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 		if !render.FullyOpaque(composited) {
 			return fmt.Errorf("insituviz: composited image has holes")
 		}
-		n, err := db.AddImage(composited, simTime, "okubo_weiss")
-		if err != nil {
+		if err := pw.Submit(composited, simTime, 0, 0, "okubo_weiss"); err != nil {
 			return err
 		}
-		res.Images++
-		res.ImageBytes += n
 
 		if setRenderer != nil {
 			views, err := setRenderer.RenderFrames(field, cm, norm)
@@ -449,13 +461,10 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 				// The camera direction rides on the database axes: phi is
 				// the rig longitude, theta the latitude, so the query server
 				// can resolve nearest-viewpoint requests.
-				n, err := db.AddImageAt(img, simTime, viewCams[v].Lon, viewCams[v].Lat,
-					fmt.Sprintf("okubo_weiss_view%d", v))
-				if err != nil {
+				if err := pw.Submit(img, simTime, viewCams[v].Lon, viewCams[v].Lat,
+					fmt.Sprintf("okubo_weiss_view%d", v)); err != nil {
 					return err
 				}
-				res.Images++
-				res.ImageBytes += n
 			}
 		}
 
@@ -511,13 +520,19 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 				return err
 			}
 			render.FillTransparent(coreFrame, render.Background)
-			n, err := db.AddImage(coreFrame, simTime, "okubo_weiss_cores")
-			if err != nil {
+			if err := pw.Submit(coreFrame, simTime, 0, 0, "okubo_weiss_cores"); err != nil {
 				return err
 			}
-			res.Images++
-			res.ImageBytes += n
 		}
+		// Per-sample accounting barrier: wait for the encoder to finish this
+		// sample's frames so Images/ImageBytes count only committed frames
+		// and a write failure aborts at the sample that caused it.
+		frames, bytes, err := pw.Flush()
+		if err != nil {
+			return err
+		}
+		res.Images += frames
+		res.ImageBytes += Bytes(bytes)
 		res.EddiesPerSample = append(res.EddiesPerSample, len(eddies))
 		return tracker.Advance(simTime, eddies)
 	}
@@ -535,6 +550,13 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 		res.RawBytes = raw
 	default:
 		return nil, fmt.Errorf("insituviz: unknown mode %v", cfg.Mode)
+	}
+
+	// Release the encode stage before committing the index: Close drains
+	// the queue and surfaces any write error a sampling path did not live
+	// to collect.
+	if err := pw.Close(); err != nil {
+		return nil, err
 	}
 
 	// The index commit is the one write the whole run hinges on, so it
@@ -569,6 +591,9 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 	reg.Counter("workpool.chunks.submitted").Add(wp.Submitted)
 	reg.Counter("workpool.chunks.inline").Add(wp.Inline)
 	reg.Counter("workpool.chunks.helped").Add(wp.Helped)
+	reg.Counter("workpool.steals").Add(wp.Steals)
+	reg.Counter("workpool.parks").Add(wp.Parks)
+	reg.Counter("workpool.wakeups").Add(wp.Wakeups)
 	reg.Gauge("workpool.queue.highwater").Set(wp.QueueHighwater)
 	reg.Gauge("workpool.workers").Set(wp.Workers)
 	res.Telemetry = reg.Snapshot()

@@ -2,15 +2,21 @@
 # Record the next BENCH_<n>.json performance snapshot and diff it against
 # the previous one. Runs the hot-loop benchmarks of the live coupled stack
 # (BenchmarkLiveCoupledRun and its Traced variant, BenchmarkStep642Cells
-# and its Traced variant, BenchmarkStepParallel10242Cells) plus the Cinema
-# serving path (BenchmarkCinemaServeHot — the 0 allocs/op cached fetch —
-# and BenchmarkCinemaLoadMixed, the Zipf hit/miss/evict blend) with
-# -benchmem.
+# and its Traced variant, BenchmarkStepParallel10242Cells — a full
+# serial/workers{1,2,4,8} solver scaling matrix) plus the Cinema serving
+# path (BenchmarkCinemaServeHot — the 0 allocs/op cached fetch — and
+# BenchmarkCinemaLoadMixed, the Zipf hit/miss/evict blend) with -benchmem.
+#
+# On top of the snapshot diff, benchsnap checks the scaling matrix: on a
+# host with >= 4 cores, workers4 should beat serial by 1.3x, and workers8
+# must never be meaningfully slower than workers4. The check is advisory
+# (a warning) unless -scaling-fail is passed.
 #
 # Usage, from the repository root:
 #
-#   scripts/bench.sh                 # snapshot + diff
+#   scripts/bench.sh                 # snapshot + diff + advisory scaling check
 #   scripts/bench.sh -fail-over 0.10 # also fail on a >10% regression
+#   scripts/bench.sh -scaling-fail   # make the scaling check a hard gate
 #
 # Extra arguments are passed through to benchsnap (see cmd/benchsnap).
 set -eu
