@@ -6,11 +6,20 @@
 // (under the "serve." namespace) and /trace the per-slot request
 // timeline.
 //
+// With -cluster the same binary becomes the scale-out gateway instead:
+// no local databases, requests hash-route across the -peers fleet with
+// -replicas-way ownership, breaker-driven failover, and the tiered cache
+// (see internal/cinemacluster). The routes are identical either way, so
+// clients cannot tell a gateway from a node.
+//
 // Usage:
 //
 //	cinemaserve -http :8080 -db /tmp/run/cinema
 //	cinemaserve -http :8080 -db runA=/tmp/a/cinema -db runB=/tmp/b/cinema \
 //	    -cache-bytes 33554432 -max-inflight 32
+//	cinemaserve -http :8080 -cluster \
+//	    -peers http://127.0.0.1:9001,http://127.0.0.1:9002,http://127.0.0.1:9003 \
+//	    -replicas 2
 //
 // Endpoints:
 //
@@ -20,6 +29,9 @@
 //	/cinema/<store>/frame?var=...    frame query (time/phi/theta axes, &nearest=1)
 //	/cinema/<store>/file/<name>      frame by stored file name
 //	/metrics, /trace                 serving telemetry and request timeline
+//
+// A gateway's /metrics is the cluster union: its own counters under
+// "cluster." plus every reachable node's document under "node<i>.".
 package main
 
 import (
@@ -33,8 +45,10 @@ import (
 	"strings"
 	"time"
 
+	"insituviz/internal/cinemacluster"
 	"insituviz/internal/cinemaserve"
 	"insituviz/internal/cinemastore"
+	"insituviz/internal/faults"
 	"insituviz/internal/telemetry"
 	"insituviz/internal/trace"
 )
@@ -56,8 +70,20 @@ func main() {
 	maxInflight := flag.Int("max-inflight", cinemaserve.DefaultMaxInflight, "admitted concurrent requests; beyond this, requests are shed with 503")
 	retryAfter := flag.Duration("retry-after", cinemaserve.DefaultRetryAfter, "backoff advertised on shed responses")
 	repair := flag.Bool("repair", false, "open databases through crash recovery: restore the last good index from its backup if the current one is torn, and quarantine unreferenced frame files")
+	cluster := flag.Bool("cluster", false, "run as a cluster gateway over -peers instead of serving local databases")
+	peers := flag.String("peers", "", "comma-separated serving-node base URLs (cluster mode)")
+	replicas := flag.Int("replicas", cinemacluster.DefaultReplicas, "ring replication factor R: owning nodes per frame (cluster mode)")
+	chaos := flag.String("chaos", "", fmt.Sprintf("arm deterministic peer-fault injection: seed=N[,profile] (profiles: %s; cluster mode)",
+		strings.Join(faults.ProfileNames(), ", ")))
 	flag.Parse()
 
+	if *cluster {
+		runGateway(*httpAddr, *peers, *replicas, *cacheBytes, *retryAfter, *chaos, dbs)
+		return
+	}
+	if *peers != "" {
+		log.Fatal("-peers requires -cluster")
+	}
 	if len(dbs) == 0 {
 		log.Fatal("no databases: pass at least one -db DIR (or NAME=DIR)")
 	}
@@ -125,5 +151,73 @@ func main() {
 	<-sig
 	fmt.Println("shutting down")
 	// Give in-flight responses a moment to drain before the listener dies.
+	time.Sleep(50 * time.Millisecond)
+}
+
+// runGateway is cluster mode: the same routes, served by hash-routing
+// across the peer fleet instead of reading local databases.
+func runGateway(httpAddr, peers string, replicas int, cacheBytes int64, retryAfter time.Duration, chaos string, dbs dbFlags) {
+	if len(dbs) > 0 {
+		log.Fatal("cluster mode routes to -peers; it does not mount -db databases")
+	}
+	var list []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			list = append(list, p)
+		}
+	}
+	if len(list) == 0 {
+		log.Fatal("cluster mode needs -peers URL[,URL...]")
+	}
+
+	var injector *faults.Injector
+	if chaos != "" {
+		plan, err := faults.ParseSpec(chaos)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if injector, err = faults.New(plan); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	reg := telemetry.NewRegistry()
+	tracer := trace.New(trace.Options{})
+	gw, err := cinemacluster.NewGateway(cinemacluster.Config{
+		Peers:      list,
+		Replicas:   replicas,
+		CacheBytes: cacheBytes,
+		RetryAfter: retryAfter,
+		Telemetry:  reg,
+		Tracer:     tracer,
+		Faults:     injector,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gw.Close()
+
+	mux := http.NewServeMux()
+	mux.Handle("/", trace.NewHandlerFrom(nil, tracer))
+	// The exact pattern wins over "/": cluster metrics replace the plain
+	// exposition with the fleet union.
+	mux.HandleFunc("/metrics", gw.ServeMetrics)
+	mux.Handle("/cinema/", http.StripPrefix("/cinema", gw.Handler()))
+
+	addr, shutdown, err := trace.Serve(httpAddr, mux)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer shutdown()
+	fmt.Printf("gateway over %d nodes (R=%d) on http://%s/ (/cinema/, /metrics, /trace)\n",
+		len(list), replicas, addr)
+	for i, p := range list {
+		fmt.Printf("  node%d = %s\n", i, p)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("shutting down")
 	time.Sleep(50 * time.Millisecond)
 }

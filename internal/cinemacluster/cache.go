@@ -1,0 +1,137 @@
+package cinemacluster
+
+import (
+	"sync"
+
+	"insituviz/internal/telemetry"
+)
+
+// bentry is one resident frame in the gateway tier. Like the server's
+// cache, the LRU list is intrusive so promotion is pointer surgery.
+type bentry struct {
+	key        string
+	data       []byte
+	file       string // X-Cinema-File of the cached response
+	prev, next *bentry
+}
+
+// byteLRU is the gateway's memory tier: a byte-budgeted LRU keyed by
+// request identity (store + raw query), mirroring the serving cache's
+// accounting (frame bytes only count against the budget). The server's
+// cache keys by (mount, entry) small ints; the gateway has no mounted
+// stores to index into, so it keys by string and accepts the per-insert
+// allocation — inserts are misses, which already paid for an HTTP round
+// trip. A negative budget disables the tier.
+type byteLRU struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	m      map[string]*bentry
+	head   *bentry
+	tail   *bentry
+
+	evictions *telemetry.Counter
+	usedGauge *telemetry.Gauge
+}
+
+func newByteLRU(budget int64, evictions *telemetry.Counter, used *telemetry.Gauge) *byteLRU {
+	return &byteLRU{budget: budget, m: map[string]*bentry{}, evictions: evictions, usedGauge: used}
+}
+
+// get returns the cached frame for k, promoting it to most recently
+// used. The returned slice is shared — callers must not modify it.
+func (c *byteLRU) get(k string) ([]byte, string, bool) {
+	if c.budget < 0 {
+		return nil, "", false
+	}
+	c.mu.Lock()
+	e, ok := c.m[k]
+	if !ok {
+		c.mu.Unlock()
+		return nil, "", false
+	}
+	c.moveToFront(e)
+	data, file := e.data, e.file
+	c.mu.Unlock()
+	return data, file, true
+}
+
+// put inserts data under k, evicting from the tail until the budget
+// holds. Frames larger than the whole budget are not cached.
+func (c *byteLRU) put(k string, data []byte, file string) {
+	size := int64(len(data))
+	if c.budget < 0 || size == 0 || size > c.budget {
+		return
+	}
+	c.mu.Lock()
+	if e, ok := c.m[k]; ok {
+		c.used += size - int64(len(e.data))
+		e.data, e.file = data, file
+		c.moveToFront(e)
+	} else {
+		e := &bentry{key: k, data: data, file: file}
+		c.m[k] = e
+		c.used += size
+		c.pushFront(e)
+	}
+	for c.used > c.budget && c.tail != nil {
+		c.evict(c.tail)
+	}
+	c.usedGauge.Set(c.used)
+	c.mu.Unlock()
+}
+
+func (c *byteLRU) bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+func (c *byteLRU) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Callers hold c.mu for the list operations below.
+
+func (c *byteLRU) pushFront(e *bentry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *byteLRU) unlink(e *bentry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *byteLRU) moveToFront(e *bentry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *byteLRU) evict(e *bentry) {
+	c.unlink(e)
+	delete(c.m, e.key)
+	c.used -= int64(len(e.data))
+	c.evictions.Inc()
+}

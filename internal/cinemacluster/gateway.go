@@ -1,0 +1,562 @@
+package cinemacluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"insituviz/internal/cinemaserve"
+	"insituviz/internal/cinemastore"
+	"insituviz/internal/faults"
+	"insituviz/internal/telemetry"
+	"insituviz/internal/trace"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultReplicas      = 2
+	DefaultCacheBytes    = 32 << 20
+	DefaultRetryAfter    = 1 * time.Second
+	DefaultScrapeTimeout = 2 * time.Second
+	DefaultFetchTimeout  = 30 * time.Second
+)
+
+// MetricsPrefix is the namespace the gateway's own registry appears
+// under in the cluster /metrics union; node documents appear under their
+// node name ("node0.", "node1.", ...).
+const MetricsPrefix = "cluster."
+
+// maxFrameBytes bounds a relayed peer response, so one corrupt node
+// cannot balloon the gateway's memory.
+const maxFrameBytes = 64 << 20
+
+// Config configures a Gateway.
+type Config struct {
+	// Peers are the serving nodes' base URLs ("http://host:port"), in
+	// fleet order. Node i is named "node<i>" in metrics and routing.
+	Peers []string
+	// Replicas is R: how many ring members own each frame. Zero selects
+	// DefaultReplicas; values beyond the fleet size are clamped to it.
+	Replicas int
+	// VirtualNodes per ring member; zero selects DefaultVirtualNodes.
+	VirtualNodes int
+	// CacheBytes is the gateway's own memory tier budget. Zero selects
+	// DefaultCacheBytes; negative disables the tier.
+	CacheBytes int64
+	// RetryAfter is the backoff advertised when the whole replica set
+	// sheds. Zero selects DefaultRetryAfter.
+	RetryAfter time.Duration
+	// BreakerThreshold / BreakerCooldown configure the per-node health
+	// breakers, with the same semantics and defaults as cinemaserve's
+	// per-store breakers. Zero selects the cinemaserve defaults;
+	// a negative threshold disables ejection.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Telemetry receives the gateway's metrics (nil runs unobserved).
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, receives a "cluster.gateway" lane carrying
+	// instants for failovers and ejection skips.
+	Tracer *trace.Tracer
+	// Faults, when non-nil, arms the "cluster.peer" site: injected
+	// errors fail peer fetches exactly as a dropped connection would,
+	// driving failover and the breakers deterministically.
+	Faults *faults.Injector
+	// Client performs peer HTTP requests; nil builds one with
+	// DefaultFetchTimeout.
+	Client *http.Client
+	// ScrapeTimeout bounds each node's /metrics fetch in the cluster
+	// union. Zero selects DefaultScrapeTimeout.
+	ScrapeTimeout time.Duration
+}
+
+// peerNode is one serving node as the gateway sees it.
+type peerNode struct {
+	name string // "node<i>", the metric and ring identity
+	base string // base URL
+	brk  *cinemaserve.Breaker
+
+	mRequests *telemetry.Counter
+	mOK       *telemetry.Counter
+	mFailures *telemetry.Counter
+	mSheds    *telemetry.Counter
+	gUp       *telemetry.Gauge
+}
+
+// Gateway routes Cinema requests across a fleet of cinemaserve nodes:
+// consistent-hash ownership with R-way replication, breaker-driven
+// ejection, and the tiered cache described in the package comment. Safe
+// for concurrent use.
+type Gateway struct {
+	cfg    Config
+	ring   *Ring
+	peers  []*peerNode
+	byName map[string]*peerNode
+	client *http.Client
+	cache  *byteLRU
+	lane   *trace.Lane
+
+	peerSite *faults.Site
+	rr       atomic.Uint64 // round-robin cursor for hashless routes
+
+	mRequests    *telemetry.Counter
+	mErrors      *telemetry.Counter
+	mFailover    *telemetry.Counter
+	mEjectSkips  *telemetry.Counter
+	mPeerHits    *telemetry.Counter
+	mPeerProbes  *telemetry.Counter
+	mCacheHits   *telemetry.Counter
+	mCacheMisses *telemetry.Counter
+	mInjected    *telemetry.Counter
+	mBytesOut    *telemetry.Counter
+}
+
+// NewGateway validates cfg and builds the gateway with every peer in the
+// ring.
+func NewGateway(cfg Config) (*Gateway, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cinemacluster: no peers")
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = DefaultReplicas
+	}
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("cinemacluster: replicas must be positive, got %d", cfg.Replicas)
+	}
+	if cfg.Replicas > len(cfg.Peers) {
+		cfg.Replicas = len(cfg.Peers)
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = DefaultCacheBytes
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = cinemaserve.DefaultBreakerThreshold
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = cinemaserve.DefaultBreakerCooldown
+	}
+	if cfg.ScrapeTimeout <= 0 {
+		cfg.ScrapeTimeout = DefaultScrapeTimeout
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: DefaultFetchTimeout}
+	}
+	reg := cfg.Telemetry
+	g := &Gateway{
+		cfg:      cfg,
+		ring:     NewRing(cfg.VirtualNodes),
+		byName:   map[string]*peerNode{},
+		client:   cfg.Client,
+		lane:     cfg.Tracer.Lane("cluster.gateway"),
+		peerSite: cfg.Faults.Site("cluster.peer"),
+
+		mRequests:    reg.Counter("requests"),
+		mErrors:      reg.Counter("errors"),
+		mFailover:    reg.Counter("failover"),
+		mEjectSkips:  reg.Counter("eject.skips"),
+		mPeerHits:    reg.Counter("peer.hits"),
+		mPeerProbes:  reg.Counter("peer.probes"),
+		mCacheHits:   reg.Counter("cache.hits"),
+		mCacheMisses: reg.Counter("cache.misses"),
+		mInjected:    reg.Counter("faults.injected"),
+		mBytesOut:    reg.Counter("bytes.out"),
+	}
+	g.cache = newByteLRU(cfg.CacheBytes, reg.Counter("cache.evictions"), reg.Gauge("cache.used.bytes"))
+	reg.Gauge("replicas").Set(int64(cfg.Replicas))
+	reg.Gauge("nodes").Set(int64(len(cfg.Peers)))
+	for i, base := range cfg.Peers {
+		base = strings.TrimRight(base, "/")
+		if base == "" {
+			return nil, fmt.Errorf("cinemacluster: empty peer URL at index %d", i)
+		}
+		name := fmt.Sprintf("node%d", i)
+		p := &peerNode{
+			name: name, base: base,
+			brk:       cinemaserve.NewBreaker(name, cfg.BreakerThreshold, cfg.BreakerCooldown, reg),
+			mRequests: reg.Counter("node." + name + ".requests"),
+			mOK:       reg.Counter("node." + name + ".ok"),
+			mFailures: reg.Counter("node." + name + ".failures"),
+			mSheds:    reg.Counter("node." + name + ".sheds"),
+			gUp:       reg.Gauge("node." + name + ".up"),
+		}
+		g.peers = append(g.peers, p)
+		g.byName[name] = p
+		g.ring.Add(name)
+	}
+	return g, nil
+}
+
+// Ring exposes the routing ring (tests eject and restore members
+// through it).
+func (g *Gateway) Ring() *Ring { return g.ring }
+
+// NodeState reports the named node's breaker state
+// (cinemaserve.BreakerClosed / Open / HalfOpen).
+func (g *Gateway) NodeState(name string) int {
+	p := g.byName[name]
+	if p == nil {
+		return cinemaserve.BreakerClosed
+	}
+	return p.brk.State()
+}
+
+// Close releases idle peer connections. The gateway starts goroutines
+// only inside ServeMetrics scrapes, and those are joined before the
+// handler returns, so Close is all the shutdown there is.
+func (g *Gateway) Close() {
+	g.client.CloseIdleConnections()
+}
+
+// Handler returns the gateway's /cinema/ interface, route-compatible
+// with a single server's Handler: callers mount it under the same
+// prefix,
+//
+//	mux.Handle("/cinema/", http.StripPrefix("/cinema", gw.Handler()))
+//
+// and clients cannot tell a gateway from a node — same paths, same
+// status codes, same headers.
+func (g *Gateway) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		g.mRequests.Inc()
+		path := strings.TrimPrefix(r.URL.Path, "/")
+		store, rest, _ := strings.Cut(path, "/")
+		switch {
+		case rest == "frame":
+			g.serveFrame(w, r, store)
+		case strings.HasPrefix(rest, "file/"):
+			g.serveFile(w, r, store, strings.TrimPrefix(rest, "file/"))
+		default:
+			// Listing, store info, index.json: identical on every node
+			// (shared storage), so any healthy one may answer.
+			g.relayAny(w, r)
+		}
+	})
+}
+
+// serveFrame hash-routes a frame query. The routing key is the parsed
+// (store, variable, time, phi, theta) tuple — parsed, not the raw query
+// string, so gateways and direct clients that encode the same point
+// differently still route identically.
+func (g *Gateway) serveFrame(w http.ResponseWriter, r *http.Request, store string) {
+	q := r.URL.Query()
+	key := cinemastore.Key{Variable: q.Get("var")}
+	if key.Variable == "" {
+		http.Error(w, "missing var parameter", http.StatusBadRequest)
+		return
+	}
+	for _, p := range [...]struct {
+		name string
+		dst  *float64
+	}{{"time", &key.Time}, {"phi", &key.Phi}, {"theta", &key.Theta}} {
+		if v := q.Get(p.name); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad %s parameter: %v", p.name, err), http.StatusBadRequest)
+				return
+			}
+			*p.dst = f
+		}
+	}
+	if err := key.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	g.fetchTiered(w, r, HashKey(store, key), cacheID(store, r.URL.RawQuery))
+}
+
+func (g *Gateway) serveFile(w http.ResponseWriter, r *http.Request, store, file string) {
+	if file == "" {
+		http.Error(w, "missing file name", http.StatusBadRequest)
+		return
+	}
+	g.fetchTiered(w, r, HashFile(store, file), cacheID(store, "file/"+file))
+}
+
+// cacheID builds the gateway cache key. The raw query participates (two
+// textual encodings of one axis point cache separately), which trades a
+// little duplication for never conflating distinct nearest-mode
+// requests.
+func cacheID(store, rest string) string { return store + "\x00" + rest }
+
+// fetchTiered serves one frame through the cache tiers: gateway memory,
+// owning peers' memory (cacheonly probes), then one full read on the
+// first healthy owner — or, all owners down, on any healthy node, which
+// shared storage makes safe.
+func (g *Gateway) fetchTiered(w http.ResponseWriter, r *http.Request, hash uint64, id string) {
+	if data, file, ok := g.cache.get(id); ok {
+		g.mCacheHits.Inc()
+		g.writeFrame(w, data, file)
+		return
+	}
+	g.mCacheMisses.Inc()
+
+	owners := g.ring.Owners(hash, g.cfg.Replicas, make([]string, 0, g.cfg.Replicas))
+
+	// Tier 2: probe the owning peers' caches. A probe never costs a
+	// peer a disk read, so trying every owner is cheap; the first
+	// resident copy wins.
+	for _, name := range owners {
+		p := g.byName[name]
+		if p == nil || !g.admit(p) {
+			continue
+		}
+		g.mPeerProbes.Inc()
+		data, file, status, err := g.peerFetch(r.Context(), p, peerURL(p, r, true))
+		switch {
+		case err != nil:
+			g.fail(p, err)
+		case status == http.StatusOK:
+			p.brk.OnSuccess()
+			p.mOK.Inc()
+			g.mPeerHits.Inc()
+			g.cache.put(id, data, file)
+			g.writeFrame(w, data, file)
+			return
+		case status == http.StatusNoContent:
+			p.brk.OnSuccess()
+			p.mOK.Inc()
+		case status == http.StatusServiceUnavailable:
+			// Shedding is load, not sickness: no breaker strike.
+			p.mSheds.Inc()
+		default:
+			g.fail(p, fmt.Errorf("probe status %d", status))
+		}
+	}
+
+	// Tier 3: a real read. Owners first (their cache fills where the
+	// hash says the frame lives), then everyone else as a last resort.
+	sawShed := false
+	tried := map[string]bool{}
+	candidates := append(owners, g.ring.Nodes()...)
+	for _, name := range candidates {
+		if tried[name] {
+			continue
+		}
+		tried[name] = true
+		p := g.byName[name]
+		if p == nil || !g.admit(p) {
+			continue
+		}
+		data, file, status, err := g.peerFetch(r.Context(), p, peerURL(p, r, false))
+		switch {
+		case err != nil:
+			g.fail(p, err)
+		case status == http.StatusOK:
+			p.brk.OnSuccess()
+			p.mOK.Inc()
+			g.cache.put(id, data, file)
+			g.writeFrame(w, data, file)
+			return
+		case status == http.StatusNotFound:
+			// The index is shared: a healthy node's 404 is the cluster's
+			// 404. Relay it rather than hunting for a different answer.
+			p.brk.OnSuccess()
+			p.mOK.Inc()
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		case status == http.StatusServiceUnavailable:
+			p.mSheds.Inc()
+			sawShed = true
+		default:
+			g.fail(p, fmt.Errorf("fetch status %d", status))
+		}
+	}
+	g.exhausted(w, sawShed)
+}
+
+// admit applies the breaker filter: an open breaker ejects the node from
+// routing until its cooldown admits a half-open probe, and the skip is
+// counted and marked on the timeline.
+func (g *Gateway) admit(p *peerNode) bool {
+	if p.brk.Allow() {
+		return true
+	}
+	g.mEjectSkips.Inc()
+	g.lane.Instant("eject." + p.name)
+	return false
+}
+
+// fail records a peer fetch failure: breaker strike, failover counters,
+// timeline instant. The caller moves on to the next candidate — that
+// move is what cluster.failover counts.
+func (g *Gateway) fail(p *peerNode, err error) {
+	p.brk.OnFailure()
+	p.mFailures.Inc()
+	g.mFailover.Inc()
+	g.lane.Instant("failover." + p.name)
+}
+
+// exhausted answers a request every candidate failed or shed: 503 when
+// at least one node was merely shedding (the cluster is overloaded, not
+// broken), 502 otherwise.
+func (g *Gateway) exhausted(w http.ResponseWriter, sawShed bool) {
+	if sawShed {
+		secs := int((g.cfg.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		http.Error(w, "cluster overloaded, retry later", http.StatusServiceUnavailable)
+		return
+	}
+	g.mErrors.Inc()
+	http.Error(w, "no node could serve the request", http.StatusBadGateway)
+}
+
+// relayAny forwards a hashless route (listing, store info, index.json)
+// to the first healthy node, starting at a round-robin cursor so the
+// metadata load spreads, with the same failover walk as frames.
+func (g *Gateway) relayAny(w http.ResponseWriter, r *http.Request) {
+	n := len(g.peers)
+	start := int(g.rr.Add(1)) % n
+	sawShed := false
+	for i := 0; i < n; i++ {
+		p := g.peers[(start+i)%n]
+		if !g.admit(p) {
+			continue
+		}
+		data, status, header, err := g.peerGet(r.Context(), p, peerURL(p, r, false))
+		switch {
+		case err != nil:
+			g.fail(p, err)
+		case status == http.StatusServiceUnavailable:
+			p.mSheds.Inc()
+			sawShed = true
+		case status >= 500:
+			g.fail(p, fmt.Errorf("relay status %d", status))
+		default:
+			p.brk.OnSuccess()
+			p.mOK.Inc()
+			if ct := header.Get("Content-Type"); ct != "" {
+				w.Header().Set("Content-Type", ct)
+			}
+			w.WriteHeader(status)
+			_, _ = w.Write(data)
+			g.mBytesOut.Add(int64(len(data)))
+			return
+		}
+	}
+	g.exhausted(w, sawShed)
+}
+
+// peerURL rebuilds the request against p's base URL, optionally forcing
+// the cacheonly probe form.
+func peerURL(p *peerNode, r *http.Request, cacheonly bool) string {
+	u := p.base + "/cinema" + r.URL.EscapedPath()
+	q := r.URL.RawQuery
+	if cacheonly {
+		if q != "" {
+			q += "&"
+		}
+		q += "cacheonly=1"
+	}
+	if q != "" {
+		u += "?" + q
+	}
+	return u
+}
+
+// peerFetch performs one frame fetch against a peer and returns the
+// body, the served file name, and the status. The "cluster.peer" fault
+// site is consulted first: an injected error fails the fetch without
+// touching the network, exactly as a dropped connection would.
+func (g *Gateway) peerFetch(ctx context.Context, p *peerNode, url string) (data []byte, file string, status int, err error) {
+	body, st, header, err := g.peerGet(ctx, p, url)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	return body, header.Get("X-Cinema-File"), st, nil
+}
+
+func (g *Gateway) peerGet(ctx context.Context, p *peerNode, url string) ([]byte, int, http.Header, error) {
+	p.mRequests.Inc()
+	if f, ok := g.peerSite.Next(); ok && f.Kind == faults.KindError {
+		g.mInjected.Inc()
+		return nil, 0, nil, fmt.Errorf("cinemacluster: injected peer failure (fault #%d)", f.Seq)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxFrameBytes))
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return body, resp.StatusCode, resp.Header, nil
+}
+
+func (g *Gateway) writeFrame(w http.ResponseWriter, data []byte, file string) {
+	w.Header().Set("Content-Type", "image/png")
+	if file != "" {
+		w.Header().Set("X-Cinema-File", file)
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
+	g.mBytesOut.Add(int64(len(data)))
+}
+
+// ServeMetrics writes the cluster-wide exposition: the gateway's own
+// registry under MetricsPrefix, then every node's /metrics document
+// reprefixed with its node name. Node scrapes run concurrently under
+// ScrapeTimeout; an unreachable node contributes nothing except its
+// node.<name>.up gauge dropping to 0, so the union degrades per node,
+// never as a whole.
+func (g *Gateway) ServeMetrics(w http.ResponseWriter, r *http.Request) {
+	bodies := make([][]byte, len(g.peers))
+	var wg sync.WaitGroup
+	for i, p := range g.peers {
+		wg.Add(1)
+		go func(i int, p *peerNode) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), g.cfg.ScrapeTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.base+"/metrics", nil)
+			if err != nil {
+				return
+			}
+			resp, err := g.client.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return
+			}
+			body, err := io.ReadAll(io.LimitReader(resp.Body, maxFrameBytes))
+			if err != nil {
+				return
+			}
+			bodies[i] = body
+		}(i, p)
+	}
+	wg.Wait()
+	for i, p := range g.peers {
+		if bodies[i] != nil {
+			p.gUp.Set(1)
+		} else {
+			p.gUp.Set(0)
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	union := telemetry.NewUnion().Add(MetricsPrefix, g.cfg.Telemetry)
+	_ = union.Snapshot().WriteText(w)
+	for i, p := range g.peers {
+		if bodies[i] != nil {
+			_ = telemetry.ReprefixText(w, p.name+".", bodies[i])
+		}
+	}
+}

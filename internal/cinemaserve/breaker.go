@@ -7,23 +7,27 @@ import (
 	"insituviz/internal/telemetry"
 )
 
-// Breaker states, exposed as the breaker.<mount>.state gauge.
+// Breaker states, exposed as the breaker.<mount>.state gauge (and, in
+// cluster mode, as the gateway's node.<name>.breaker.state gauge).
 const (
-	breakerClosed   = 0
-	breakerOpen     = 1
-	breakerHalfOpen = 2
+	BreakerClosed   = 0
+	BreakerOpen     = 1
+	BreakerHalfOpen = 2
 )
 
-// breaker is a per-mount circuit breaker around store reads. Consecutive
-// read failures past the threshold open it; while open, reads are
-// rejected outright (ErrUnavailable) so a sick store cannot pin every
-// admission slot on doomed disk I/O. After the cooldown one probe read
-// is let through half-open: success closes the breaker, failure reopens
-// it for another cooldown.
+// Breaker is a consecutive-failure circuit breaker around a fallible
+// read path. The server arms one per mounted store (store reads); the
+// cluster gateway arms one per serving node (peer fetches), so the same
+// health signal that protects a sick disk also ejects a sick node from
+// the routing ring. Consecutive failures past the threshold open it;
+// while open, reads are rejected outright (Allow returns false) so a
+// sick backend cannot pin every admission slot on doomed I/O. After the
+// cooldown one probe is let through half-open: success closes the
+// breaker, failure reopens it for another cooldown.
 //
-// A nil *breaker (breaker disabled) allows everything and records
+// A nil *Breaker (breaker disabled) allows everything and records
 // nothing.
-type breaker struct {
+type Breaker struct {
 	threshold int
 	cooldown  time.Duration
 
@@ -38,42 +42,42 @@ type breaker struct {
 	mRejected *telemetry.Counter
 }
 
-// newBreaker builds a breaker registering its gauges under
+// NewBreaker builds a breaker registering its metrics under
 // breaker.<name>.*. A non-positive threshold disables the breaker (nil).
-func newBreaker(name string, threshold int, cooldown time.Duration, reg *telemetry.Registry) *breaker {
+func NewBreaker(name string, threshold int, cooldown time.Duration, reg *telemetry.Registry) *Breaker {
 	if threshold <= 0 {
 		return nil
 	}
-	b := &breaker{
+	b := &Breaker{
 		threshold: threshold,
 		cooldown:  cooldown,
 		gState:    reg.Gauge("breaker." + name + ".state"),
 		mOpens:    reg.Counter("breaker." + name + ".opens"),
 		mRejected: reg.Counter("breaker." + name + ".rejected"),
 	}
-	b.gState.Set(breakerClosed)
+	b.gState.Set(BreakerClosed)
 	return b
 }
 
-// allow reports whether a store read may proceed.
-func (b *breaker) allow() bool {
+// Allow reports whether a read may proceed.
+func (b *Breaker) Allow() bool {
 	if b == nil {
 		return true
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
-	case breakerClosed:
+	case BreakerClosed:
 		return true
-	case breakerOpen:
+	case BreakerOpen:
 		if time.Since(b.openedAt) < b.cooldown {
 			b.mRejected.Inc()
 			return false
 		}
 		// Cooldown over: go half-open and admit this caller as the probe.
-		b.state = breakerHalfOpen
+		b.state = BreakerHalfOpen
 		b.probing = true
-		b.gState.Set(breakerHalfOpen)
+		b.gState.Set(BreakerHalfOpen)
 		return true
 	default: // half-open
 		if b.probing {
@@ -85,8 +89,8 @@ func (b *breaker) allow() bool {
 	}
 }
 
-// onSuccess records a completed store read.
-func (b *breaker) onSuccess() {
+// OnSuccess records a completed read.
+func (b *Breaker) OnSuccess() {
 	if b == nil {
 		return
 	}
@@ -94,41 +98,41 @@ func (b *breaker) onSuccess() {
 	defer b.mu.Unlock()
 	b.failures = 0
 	b.probing = false
-	if b.state != breakerClosed {
-		b.state = breakerClosed
-		b.gState.Set(breakerClosed)
+	if b.state != BreakerClosed {
+		b.state = BreakerClosed
+		b.gState.Set(BreakerClosed)
 	}
 }
 
-// onFailure records a failed store read.
-func (b *breaker) onFailure() {
+// OnFailure records a failed read.
+func (b *Breaker) OnFailure() {
 	if b == nil {
 		return
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.probing = false
-	if b.state == breakerHalfOpen {
+	if b.state == BreakerHalfOpen {
 		// The probe failed: reopen for another cooldown.
-		b.state = breakerOpen
+		b.state = BreakerOpen
 		b.openedAt = time.Now()
 		b.mOpens.Inc()
-		b.gState.Set(breakerOpen)
+		b.gState.Set(BreakerOpen)
 		return
 	}
 	b.failures++
-	if b.state == breakerClosed && b.failures >= b.threshold {
-		b.state = breakerOpen
+	if b.state == BreakerClosed && b.failures >= b.threshold {
+		b.state = BreakerOpen
 		b.openedAt = time.Now()
 		b.mOpens.Inc()
-		b.gState.Set(breakerOpen)
+		b.gState.Set(BreakerOpen)
 	}
 }
 
-// currentState returns the state constant (closed on nil).
-func (b *breaker) currentState() int {
+// State returns the state constant (closed on nil).
+func (b *Breaker) State() int {
 	if b == nil {
-		return breakerClosed
+		return BreakerClosed
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()

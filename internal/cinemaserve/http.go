@@ -29,6 +29,10 @@ import (
 //	                       requested axis point to the closest stored one
 //	/<store>/file/<name>   one frame addressed by stored file name
 //
+// Both frame routes accept &cacheonly=1: answer only from the in-memory
+// cache (200), or 204 No Content when the frame is not resident — the
+// probe the cluster gateway's peer-cache tier rides on.
+//
 // Every request passes admission control: when MaxInflight requests are
 // already in flight, the response is 503 with a Retry-After header — the
 // server sheds rather than queueing unboundedly.
@@ -166,8 +170,24 @@ func (s *Server) serveFrame(w http.ResponseWriter, r *http.Request, store string
 			return
 		}
 	}
+	if boolParam(q.Get("cacheonly")) {
+		data, entry, ok := s.FrameCached(store, key, nearest)
+		s.writeCachedFrame(w, data, entry, ok)
+		return
+	}
 	data, entry, err := s.frame(r.Context(), store, key, nearest, lane)
 	s.writeFrame(w, data, entry, err)
+}
+
+// boolParam reads an optional boolean query parameter; unparsable values
+// count as false (the parameter is a peer-protocol hint, not user input
+// worth a 400).
+func boolParam(v string) bool {
+	if v == "" {
+		return false
+	}
+	b, err := strconv.ParseBool(v)
+	return err == nil && b
 }
 
 func (s *Server) serveFile(w http.ResponseWriter, r *http.Request, store, file string, lane *trace.Lane) {
@@ -175,8 +195,28 @@ func (s *Server) serveFile(w http.ResponseWriter, r *http.Request, store, file s
 		http.Error(w, "missing file name", http.StatusBadRequest)
 		return
 	}
+	if boolParam(r.URL.Query().Get("cacheonly")) {
+		data, entry, ok := s.FrameFileCached(store, file)
+		s.writeCachedFrame(w, data, entry, ok)
+		return
+	}
 	data, entry, err := s.frameByFile(r.Context(), store, file, lane)
 	s.writeFrame(w, data, entry, err)
+}
+
+// writeCachedFrame answers a cacheonly probe: 200 with the frame when it
+// was resident, 204 No Content when it was not. 204 — not 404 — because
+// "not in memory" is a normal answer the cluster gateway acts on, not an
+// error about the request.
+func (s *Server) writeCachedFrame(w http.ResponseWriter, data []byte, entry cinemastore.Entry, ok bool) {
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	w.Header().Set("X-Cinema-File", entry.File)
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
 }
 
 func (s *Server) writeFrame(w http.ResponseWriter, data []byte, entry cinemastore.Entry, err error) {

@@ -46,11 +46,11 @@ func TestBreakerOpensOnConsecutiveFailures(t *testing.T) {
 			t.Fatalf("read %d error = %v, want InjectedReadError", i, err)
 		}
 	}
-	if got := s.BreakerState("run"); got != breakerOpen {
+	if got := s.BreakerState("run"); got != BreakerOpen {
 		t.Fatalf("breaker state after %d failures = %d, want open", 3, got)
 	}
-	if got := reg.Gauge("breaker.run.state").Value(); got != breakerOpen {
-		t.Errorf("breaker.run.state gauge = %d, want %d", got, breakerOpen)
+	if got := reg.Gauge("breaker.run.state").Value(); got != BreakerOpen {
+		t.Errorf("breaker.run.state gauge = %d, want %d", got, BreakerOpen)
 	}
 	if got := reg.Counter("breaker.run.opens").Value(); got != 1 {
 		t.Errorf("breaker.run.opens = %d, want 1", got)
@@ -77,10 +77,10 @@ func TestBreakerOpensOnConsecutiveFailures(t *testing.T) {
 	if _, _, err := s.Frame("run", key, false); err != nil {
 		t.Fatalf("probe read: %v", err)
 	}
-	if got := s.BreakerState("run"); got != breakerClosed {
+	if got := s.BreakerState("run"); got != BreakerClosed {
 		t.Errorf("breaker state after successful probe = %d, want closed", got)
 	}
-	if got := reg.Gauge("breaker.run.state").Value(); got != breakerClosed {
+	if got := reg.Gauge("breaker.run.state").Value(); got != BreakerClosed {
 		t.Errorf("breaker.run.state gauge = %d, want closed", got)
 	}
 }
@@ -96,7 +96,7 @@ func TestBreakerHalfOpenFailureReopens(t *testing.T) {
 			t.Fatal("expected injected failure")
 		}
 	}
-	if s.BreakerState("run") != breakerOpen {
+	if s.BreakerState("run") != BreakerOpen {
 		t.Fatal("breaker not open")
 	}
 	time.Sleep(40 * time.Millisecond)
@@ -104,7 +104,7 @@ func TestBreakerHalfOpenFailureReopens(t *testing.T) {
 	if _, _, err := s.Frame("run", key, false); err == nil {
 		t.Fatal("probe unexpectedly succeeded")
 	}
-	if got := s.BreakerState("run"); got != breakerOpen {
+	if got := s.BreakerState("run"); got != BreakerOpen {
 		t.Errorf("breaker state after failed probe = %d, want open", got)
 	}
 	if got := reg.Counter("breaker.run.opens").Value(); got != 2 {
@@ -123,7 +123,7 @@ func TestBreakerDisabled(t *testing.T) {
 			t.Fatal("disabled breaker rejected a read")
 		}
 	}
-	if got := s.BreakerState("run"); got != breakerClosed {
+	if got := s.BreakerState("run"); got != BreakerClosed {
 		t.Errorf("disabled breaker state = %d", got)
 	}
 	if got := reg.Counter("errors").Value(); got != 10 {
@@ -169,7 +169,7 @@ func TestCanceledWaiterCountsAsCanceled(t *testing.T) {
 	if got := reg.Counter("errors").Value(); got != 0 {
 		t.Errorf("errors = %d, want 0 (cancellation is not an error)", got)
 	}
-	if got := s.BreakerState("run"); got != breakerClosed {
+	if got := s.BreakerState("run"); got != BreakerClosed {
 		t.Errorf("cancellation struck the breaker (state %d)", got)
 	}
 

@@ -120,7 +120,7 @@ type mount struct {
 	name  string
 	id    int32
 	store *cinemastore.Store
-	brk   *breaker
+	brk   *Breaker
 }
 
 // Server serves frames from one or more mounted Cinema stores through a
@@ -152,6 +152,7 @@ type Server struct {
 	mCanceled   *telemetry.Counter
 	mInjected   *telemetry.Counter
 	mStoreReads *telemetry.Counter
+	mPeekMiss   *telemetry.Counter
 	mBytesOut   *telemetry.Counter
 	gInflight   *telemetry.Gauge
 	hLatency    *telemetry.Histogram
@@ -189,6 +190,7 @@ func NewServer(cfg Config) *Server {
 		mCanceled:   reg.Counter("canceled"),
 		mInjected:   reg.Counter("faults.injected"),
 		mStoreReads: reg.Counter("store.reads"),
+		mPeekMiss:   reg.Counter("cacheonly.misses"),
 		mBytesOut:   reg.Counter("bytes.out"),
 		gInflight:   reg.Gauge("inflight.highwater"),
 		hLatency:    reg.Histogram("latency.ns", LatencyBuckets),
@@ -220,7 +222,7 @@ func (s *Server) Mount(name string, store *cinemastore.Store) error {
 	}
 	m := &mount{
 		name: name, id: int32(len(s.mounts)), store: store,
-		brk: newBreaker(name, s.cfg.BreakerThreshold, s.cfg.BreakerCooldown, s.cfg.Telemetry),
+		brk: NewBreaker(name, s.cfg.BreakerThreshold, s.cfg.BreakerCooldown, s.cfg.Telemetry),
 	}
 	s.byName[name] = m.id
 	s.mounts = append(s.mounts, m)
@@ -232,9 +234,9 @@ func (s *Server) Mount(name string, store *cinemastore.Store) error {
 func (s *Server) BreakerState(name string) int {
 	m := s.lookupMount(name)
 	if m == nil {
-		return breakerClosed
+		return BreakerClosed
 	}
-	return m.brk.currentState()
+	return m.brk.State()
 }
 
 // Stores returns the mounted store names in mount order.
@@ -305,6 +307,61 @@ func (s *Server) frame(ctx context.Context, store string, key cinemastore.Key, n
 	return data, m.store.EntryAt(idx), nil
 }
 
+// FrameCached resolves key like Frame but answers from the in-memory
+// cache alone: it never touches the store, never strikes the breaker,
+// and never starts a flight. It is the peer-cache tier of cluster mode —
+// a gateway probes the owning nodes' caches with it before paying a disk
+// read anywhere — so a miss must stay cheap and side-effect free. The
+// bool reports whether the frame was resident.
+func (s *Server) FrameCached(store string, key cinemastore.Key, nearest bool) ([]byte, cinemastore.Entry, bool) {
+	s.mRequests.Inc()
+	m := s.lookupMount(store)
+	if m == nil {
+		s.mPeekMiss.Inc()
+		return nil, cinemastore.Entry{}, false
+	}
+	var idx int
+	var ok bool
+	if nearest {
+		idx, ok = m.store.NearestIndex(key)
+	} else {
+		idx, ok = m.store.LookupIndex(key)
+	}
+	if !ok {
+		s.mPeekMiss.Inc()
+		return nil, cinemastore.Entry{}, false
+	}
+	return s.frameCachedAt(m, idx)
+}
+
+// FrameFileCached is FrameCached addressed by stored file name.
+func (s *Server) FrameFileCached(store, file string) ([]byte, cinemastore.Entry, bool) {
+	s.mRequests.Inc()
+	m := s.lookupMount(store)
+	if m == nil {
+		s.mPeekMiss.Inc()
+		return nil, cinemastore.Entry{}, false
+	}
+	idx, ok := m.store.LookupFileIndex(file)
+	if !ok {
+		s.mPeekMiss.Inc()
+		return nil, cinemastore.Entry{}, false
+	}
+	return s.frameCachedAt(m, idx)
+}
+
+func (s *Server) frameCachedAt(m *mount, idx int) ([]byte, cinemastore.Entry, bool) {
+	start := time.Now()
+	data, ok := s.cache.get(cacheKey{mount: m.id, entry: int32(idx)})
+	if !ok {
+		s.mPeekMiss.Inc()
+		return nil, cinemastore.Entry{}, false
+	}
+	s.mHits.Inc()
+	s.observe(start, len(data))
+	return data, m.store.EntryAt(idx), true
+}
+
 // FrameByFile resolves a stored file name in the named store through the
 // same cache, for clients that walk the index and fetch files directly.
 func (s *Server) FrameByFile(store, file string) ([]byte, cinemastore.Entry, error) {
@@ -372,7 +429,7 @@ func (s *Server) frameAt(ctx context.Context, m *mount, idx int, lane *trace.Lan
 		if data, ok := s.cache.get(ck); ok {
 			return data, nil
 		}
-		if !m.brk.allow() {
+		if !m.brk.Allow() {
 			return nil, ErrUnavailable
 		}
 		if s.testLoadGate != nil {
@@ -380,7 +437,7 @@ func (s *Server) frameAt(ctx context.Context, m *mount, idx int, lane *trace.Lan
 		}
 		if f, ok := s.readSite.Next(); ok && f.Kind == faults.KindError {
 			s.mInjected.Inc()
-			m.brk.onFailure()
+			m.brk.OnFailure()
 			return nil, &InjectedReadError{Seq: f.Seq}
 		}
 		s.mStoreReads.Inc()
@@ -388,10 +445,10 @@ func (s *Server) frameAt(ctx context.Context, m *mount, idx int, lane *trace.Lan
 		data, err := m.store.ReadFrameAt(idx)
 		lane.End()
 		if err != nil {
-			m.brk.onFailure()
+			m.brk.OnFailure()
 			return nil, err
 		}
-		m.brk.onSuccess()
+		m.brk.OnSuccess()
 		s.cache.put(ck, data)
 		return data, nil
 	})

@@ -26,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
 	"insituviz/internal/faults"
@@ -65,6 +66,25 @@ type Key struct {
 	Theta    float64 `json:"theta"`
 	Variable string  `json:"variable"`
 }
+
+// AppendCanonical appends the key's canonical byte representation to
+// dst: the variable followed by the three axis values in shortest
+// round-trip float formatting, '|'-separated. Two keys render identically
+// exactly when they are equal, and the rendering never changes across
+// runs or architectures — the property the cluster's consistent-hash
+// routing (which must place a key on the same node from any gateway)
+// depends on.
+func (k Key) AppendCanonical(dst []byte) []byte {
+	dst = append(dst, k.Variable...)
+	for _, v := range [...]float64{k.Time, k.Phi, k.Theta} {
+		dst = append(dst, '|')
+		dst = strconv.AppendFloat(dst, v, 'g', -1, 64)
+	}
+	return dst
+}
+
+// Canonical returns AppendCanonical as a string.
+func (k Key) Canonical() string { return string(k.AppendCanonical(nil)) }
 
 // Validate rejects keys that cannot live on the axes: non-finite
 // coordinates (NaN would also poison map lookups) and empty variables.

@@ -400,7 +400,7 @@ func ParseSpec(spec string) (Plan, error) {
 }
 
 // ProfileNames lists the built-in chaos profiles.
-func ProfileNames() []string { return []string{"default", "storage", "serve", "heavy"} }
+func ProfileNames() []string { return []string{"default", "storage", "serve", "cluster", "heavy"} }
 
 // Profile returns a named built-in plan with the given seed:
 //
@@ -411,7 +411,10 @@ func ProfileNames() []string { return []string{"default", "storage", "serve", "h
 //     read errors plus multi-second data-path stalls.
 //   - "serve" exercises the query server: a burst of failed store reads
 //     that trips the per-store circuit breaker.
-//   - "heavy" is the union of all three.
+//   - "cluster" exercises the serving gateway: a scheduled burst plus a
+//     probabilistic trickle of failed peer fetches, driving replica
+//     failover and the per-node breakers.
+//   - "heavy" is the union of all of the above.
 func Profile(name string, seed uint64) (Plan, error) {
 	live := []Rule{
 		{Site: "render.rank", Kind: KindCrash, At: []uint64{4}, Count: 1},
@@ -426,6 +429,10 @@ func Profile(name string, seed uint64) (Plan, error) {
 	serve := []Rule{
 		{Site: "serve.read", Kind: KindError, At: []uint64{1, 2, 3, 4, 5, 6, 7, 8}, Count: 8},
 	}
+	cluster := []Rule{
+		{Site: "cluster.peer", Kind: KindError, At: []uint64{2, 3, 5, 8, 13}, Count: 5},
+		{Site: "cluster.peer", Kind: KindError, Prob: 0.02},
+	}
 	p := Plan{Seed: seed}
 	switch name {
 	case "", "default":
@@ -434,8 +441,10 @@ func Profile(name string, seed uint64) (Plan, error) {
 		p.Rules = storage
 	case "serve":
 		p.Rules = serve
+	case "cluster":
+		p.Rules = cluster
 	case "heavy":
-		p.Rules = append(append(append([]Rule{}, live...), storage...), serve...)
+		p.Rules = append(append(append(append([]Rule{}, live...), storage...), serve...), cluster...)
 	default:
 		return Plan{}, fmt.Errorf("faults: unknown profile %q (want one of %s)",
 			name, strings.Join(ProfileNames(), ", "))

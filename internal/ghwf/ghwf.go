@@ -23,6 +23,7 @@ package ghwf
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -330,6 +331,11 @@ type Job struct {
 	Steps           []*Step
 	// Matrix maps each strategy.matrix key to its values.
 	Matrix map[string][]string
+	// Needs lists the job IDs this job waits on; Validate checks every
+	// reference resolves to a job in the same workflow.
+	Needs []string
+	// TimeoutMinutes is the job's timeout-minutes value, 0 when unset.
+	TimeoutMinutes int
 }
 
 // Step is one validated step: exactly one of Run or Uses is set.
@@ -379,6 +385,18 @@ func Validate(root *Node) (*Workflow, error) {
 		wf.Jobs[id] = j
 		wf.JobOrder = append(wf.JobOrder, id)
 	}
+	// needs references are resolved after every job exists, so order in
+	// the file does not matter (GitHub allows forward references).
+	for _, id := range wf.JobOrder {
+		for _, ref := range wf.Jobs[id].Needs {
+			if ref == id {
+				return nil, fmt.Errorf("job %q needs itself", id)
+			}
+			if wf.Jobs[ref] == nil {
+				return nil, fmt.Errorf("job %q needs unknown job %q", id, ref)
+			}
+		}
+	}
 	return wf, nil
 }
 
@@ -394,6 +412,36 @@ func validateJob(id string, n *Node) (*Job, error) {
 	}
 	j.RunsOn = runsOn.Str()
 	j.ContinueOnError = n.Get("continue-on-error").Str() == "true"
+
+	if needs := n.Map["needs"]; needs != nil {
+		switch needs.Kind {
+		case ScalarNode:
+			if needs.Scalar == "" {
+				return nil, fmt.Errorf("line %d: job %q 'needs' is empty", needs.Line, id)
+			}
+			j.Needs = []string{needs.Scalar}
+		case SeqNode:
+			if len(needs.Seq) == 0 {
+				return nil, fmt.Errorf("line %d: job %q 'needs' is empty", needs.Line, id)
+			}
+			for _, v := range needs.Seq {
+				if v.Kind != ScalarNode || v.Scalar == "" {
+					return nil, fmt.Errorf("line %d: job %q 'needs' entries must be job IDs", v.Line, id)
+				}
+				j.Needs = append(j.Needs, v.Scalar)
+			}
+		default:
+			return nil, fmt.Errorf("line %d: job %q 'needs' must be a job ID or sequence of job IDs", needs.Line, id)
+		}
+	}
+
+	if tm := n.Map["timeout-minutes"]; tm != nil {
+		v, err := strconv.Atoi(tm.Str())
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("line %d: job %q 'timeout-minutes' must be a positive integer, got %q", tm.Line, id, tm.Str())
+		}
+		j.TimeoutMinutes = v
+	}
 
 	if m := n.Get("strategy", "matrix"); m != nil {
 		if m.Kind != MapNode || len(m.Keys) == 0 {

@@ -175,11 +175,91 @@ func TestValidateRejectsBrokenJobs(t *testing.T) {
     steps:
       - run: true
 `,
+		"needs unknown job": `
+  j:
+    runs-on: ubuntu-latest
+    needs: ghost
+    steps:
+      - run: true
+`,
+		"needs itself": `
+  j:
+    runs-on: ubuntu-latest
+    needs: j
+    steps:
+      - run: true
+`,
+		"empty needs": `
+  j:
+    runs-on: ubuntu-latest
+    needs:
+    steps:
+      - run: true
+`,
+		"timeout not a number": `
+  j:
+    runs-on: ubuntu-latest
+    timeout-minutes: soon
+    steps:
+      - run: true
+`,
+		"timeout zero": `
+  j:
+    runs-on: ubuntu-latest
+    timeout-minutes: 0
+    steps:
+      - run: true
+`,
 	}
 	for name, body := range cases {
 		if _, err := Validate(workflowNode(t, body)); err == nil {
 			t.Errorf("%s: validated without error", name)
 		}
+	}
+}
+
+// TestValidateNeedsAndTimeout covers the dependency and timeout schema
+// keys: scalar and sequence needs forms resolve against the job map, and
+// timeout-minutes must be a positive integer.
+func TestValidateNeedsAndTimeout(t *testing.T) {
+	wf, err := Validate(workflowNode(t, `
+  base:
+    runs-on: ubuntu-latest
+    steps:
+      - run: true
+  other:
+    runs-on: ubuntu-latest
+    steps:
+      - run: true
+  dependent:
+    runs-on: ubuntu-latest
+    needs: base
+    timeout-minutes: 15
+    steps:
+      - run: true
+  fanin:
+    runs-on: ubuntu-latest
+    needs:
+      - base
+      - other
+    steps:
+      - run: true
+`))
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	dep := wf.Jobs["dependent"]
+	if !reflect.DeepEqual(dep.Needs, []string{"base"}) {
+		t.Errorf("scalar needs = %v, want [base]", dep.Needs)
+	}
+	if dep.TimeoutMinutes != 15 {
+		t.Errorf("timeout-minutes = %d, want 15", dep.TimeoutMinutes)
+	}
+	if fan := wf.Jobs["fanin"]; !reflect.DeepEqual(fan.Needs, []string{"base", "other"}) {
+		t.Errorf("sequence needs = %v, want [base other]", fan.Needs)
+	}
+	if base := wf.Jobs["base"]; base.Needs != nil || base.TimeoutMinutes != 0 {
+		t.Errorf("base got needs=%v timeout=%d, want zero values", base.Needs, base.TimeoutMinutes)
 	}
 }
 
@@ -204,7 +284,7 @@ func TestCIWorkflowIsValid(t *testing.T) {
 	if wf.Name != "ci" {
 		t.Errorf("workflow name = %q, want ci", wf.Name)
 	}
-	for _, id := range []string{"tier1", "bench", "trace-smoke", "serve-smoke", "chaos-smoke", "lint"} {
+	for _, id := range []string{"tier1", "bench", "trace-smoke", "serve-smoke", "chaos-smoke", "cluster-smoke", "lint"} {
 		if wf.Jobs[id] == nil {
 			t.Fatalf("ci.yml is missing the %q job", id)
 		}
@@ -296,6 +376,11 @@ func TestCIWorkflowIsValid(t *testing.T) {
 			strings.Contains(st.Run, `workpool\.wakeups [1-9]`) &&
 			strings.Contains(st.Run, `workpool\.steals [1-9]`) {
 			checksPool = true
+			// Small runners may collapse the pool to one shard: the
+			// assertions must be gated on the vCPU count, not dropped.
+			if !strings.Contains(st.Run, "$(nproc)") {
+				t.Error("serve-smoke pool assertions are not nproc-gated")
+			}
 		}
 		if strings.Contains(st.Run, "cmd/cinemaload") && strings.Contains(st.Run, "cmd/cinemaserve") {
 			runsLoad = true
@@ -342,6 +427,9 @@ func TestCIWorkflowIsValid(t *testing.T) {
 			strings.Contains(st.Run, `workpool\.wakeups [1-9]`) &&
 			strings.Contains(st.Run, `workpool\.steals [1-9]`) {
 			chaosPool = true
+			if !strings.Contains(st.Run, "$(nproc)") {
+				t.Error("chaos-smoke pool assertions are not nproc-gated")
+			}
 		}
 		if strings.Contains(st.Run, "cmd/tracecheck") {
 			chaosEnergy = true
@@ -360,6 +448,55 @@ func TestCIWorkflowIsValid(t *testing.T) {
 	if !chaosRuns || !chaosStable || !chaosCounts || !chaosPool || !chaosEnergy || !chaosServe || !chaosUpload {
 		t.Errorf("chaos-smoke coverage: runs=%v stable=%v counts=%v pool=%v energy=%v serve=%v upload=%v",
 			chaosRuns, chaosStable, chaosCounts, chaosPool, chaosEnergy, chaosServe, chaosUpload)
+	}
+
+	// The cluster-smoke job is the kill-a-node drill: a 3-node fleet plus
+	// gateway, a mid-burst SIGKILL, byte-identical frames after failover,
+	// a rebalance check across the survivors, and a direct multi-target
+	// balance gate. It depends on serve-smoke and carries a timeout so a
+	// wedged fleet cannot hang the pipeline.
+	clusterJob := wf.Jobs["cluster-smoke"]
+	if !reflect.DeepEqual(clusterJob.Needs, []string{"serve-smoke"}) {
+		t.Errorf("cluster-smoke needs = %v, want [serve-smoke]", clusterJob.Needs)
+	}
+	if clusterJob.TimeoutMinutes <= 0 {
+		t.Error("cluster-smoke must set timeout-minutes")
+	}
+	var clusterFleet, clusterKill, clusterCmp, clusterRebalance, clusterAsserts, clusterBalance, clusterUpload bool
+	for _, st := range clusterJob.Steps {
+		if strings.Contains(st.Run, "-cluster") && strings.Contains(st.Run, "-peers") &&
+			strings.Contains(st.Run, "-replicas") {
+			clusterFleet = true
+		}
+		if strings.Contains(st.Run, "kill -9") && strings.Contains(st.Run, "cinemaload") {
+			clusterKill = true
+		}
+		if strings.Contains(st.Run, "cmp ") && strings.Contains(st.Run, "before/") &&
+			strings.Contains(st.Run, "after/") {
+			clusterCmp = true
+		}
+		if strings.Contains(st.Run, "cluster.node.node0.ok") &&
+			strings.Contains(st.Run, "cluster.node.node2.ok") {
+			clusterRebalance = true
+		}
+		if strings.Contains(st.Run, `cluster\.failover [1-9]`) &&
+			strings.Contains(st.Run, `cluster\.errors 0`) &&
+			strings.Contains(st.Run, `cluster\.node\.node1\.up 0`) {
+			clusterAsserts = true
+		}
+		if strings.Contains(st.Run, "-targets") && strings.Contains(st.Run, "-balance-fail") {
+			clusterBalance = true
+		}
+		if strings.HasPrefix(st.Uses, "actions/upload-artifact@") {
+			clusterUpload = true
+			if st.If != "always()" {
+				t.Errorf("cluster artifact upload must run on failure too, if = %q", st.If)
+			}
+		}
+	}
+	if !clusterFleet || !clusterKill || !clusterCmp || !clusterRebalance || !clusterAsserts || !clusterBalance || !clusterUpload {
+		t.Errorf("cluster-smoke coverage: fleet=%v kill=%v cmp=%v rebalance=%v asserts=%v balance=%v upload=%v",
+			clusterFleet, clusterKill, clusterCmp, clusterRebalance, clusterAsserts, clusterBalance, clusterUpload)
 	}
 
 	// The lint job covers gofmt and go vet.

@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReprefixTextRewritesMetricLines(t *testing.T) {
+	src := strings.Join([]string{
+		"counter serve.requests 42",
+		"gauge serve.slots 4",
+		"histogram serve.latency.ns count 3 sum 12345",
+		"histogram serve.latency.ns le 1000 1",
+		"histogram serve.latency.ns p99 950",
+		"span step.time entries 2 sampled 1 sampled_ns 10 estimated_ns 20",
+	}, "\n") + "\n"
+	var out strings.Builder
+	if err := ReprefixText(&out, "node0.", []byte(src)); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"counter node0.serve.requests 42",
+		"gauge node0.serve.slots 4",
+		"histogram node0.serve.latency.ns count 3 sum 12345",
+		"histogram node0.serve.latency.ns le 1000 1",
+		"histogram node0.serve.latency.ns p99 950",
+		"span node0.step.time entries 2 sampled 1 sampled_ns 10 estimated_ns 20",
+	}, "\n") + "\n"
+	if out.String() != want {
+		t.Errorf("reprefixed exposition:\n%s\nwant:\n%s", out.String(), want)
+	}
+}
+
+func TestReprefixTextDropsForeignLines(t *testing.T) {
+	src := "<html>not metrics</html>\n\ncounter ok 1\ngarbage\nbogus kind 2\ncounter\n"
+	var out strings.Builder
+	if err := ReprefixText(&out, "n.", []byte(src)); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := out.String(), "counter n.ok 1\n"; got != want {
+		t.Errorf("filtered exposition = %q, want %q", got, want)
+	}
+}
+
+// TestReprefixTextRoundTrip pins that a registry's own WriteText output
+// passes through unmangled apart from the prefix, so the composed cluster
+// document stays parseable by the same greps CI uses on single nodes.
+func TestReprefixTextRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("requests").Add(7)
+	reg.Gauge("slots").Set(3)
+	reg.Histogram("lat", []float64{10, 100}).Observe(5)
+	var plain, prefixed strings.Builder
+	if err := reg.Snapshot().WriteText(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReprefixText(&prefixed, "peer.", []byte(plain.String())); err != nil {
+		t.Fatal(err)
+	}
+	for _, ln := range strings.Split(strings.TrimRight(plain.String(), "\n"), "\n") {
+		kind, rest, _ := strings.Cut(ln, " ")
+		want := kind + " peer." + rest
+		if !strings.Contains(prefixed.String(), want+"\n") {
+			t.Errorf("line %q missing from prefixed exposition %q", want, prefixed.String())
+		}
+	}
+	if got, want := strings.Count(prefixed.String(), "\n"), strings.Count(plain.String(), "\n"); got != want {
+		t.Errorf("prefixed exposition has %d lines, want %d", got, want)
+	}
+}
