@@ -30,6 +30,7 @@ import (
 
 	"insituviz/internal/catalyst"
 	"insituviz/internal/costmodel"
+	"insituviz/internal/livemodel"
 	"insituviz/internal/lustre"
 	"insituviz/internal/mesh"
 	"insituviz/internal/ocean"
@@ -318,10 +319,11 @@ func BenchmarkLiveCoupledRun(b *testing.B) {
 	}
 }
 
-// BenchmarkLiveCoupledRunTraced is the same end-to-end run with the
-// timeline tracer attached and phase-aligned attribution computed at the
-// end — the observability overhead the tracer's zero-allocation hot path
-// is supposed to keep under 2% versus BenchmarkLiveCoupledRun.
+// BenchmarkLiveCoupledRunTraced is the same end-to-end run with the full
+// observability stack attached — timeline tracer, phase-aligned
+// attribution, and the online cost-model estimator — the overhead that
+// the zero-allocation hot paths are supposed to keep within 10% of
+// BenchmarkLiveCoupledRun.
 func BenchmarkLiveCoupledRunTraced(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res, err := LiveRun(LiveConfig{
@@ -333,6 +335,7 @@ func BenchmarkLiveCoupledRunTraced(b *testing.B) {
 			ImageWidth:       128,
 			ImageHeight:      64,
 			Tracer:           trace.New(trace.Options{}),
+			Model:            livemodel.New(livemodel.Config{Window: 256, Damping: 1e-9}),
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -342,6 +345,9 @@ func BenchmarkLiveCoupledRunTraced(b *testing.B) {
 		}
 		if res.PhaseEnergy == nil {
 			b.Fatal("traced run produced no attribution")
+		}
+		if res.Model == nil || res.Model.Observations == 0 {
+			b.Fatal("traced run produced no model snapshot")
 		}
 	}
 }

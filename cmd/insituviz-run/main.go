@@ -19,6 +19,7 @@ import (
 
 	"insituviz"
 	"insituviz/internal/faults"
+	"insituviz/internal/livemodel"
 	"insituviz/internal/pipeline"
 	"insituviz/internal/report"
 	"insituviz/internal/telemetry"
@@ -44,6 +45,11 @@ func main() {
 	chaos := flag.String("chaos", "", fmt.Sprintf("arm deterministic storage fault injection: seed=N[,profile] (profiles: %s)",
 		strings.Join(faults.ProfileNames(), ", ")))
 	poolWorkers := flag.Int("pool-workers", 0, "cap the shared worker pool's width below GOMAXPROCS (0 = no cap)")
+	modelOn := flag.Bool("model", false, "fit the paper's cost model online during the run; adds /model to -http and a convergence table at exit")
+	modelWindow := flag.Int("model-window", 256, "observation window for the online model fit (0 = unbounded)")
+	energyBudget := flag.Float64("energy-budget", 0, "energy budget in joules; the model flags a budget anomaly when cumulative modeled energy crosses it (implies -model)")
+	modelLog := flag.String("model-log", "", "write the byte-stable model anomaly log to this file (\"-\" for stdout; implies -model)")
+	modelOut := flag.String("model-out", "", "write the final model snapshot (the /model JSON) to this file (implies -model)")
 	flag.Parse()
 
 	if *poolWorkers > 0 && !workpool.SetLimit(*poolWorkers) {
@@ -94,21 +100,39 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	var est *livemodel.Estimator
+	if *modelOn || *energyBudget > 0 || *modelLog != "" || *modelOut != "" {
+		est = livemodel.New(livemodel.Config{
+			Window:        *modelWindow,
+			Damping:       1e-9,
+			EnergyBudgetJ: *energyBudget,
+		})
+		platform.Model = est
+	}
 	var reg *telemetry.Registry
 	if *telemetryOut != "" || *httpAddr != "" {
 		reg = telemetry.NewRegistry()
 		platform.Telemetry = reg
+		est.SetTelemetry(reg)
 	}
 	var tracer *trace.Tracer
 	if *httpAddr != "" {
 		tracer = trace.New(trace.Options{})
 		platform.Tracer = tracer
-		addr, shutdown, err := trace.Serve(*httpAddr, trace.NewHandler(reg, tracer))
+		var extras []trace.Endpoint
+		if est != nil {
+			extras = append(extras, trace.Endpoint{Path: "/model", Desc: "live cost-model fit (JSON)", H: est.Handler()})
+		}
+		addr, shutdown, err := trace.Serve(*httpAddr, trace.NewHandlerFrom(reg, tracer, extras...))
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer shutdown()
-		fmt.Printf("serving live exposition on http://%s/ (/metrics, /trace)\n", addr)
+		endpoints := "/metrics, /trace"
+		if est != nil {
+			endpoints += ", /model"
+		}
+		fmt.Printf("serving live exposition on http://%s/ (%s)\n", addr, endpoints)
 	}
 	m, err := insituviz.RunPipeline(kind, w, platform)
 	if err != nil {
@@ -143,6 +167,66 @@ func main() {
 	tb.AddRow("outputs written", fmt.Sprintf("%d", m.Outputs))
 	fmt.Print(tb.String())
 
+	if est != nil {
+		snap := est.Snapshot()
+		ref := livemodel.NodeCostModel()
+		mt := report.NewTable("live cost model — t = t_sim + α·S_io + β·N_viz",
+			"quantity", "fitted", "reference")
+		mt.AddRow("observations", fmt.Sprintf("%d (%d in fit window)", snap.Observations, snap.Included), "")
+		mt.AddRow("t_sim (s)", fmt.Sprintf("%.4g ± %.2g", snap.TSim, snap.TSimCI), "")
+		mt.AddRow("α (s/GB)", fmt.Sprintf("%.4g ± %.2g", snap.Alpha, snap.AlphaCI), fmt.Sprintf("%.4g", ref.AlphaSPerGB))
+		mt.AddRow("β (s/image-set)", fmt.Sprintf("%.4g ± %.2g", snap.Beta, snap.BetaCI), fmt.Sprintf("%.4g", ref.BetaSPerSet))
+		mt.AddRow("residual p50/p90/p99 (s)",
+			fmt.Sprintf("%.3g / %.3g / %.3g", snap.ResidualP50, snap.ResidualP90, snap.ResidualP99), "")
+		mt.AddRow("anomalies", fmt.Sprintf("%d io / %d viz / %d budget",
+			snap.AnomalyCounts.IO, snap.AnomalyCounts.Viz, snap.AnomalyCounts.Budget), "")
+		energy := fmt.Sprintf("%.4g J (burn %.4g W)", snap.EnergyJ, snap.BurnRateW)
+		if snap.BudgetJ > 0 {
+			energy += fmt.Sprintf(", budget %.4g J", snap.BudgetJ)
+		}
+		mt.AddRow("modeled energy", energy, "")
+		fmt.Print(mt.String())
+		verdict := "no"
+		switch {
+		case !snap.Converged || !snap.Identifiable:
+			verdict = "indeterminate" // α not constrained by this run's window
+		case livemodel.Contains(snap.Alpha, snap.AlphaCI, ref.AlphaSPerGB):
+			verdict = "yes"
+		}
+		fmt.Printf("model alpha contains-reference %s\n", verdict)
+
+		if *modelLog != "" {
+			w := os.Stdout
+			if *modelLog != "-" {
+				f, err := os.Create(*modelLog)
+				if err != nil {
+					log.Fatal(err)
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := snap.WriteLog(w); err != nil {
+				log.Fatal(err)
+			}
+			if *modelLog != "-" {
+				fmt.Printf("model anomaly log written to %s\n", *modelLog)
+			}
+		}
+		if *modelOut != "" {
+			f, err := os.Create(*modelOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := snap.WriteJSON(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("model snapshot written to %s\n", *modelOut)
+		}
+	}
+
 	if m.Attribution != nil {
 		at := report.NewTable(fmt.Sprintf("phase-aligned energy attribution (%s meter)", m.Attribution.Meter),
 			"phase", "time", "energy", "avg power")
@@ -164,6 +248,15 @@ func main() {
 		}
 		if m.StorageProfile != nil {
 			counters = append(counters, trace.CounterTrack{Name: "storage power", Profile: m.StorageProfile})
+		}
+		if series := est.Series(); len(series) > 0 {
+			pred := trace.CounterTrack{Name: "model predicted step time", Unit: "s"}
+			act := trace.CounterTrack{Name: "model actual step time", Unit: "s"}
+			for _, p := range series {
+				pred.Points = append(pred.Points, trace.CounterPoint{TS: insituviz.Seconds(p.TS), Value: p.Predicted})
+				act.Points = append(act.Points, trace.CounterPoint{TS: insituviz.Seconds(p.TS), Value: p.Actual})
+			}
+			counters = append(counters, pred, act)
 		}
 		if err := pipeline.WriteChromeTrace(f, m.Phases, counters...); err != nil {
 			log.Fatal(err)

@@ -25,6 +25,7 @@ import (
 	"insituviz/internal/cinemaserve"
 	"insituviz/internal/cinemastore"
 	"insituviz/internal/faults"
+	"insituviz/internal/livemodel"
 	"insituviz/internal/report"
 	"insituviz/internal/telemetry"
 	"insituviz/internal/trace"
@@ -59,6 +60,11 @@ func main() {
 		strings.Join(faults.ProfileNames(), ", ")))
 	vizDeadline := flag.Float64("viz-deadline", 0, "per-sample visualization budget in seconds; injected stalls at or beyond it drop the sample's frames (0 = 0.5 s when -chaos is set)")
 	faultlog := flag.String("faultlog", "", "write the byte-stable injected-fault log to this file (\"-\" for stdout; requires -chaos)")
+	modelOn := flag.Bool("model", false, "fit the paper's cost model online during the run; adds /model to -http and a convergence table at exit")
+	modelWindow := flag.Int("model-window", 256, "observation window for the online model fit (0 = unbounded)")
+	energyBudget := flag.Float64("energy-budget", 0, "energy budget in joules; the model flags a budget anomaly when cumulative modeled energy crosses it (implies -model)")
+	modelLog := flag.String("model-log", "", "write the byte-stable model anomaly log to this file (\"-\" for stdout; implies -model)")
+	modelOut := flag.String("model-out", "", "write the final model snapshot (the /model JSON) to this file (implies -model)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -112,6 +118,15 @@ func main() {
 		log.Fatal("-faultlog requires -chaos")
 	}
 
+	var est *livemodel.Estimator
+	if *modelOn || *energyBudget > 0 || *modelLog != "" || *modelOut != "" {
+		est = livemodel.New(livemodel.Config{
+			Window:        *modelWindow,
+			Damping:       1e-9,
+			EnergyBudgetJ: *energyBudget,
+		})
+	}
+
 	// The tracer and (shared) registry exist whenever any observability
 	// flag asks for them; -http additionally exposes both live while the
 	// run executes.
@@ -134,14 +149,22 @@ func main() {
 		cinemaSrv = cinemaserve.NewServer(cinemaserve.Config{Telemetry: serveReg, Tracer: tracer})
 		union := telemetry.NewUnion().Add("", reg).Add("serve.", serveReg)
 		mux := http.NewServeMux()
-		mux.Handle("/", trace.NewHandlerFrom(union, tracer))
+		var extras []trace.Endpoint
+		if est != nil {
+			extras = append(extras, trace.Endpoint{Path: "/model", Desc: "live cost-model fit (JSON)", H: est.Handler()})
+		}
+		mux.Handle("/", trace.NewHandlerFrom(union, tracer, extras...))
 		mux.Handle("/cinema/", http.StripPrefix("/cinema", cinemaSrv.Handler()))
 		addr, shutdown, err := trace.Serve(*httpAddr, mux)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer shutdown()
-		fmt.Printf("serving live exposition on http://%s/ (/metrics, /trace, /cinema/)\n", addr)
+		endpoints := "/metrics, /trace, /cinema/"
+		if est != nil {
+			endpoints += ", /model"
+		}
+		fmt.Printf("serving live exposition on http://%s/ (%s)\n", addr, endpoints)
 	}
 
 	res, err := insituviz.LiveRun(insituviz.LiveConfig{
@@ -160,6 +183,7 @@ func main() {
 		Tracer:           tracer,
 		Faults:           injector,
 		VizDeadline:      units.Seconds(*vizDeadline),
+		Model:            est,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -231,6 +255,67 @@ func main() {
 		}
 	}
 
+	if res.Model != nil {
+		snap := res.Model
+		ref := livemodel.NodeCostModel()
+		mt := report.NewTable("live cost model — t = t_sim + α·S_io + β·N_viz",
+			"quantity", "fitted", "reference")
+		mt.AddRow("observations", fmt.Sprintf("%d (%d in fit window)", snap.Observations, snap.Included), "")
+		mt.AddRow("t_sim (s)", fmt.Sprintf("%.4g ± %.2g", snap.TSim, snap.TSimCI), "")
+		mt.AddRow("α (s/GB)", fmt.Sprintf("%.4g ± %.2g", snap.Alpha, snap.AlphaCI), fmt.Sprintf("%.4g", ref.AlphaSPerGB))
+		mt.AddRow("β (s/image-set)", fmt.Sprintf("%.4g ± %.2g", snap.Beta, snap.BetaCI), fmt.Sprintf("%.4g", ref.BetaSPerSet))
+		mt.AddRow("residual p50/p90/p99 (s)",
+			fmt.Sprintf("%.3g / %.3g / %.3g", snap.ResidualP50, snap.ResidualP90, snap.ResidualP99), "")
+		mt.AddRow("anomalies", fmt.Sprintf("%d io / %d viz / %d budget",
+			snap.AnomalyCounts.IO, snap.AnomalyCounts.Viz, snap.AnomalyCounts.Budget), "")
+		energy := fmt.Sprintf("%.4g J (burn %.4g W)", snap.EnergyJ, snap.BurnRateW)
+		if snap.BudgetJ > 0 {
+			energy += fmt.Sprintf(", budget %.4g J", snap.BudgetJ)
+		}
+		mt.AddRow("modeled energy", energy, "")
+		fmt.Print(mt.String())
+		verdict := "no"
+		switch {
+		case !snap.Converged || !snap.Identifiable:
+			verdict = "indeterminate" // α not constrained by this run's window
+		case livemodel.Contains(snap.Alpha, snap.AlphaCI, ref.AlphaSPerGB):
+			verdict = "yes"
+		}
+		fmt.Printf("model alpha contains-reference %s\n", verdict)
+	}
+
+	if *modelLog != "" {
+		w := os.Stdout
+		if *modelLog != "-" {
+			f, err := os.Create(*modelLog)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := res.Model.WriteLog(w); err != nil {
+			log.Fatal(err)
+		}
+		if *modelLog != "-" {
+			fmt.Printf("model anomaly log written to %s\n", *modelLog)
+		}
+	}
+
+	if *modelOut != "" {
+		f, err := os.Create(*modelOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.Model.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("model snapshot written to %s\n", *modelOut)
+	}
+
 	if res.PhaseEnergy != nil {
 		at := report.NewTable(fmt.Sprintf("phase-aligned energy attribution (%s meter)", res.PhaseEnergy.Meter),
 			"phase", "time", "energy", "avg power")
@@ -249,6 +334,15 @@ func main() {
 		var counters []trace.CounterTrack
 		if res.PowerProfile != nil {
 			counters = append(counters, trace.CounterTrack{Name: "node-model power", Profile: res.PowerProfile})
+		}
+		if series := est.Series(); len(series) > 0 {
+			pred := trace.CounterTrack{Name: "model predicted step time", Unit: "s"}
+			act := trace.CounterTrack{Name: "model actual step time", Unit: "s"}
+			for _, p := range series {
+				pred.Points = append(pred.Points, trace.CounterPoint{TS: units.Seconds(p.TS), Value: p.Predicted})
+				act.Points = append(act.Points, trace.CounterPoint{TS: units.Seconds(p.TS), Value: p.Actual})
+			}
+			counters = append(counters, pred, act)
 		}
 		if err := trace.WriteChrome(f, res.Timeline, counters...); err != nil {
 			log.Fatal(err)

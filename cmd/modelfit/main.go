@@ -8,9 +8,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 
 	"insituviz"
+	"insituviz/internal/livemodel"
 	"insituviz/internal/report"
 )
 
@@ -18,6 +20,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("modelfit: ")
 	useRegression := flag.Bool("regression", false, "fit by least squares over all six points instead of the paper's exact 3-point solve")
+	online := flag.Bool("online", false, "also replay the measured points through the livemodel online estimator and compare against the offline least-squares fit")
 	csvPath := flag.String("csv", "", "also write the measured configurations as CSV to this file")
 	flag.Parse()
 
@@ -74,6 +77,50 @@ func main() {
 	coef.AddRow("P", model.Power.String(), "~46 kW")
 	fmt.Print(coef.String())
 	fmt.Println()
+
+	if *online {
+		// The online estimator, unbounded and undamped with detection
+		// disabled, is exactly incremental least squares — replaying the
+		// campaign must land on the offline regression coefficients.
+		est := livemodel.New(livemodel.Config{
+			Window: 0, Damping: 0,
+			ZThreshold: math.Inf(1), HardZ: math.Inf(1), CUSUMThreshold: math.Inf(1),
+		})
+		for _, p := range ch.Points {
+			est.Observe(livemodel.Observation{
+				SIoGB: p.OutputGB,
+				NViz:  float64(p.Images),
+				T:     float64(p.Time),
+			})
+		}
+		tsim, alpha, beta, ok := est.Coefficients()
+		if !ok {
+			log.Fatal("-online: estimator did not converge over the campaign points")
+		}
+		offline, err := ch.FitRegressionModel()
+		if err != nil {
+			log.Fatal(err)
+		}
+		relDiff := func(a, b float64) float64 {
+			return math.Abs(a-b) / math.Max(1, math.Abs(b))
+		}
+		cmp := report.NewTable("Online replay vs offline least squares",
+			"coefficient", "offline LS", "online RLS", "rel diff")
+		cmp.AddRow("t_sim", fmt.Sprintf("%.6f s", float64(offline.TSimRef)),
+			fmt.Sprintf("%.6f s", tsim), fmt.Sprintf("%.2e", relDiff(tsim, float64(offline.TSimRef))))
+		cmp.AddRow("alpha", fmt.Sprintf("%.6f s/GB", offline.Alpha),
+			fmt.Sprintf("%.6f s/GB", alpha), fmt.Sprintf("%.2e", relDiff(alpha, offline.Alpha)))
+		cmp.AddRow("beta", fmt.Sprintf("%.6f s/image-set", offline.Beta),
+			fmt.Sprintf("%.6f s/image-set", beta), fmt.Sprintf("%.2e", relDiff(beta, offline.Beta)))
+		fmt.Print(cmp.String())
+		worst := math.Max(relDiff(tsim, float64(offline.TSimRef)),
+			math.Max(relDiff(alpha, offline.Alpha), relDiff(beta, offline.Beta)))
+		verdict := "no"
+		if worst <= 1e-9 {
+			verdict = "yes"
+		}
+		fmt.Printf("online matches offline to 1e-9: %s (worst rel diff %.2e)\n\n", verdict, worst)
+	}
 
 	rep, err := ch.Validate(model)
 	if err != nil {

@@ -420,6 +420,12 @@ func Profile(name string, seed uint64) (Plan, error) {
 		{Site: "render.rank", Kind: KindCrash, At: []uint64{4}, Count: 1},
 		{Site: "viz.sample", Kind: KindStall, Prob: 0.25, At: []uint64{3}, Stall: 1.0},
 		{Site: "cinema.commit", Kind: KindTorn, At: []uint64{1}, Count: 1},
+		// Scheduled I/O stall on the live store-commit path, late enough
+		// that short chaos-smoke runs (4 samples) never reach it; longer
+		// model-smoke runs do, and the live model must surface it as a
+		// deterministic "io" anomaly. Appended last: rule salts are
+		// positional, so earlier rules keep their byte-identical logs.
+		{Site: "live.io", Kind: KindStall, At: []uint64{4}, Stall: 3.0, Count: 1},
 	}
 	storage := []Rule{
 		{Site: "lustre.write", Kind: KindError, Prob: 0.15},

@@ -284,7 +284,7 @@ func TestCIWorkflowIsValid(t *testing.T) {
 	if wf.Name != "ci" {
 		t.Errorf("workflow name = %q, want ci", wf.Name)
 	}
-	for _, id := range []string{"tier1", "bench", "trace-smoke", "serve-smoke", "chaos-smoke", "cluster-smoke", "lint"} {
+	for _, id := range []string{"tier1", "bench", "trace-smoke", "serve-smoke", "chaos-smoke", "model-smoke", "cluster-smoke", "lint"} {
 		if wf.Jobs[id] == nil {
 			t.Fatalf("ci.yml is missing the %q job", id)
 		}
@@ -448,6 +448,45 @@ func TestCIWorkflowIsValid(t *testing.T) {
 	if !chaosRuns || !chaosStable || !chaosCounts || !chaosPool || !chaosEnergy || !chaosServe || !chaosUpload {
 		t.Errorf("chaos-smoke coverage: runs=%v stable=%v counts=%v pool=%v energy=%v serve=%v upload=%v",
 			chaosRuns, chaosStable, chaosCounts, chaosPool, chaosEnergy, chaosServe, chaosUpload)
+	}
+
+	// The model-smoke job holds the observability contracts end to end:
+	// two same-seed chaos runs with the online model produce byte-identical
+	// anomaly logs and snapshots, the injected live.io stall surfaces in
+	// both the log and the model.anomalies.io counter, the fitted alpha's
+	// confidence interval brackets the paper's reference value, and the
+	// online estimator replays the offline campaign to 1e-9.
+	var modelRuns, modelStable, modelAnomaly, modelVerdict, modelReplay, modelUpload bool
+	for _, st := range wf.Jobs["model-smoke"].Steps {
+		if strings.Contains(st.Run, "cmd/liverun") && strings.Contains(st.Run, "-chaos seed=") &&
+			strings.Contains(st.Run, "-model-log") && strings.Contains(st.Run, "-model-out") {
+			modelRuns = true
+		}
+		if strings.Contains(st.Run, "cmp modelA.log modelB.log") &&
+			strings.Contains(st.Run, "cmp modelA.json modelB.json") {
+			modelStable = true
+		}
+		if strings.Contains(st.Run, `model\.anomalies\.io [1-9]`) &&
+			strings.Contains(st.Run, "model anomaly #") {
+			modelAnomaly = true
+		}
+		if strings.Contains(st.Run, "model alpha contains-reference yes") {
+			modelVerdict = true
+		}
+		if strings.Contains(st.Run, "cmd/modelfit") && strings.Contains(st.Run, "-online") &&
+			strings.Contains(st.Run, "online matches offline to 1e-9: yes") {
+			modelReplay = true
+		}
+		if strings.HasPrefix(st.Uses, "actions/upload-artifact@") {
+			modelUpload = true
+			if st.If != "always()" {
+				t.Errorf("model artifact upload must run on failure too, if = %q", st.If)
+			}
+		}
+	}
+	if !modelRuns || !modelStable || !modelAnomaly || !modelVerdict || !modelReplay || !modelUpload {
+		t.Errorf("model-smoke coverage: runs=%v stable=%v anomaly=%v verdict=%v replay=%v upload=%v",
+			modelRuns, modelStable, modelAnomaly, modelVerdict, modelReplay, modelUpload)
 	}
 
 	// The cluster-smoke job is the kill-a-node drill: a 3-node fleet plus

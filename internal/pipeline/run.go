@@ -5,6 +5,7 @@ import (
 
 	"insituviz/internal/clustersim"
 	"insituviz/internal/faults"
+	"insituviz/internal/livemodel"
 	"insituviz/internal/lustre"
 	"insituviz/internal/power"
 	"insituviz/internal/telemetry"
@@ -75,6 +76,35 @@ type Platform struct {
 	// each pipeline phase boundary. Faults that outlast the policy fail
 	// the run with a lustre.BudgetError.
 	Faults *faults.Injector
+	// Model, when non-nil, receives one observation per output from the
+	// post-processing and in-situ pipelines: genuine simulated-clock
+	// windows (sim + I/O + viz), the bytes moved, and the image sets
+	// produced, so the online estimator fits the paper's cost model
+	// while the simulated run executes. Injected lustre stalls and retry
+	// delays land in the observed I/O window and surface as "io"
+	// anomalies. The in-transit pipeline's two overlapping partitions
+	// have no per-output window and are not observed.
+	Model *livemodel.Estimator
+}
+
+// observeModel feeds the platform's estimator one per-output observation
+// closing at the machine's current clock: T is the window since t0, with
+// tIo/tViz the I/O and render shares, sIoGB the bytes moved, and nViz
+// the image sets produced. Energy is the reference flat draw over the
+// window (NodeCostModel watts x compute nodes), matching how LiveRun
+// accounts burn. All inputs are simulated-clock quantities, so the fit
+// is deterministic. No-op without a Model.
+func (p Platform) observeModel(machine *clustersim.Machine, t0 units.Seconds, sIoGB, nViz, tIo, tViz float64) {
+	if p.Model == nil {
+		return
+	}
+	t1 := machine.Clock()
+	t := float64(t1 - t0)
+	p.Model.Observe(livemodel.Observation{
+		SIoGB: sIoGB, NViz: nViz, T: t, TIo: tIo, TViz: tViz,
+		EnergyJ: livemodel.NodeCostModel().PowerW * float64(p.Compute.Nodes) * t,
+		TS:      float64(t1),
+	})
 }
 
 // ioPhase returns the phase kind charged while the machine waits on
@@ -202,6 +232,7 @@ func runPostProcessing(w Workload, p Platform, machine *clustersim.Machine, stor
 
 	// Simulation with interleaved raw dumps.
 	for out := 0; out < outputs; out++ {
+		winStart := machine.Clock()
 		if err := machine.Run(clustersim.PhaseSimulate, perStep*units.Seconds(sps), "ocean step window"); err != nil {
 			return nil, err
 		}
@@ -215,6 +246,7 @@ func runPostProcessing(w Workload, p Platform, machine *clustersim.Machine, stor
 		if err := machine.RunUntil(p.ioPhase(), done, "PIO raw dump"); err != nil {
 			return nil, err
 		}
+		p.observeModel(machine, winStart, float64(raw)/1e9, 0, float64(done-t0), 0)
 	}
 	// Trailing steps that produce no output.
 	if rem := steps - outputs*sps; rem > 0 {
@@ -244,6 +276,7 @@ func runPostProcessing(w Workload, p Platform, machine *clustersim.Machine, stor
 		if err := machine.RunUntil(clustersim.PhaseVisualize, vizEnd, "ParaView render"); err != nil {
 			return nil, err
 		}
+		vizDone := machine.Clock()
 		imgName := fmt.Sprintf("images/post_%05d.png", out)
 		t0 := machine.Clock()
 		done, err := storage.Write(imgName, imgBytes, t0)
@@ -254,6 +287,8 @@ func runPostProcessing(w Workload, p Platform, machine *clustersim.Machine, stor
 		if err := machine.RunUntil(p.ioPhase(), done, "image write"); err != nil {
 			return nil, err
 		}
+		p.observeModel(machine, start, float64(raw+imgBytes)/1e9, 1,
+			float64(readDone-start)+float64(done-t0), float64(vizDone-readDone))
 	}
 	return collect(PostProcessing, w, p, machine, storage, outputs)
 }
@@ -278,6 +313,7 @@ func runInSitu(w Workload, p Platform, machine *clustersim.Machine, storage *lus
 	// The Catalyst deep copy costs on-node memory traffic; at DRAM speeds
 	// it is microseconds per rank and is folded into the render phase.
 	for out := 0; out < outputs; out++ {
+		winStart := machine.Clock()
 		if err := machine.Run(clustersim.PhaseSimulate, perStep*units.Seconds(sps), "ocean step window"); err != nil {
 			return nil, err
 		}
@@ -294,6 +330,8 @@ func runInSitu(w Workload, p Platform, machine *clustersim.Machine, storage *lus
 		if err := machine.RunUntil(p.ioPhase(), done, "image write"); err != nil {
 			return nil, err
 		}
+		p.observeModel(machine, winStart, float64(imgBytes)/1e9, 1,
+			float64(done-t0), RenderSecondsPerSet)
 	}
 	if rem := steps - outputs*sps; rem > 0 {
 		if err := machine.Run(clustersim.PhaseSimulate, perStep*units.Seconds(rem), "ocean tail window"); err != nil {

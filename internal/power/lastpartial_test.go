@@ -1,0 +1,83 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"insituviz/internal/units"
+)
+
+// TestValidateRejectsNaNLastPartial: NaN slips through ordered
+// comparisons — `<= 0 || > 1` is false for NaN — so Validate must test
+// for it explicitly. A NaN LastPartial is the residue of dividing by a
+// zero meter period when the observed window is shorter than one
+// reporting interval.
+func TestValidateRejectsNaNLastPartial(t *testing.T) {
+	p := &Profile{
+		Interval:    units.Seconds(60),
+		Powers:      []units.Watts{100},
+		LastPartial: math.NaN(),
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate accepted a NaN LastPartial")
+	}
+}
+
+// TestLastFractionClampsDegenerateValues: the clamp every integral
+// weights the final sample by must map NaN and negatives to 0 and
+// overshoot to 1, so Duration and Energy stay finite and mutually
+// consistent even on invalid profiles.
+func TestLastFractionClampsDegenerateValues(t *testing.T) {
+	cases := []struct {
+		in, want float64
+	}{
+		{math.NaN(), 0},
+		{-0.5, 0},
+		{0, 0},
+		{0.25, 0.25},
+		{1, 1},
+		{1.5, 1},
+	}
+	for _, c := range cases {
+		p := &Profile{Interval: 60, Powers: []units.Watts{100}, LastPartial: c.in}
+		if got := p.LastFraction(); got != c.want {
+			t.Errorf("LastFraction(%g) = %g, want %g", c.in, got, c.want)
+		}
+		if d := p.Duration(); math.IsNaN(float64(d)) {
+			t.Errorf("Duration is NaN for LastPartial %g", c.in)
+		}
+		if e := p.Energy(); math.IsNaN(float64(e)) {
+			t.Errorf("Energy is NaN for LastPartial %g", c.in)
+		}
+	}
+}
+
+// TestSubIntervalWindowProfile: a trace shorter than one meter period
+// yields a single-sample profile whose LastPartial is the observed
+// fraction — valid, with Duration and Energy matching the trace exactly.
+func TestSubIntervalWindowProfile(t *testing.T) {
+	tr := &Trace{}
+	if err := tr.Append(0, 0.4, 250); err != nil {
+		t.Fatal(err)
+	}
+	m := Meter{Interval: units.Seconds(1), Name: "sub-interval"}
+	p, err := m.Sample(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("sub-interval profile invalid: %v", err)
+	}
+	if len(p.Powers) != 1 {
+		t.Fatalf("got %d samples, want 1", len(p.Powers))
+	}
+	if math.Abs(p.LastPartial-0.4) > 1e-12 {
+		t.Errorf("LastPartial = %g, want 0.4", p.LastPartial)
+	}
+	if d := float64(p.Duration()); math.Abs(d-0.4) > 1e-12 {
+		t.Errorf("Duration = %g, want 0.4", d)
+	}
+	if e := float64(p.Energy()); math.Abs(e-100) > 1e-9 { // 250 W x 0.4 s
+		t.Errorf("Energy = %g, want 100", e)
+	}
+}

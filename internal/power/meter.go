@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 
 	"insituviz/internal/stats"
@@ -30,8 +31,12 @@ type Profile struct {
 // sample from Duration, Energy, and Average, and a LastPartial above 1
 // would charge the final sample more time than one interval; both are
 // construction errors, reported here instead of surfacing as quietly
-// wrong integrals. Meter.Sample and SumProfiles only produce valid
-// profiles.
+// wrong integrals. NaN — the typical residue of dividing by a zero
+// meter period when the observed window is shorter than one interval —
+// is rejected too: NaN slips through ordered comparisons, and downstream
+// it would silently drop the final sample from every attribution while
+// poisoning the window total. Meter.Sample and SumProfiles only produce
+// valid profiles.
 func (p *Profile) Validate() error {
 	if p.Interval <= 0 {
 		return fmt.Errorf("power: profile has non-positive interval %v", p.Interval)
@@ -39,24 +44,28 @@ func (p *Profile) Validate() error {
 	if len(p.Powers) == 0 {
 		return fmt.Errorf("power: empty profile")
 	}
-	if p.LastPartial <= 0 || p.LastPartial > 1 {
+	if math.IsNaN(p.LastPartial) || p.LastPartial <= 0 || p.LastPartial > 1 {
 		return fmt.Errorf("power: profile LastPartial %g outside (0, 1] (0 usually means the field was never set)", p.LastPartial)
 	}
 	return nil
 }
 
-// lastFrac returns LastPartial clamped to [0, 1], the fraction Duration,
-// Energy, and WriteCSV weight the final sample by. Clamping keeps the
-// three mutually consistent even on profiles that fail Validate.
-func (p *Profile) lastFrac() float64 {
+// LastFraction returns LastPartial clamped to [0, 1] (NaN clamps to 0),
+// the fraction Duration, Energy, WriteCSV, and trace.Attribute weight
+// the final sample by. Clamping keeps the integrals mutually consistent
+// even on profiles that fail Validate.
+func (p *Profile) LastFraction() float64 {
 	switch {
-	case p.LastPartial < 0:
+	case !(p.LastPartial >= 0): // negative or NaN
 		return 0
 	case p.LastPartial > 1:
 		return 1
 	}
 	return p.LastPartial
 }
+
+// lastFrac is the internal alias of LastFraction.
+func (p *Profile) lastFrac() float64 { return p.LastFraction() }
 
 // Duration returns the observed time span.
 func (p *Profile) Duration() units.Seconds {

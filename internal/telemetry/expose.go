@@ -15,10 +15,11 @@ import (
 // byte-identically regardless of the order metrics were registered or
 // updated in.
 type Snapshot struct {
-	Counters   map[string]int64          `json:"counters"`
-	Gauges     map[string]int64          `json:"gauges"`
-	Histograms map[string]HistogramValue `json:"histograms"`
-	Spans      map[string]SpanValue      `json:"spans"`
+	Counters    map[string]int64          `json:"counters"`
+	Gauges      map[string]int64          `json:"gauges"`
+	FloatGauges map[string]float64        `json:"fgauges"`
+	Histograms  map[string]HistogramValue `json:"histograms"`
+	Spans       map[string]SpanValue      `json:"spans"`
 }
 
 // Snapshot copies the current value of every registered metric. Individual
@@ -27,10 +28,11 @@ type Snapshot struct {
 // empty snapshot on a nil registry.
 func (r *Registry) Snapshot() *Snapshot {
 	s := &Snapshot{
-		Counters:   map[string]int64{},
-		Gauges:     map[string]int64{},
-		Histograms: map[string]HistogramValue{},
-		Spans:      map[string]SpanValue{},
+		Counters:    map[string]int64{},
+		Gauges:      map[string]int64{},
+		FloatGauges: map[string]float64{},
+		Histograms:  map[string]HistogramValue{},
+		Spans:       map[string]SpanValue{},
 	}
 	if r == nil {
 		return s
@@ -42,6 +44,15 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	for name, g := range r.gauges {
 		s.Gauges[name] = g.Value()
+	}
+	for name, g := range r.floatGauges {
+		v := g.Value()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			// encoding/json cannot represent non-finite numbers; one
+			// poisoned gauge must not take down the whole exposition.
+			v = 0
+		}
+		s.FloatGauges[name] = v
 	}
 	for name, h := range r.histograms {
 		s.Histograms[name] = h.value()
@@ -111,6 +122,12 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 	}
 	for _, name := range sortedNames(s.Gauges) {
 		if _, err := fmt.Fprintf(w, "gauge %s %d\n", name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedNames(s.FloatGauges) {
+		if _, err := fmt.Fprintf(w, "fgauge %s %s\n", name,
+			strconv.FormatFloat(s.FloatGauges[name], 'g', -1, 64)); err != nil {
 			return err
 		}
 	}

@@ -28,6 +28,9 @@ func (s *Snapshot) Merge(prefix string, src *Snapshot) error {
 		if _, ok := s.Gauges[name]; ok {
 			return true
 		}
+		if _, ok := s.FloatGauges[name]; ok {
+			return true
+		}
 		if _, ok := s.Histograms[name]; ok {
 			return true
 		}
@@ -40,6 +43,11 @@ func (s *Snapshot) Merge(prefix string, src *Snapshot) error {
 		}
 	}
 	for name := range src.Gauges {
+		if taken(prefix + name) {
+			return fmt.Errorf("telemetry: merge collision on %q", prefix+name)
+		}
+	}
+	for name := range src.FloatGauges {
 		if taken(prefix + name) {
 			return fmt.Errorf("telemetry: merge collision on %q", prefix+name)
 		}
@@ -59,6 +67,12 @@ func (s *Snapshot) Merge(prefix string, src *Snapshot) error {
 	}
 	for name, v := range src.Gauges {
 		s.Gauges[prefix+name] = v
+	}
+	for name, v := range src.FloatGauges {
+		if s.FloatGauges == nil {
+			s.FloatGauges = map[string]float64{}
+		}
+		s.FloatGauges[prefix+name] = v
 	}
 	for name, v := range src.Histograms {
 		s.Histograms[prefix+name] = v

@@ -11,6 +11,7 @@ import (
 var expositionKinds = [][]byte{
 	[]byte("counter"),
 	[]byte("gauge"),
+	[]byte("fgauge"),
 	[]byte("histogram"),
 	[]byte("span"),
 }

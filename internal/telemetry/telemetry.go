@@ -27,6 +27,7 @@ package telemetry
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -96,33 +97,59 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
+// FloatGauge is an instantaneous atomic float64 value — model
+// coefficients, burn rates, anything where integer truncation would
+// destroy the signal. Stored as raw IEEE-754 bits in a single atomic
+// word, so Set and Value stay 0-alloc and tear-free. The zero value is
+// ready to use; a nil FloatGauge ignores writes.
+type FloatGauge struct {
+	v atomic.Uint64
+}
+
+// Set stores x.
+func (g *FloatGauge) Set(x float64) {
+	if g != nil {
+		g.v.Store(math.Float64bits(x))
+	}
+}
+
+// Value returns the current value; 0 on a nil FloatGauge.
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.v.Load())
+}
+
 // Registry is a named collection of metrics. Lookups are idempotent: the
 // first call with a name registers the metric, later calls return the same
 // handle. A nil *Registry returns nil handles, which are safe no-ops, so a
 // component can be instrumented unconditionally and run un-observed at
 // zero cost beyond a nil check.
 //
-// Counters, gauges, histograms, and spans live in separate namespaces,
-// but sharing one name across kinds is a registration error (it would
-// make the exposition ambiguous) and panics, like expvar.Publish on a
-// duplicate name.
+// Counters, gauges, float gauges, histograms, and spans live in separate
+// namespaces, but sharing one name across kinds is a registration error
+// (it would make the exposition ambiguous) and panics, like
+// expvar.Publish on a duplicate name.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
-	spans      map[string]*Span
-	kinds      map[string]string // name -> kind, for collision detection
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	floatGauges map[string]*FloatGauge
+	histograms  map[string]*Histogram
+	spans       map[string]*Span
+	kinds       map[string]string // name -> kind, for collision detection
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
-		spans:      make(map[string]*Span),
-		kinds:      make(map[string]string),
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		floatGauges: make(map[string]*FloatGauge),
+		histograms:  make(map[string]*Histogram),
+		spans:       make(map[string]*Span),
+		kinds:       make(map[string]string),
 	}
 }
 
@@ -169,6 +196,23 @@ func (r *Registry) Gauge(name string) *Gauge {
 	r.claim(name, "gauge")
 	g := &Gauge{}
 	r.gauges[name] = g
+	return g
+}
+
+// FloatGauge returns the float gauge registered under name, creating it
+// on first use. Returns nil on a nil registry.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.floatGauges[name]; ok {
+		return g
+	}
+	r.claim(name, "fgauge")
+	g := &FloatGauge{}
+	r.floatGauges[name] = g
 	return g
 }
 

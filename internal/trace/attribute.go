@@ -173,7 +173,11 @@ func Attribute(meter string, intervals []Interval, prof *power.Profile) (*Attrib
 	for i, w := range prof.Powers {
 		frac := 1.0
 		if i == len(prof.Powers)-1 {
-			frac = prof.LastPartial
+			// Clamped: a degenerate LastPartial (outside (0, 1], or NaN
+			// from a power window shorter than one meter period) must
+			// not turn the overlap weight into a NaN that silently
+			// uncharges the final sample and poisons the window total.
+			frac = prof.LastFraction()
 		}
 		a := float64(prof.Start) + float64(i)*float64(prof.Interval)
 		dur := float64(prof.Interval) * frac

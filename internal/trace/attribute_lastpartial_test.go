@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"insituviz/internal/power"
+	"insituviz/internal/units"
+)
+
+// TestAttributeSubPeriodWindow: a run shorter than one meter period
+// produces a single-sample profile with a fractional LastPartial; the
+// attribution must weight that sample by the observed fraction so the
+// per-phase energies still sum to the profile's total energy.
+func TestAttributeSubPeriodWindow(t *testing.T) {
+	intervals := []Interval{
+		{Phase: "sim.step", Start: 0, End: 10},
+		{Phase: "io.dump", Start: 10, End: 24},
+	}
+	model := NodePowerModel()
+	tr, err := model.Trace(intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One-minute meter over a 24-second run: a single sample with
+	// LastPartial = 24/60.
+	prof, err := power.Meter{Interval: units.Minutes(1), Name: "pdu"}.Sample(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Powers) != 1 || math.Abs(prof.LastPartial-24.0/60) > 1e-12 {
+		t.Fatalf("profile = %d samples, LastPartial %g; want 1 sample, 0.4", len(prof.Powers), prof.LastPartial)
+	}
+
+	att, err := Attribute("pdu", intervals, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := float64(att.Window), 24.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("window = %g s, want %g", got, want)
+	}
+	if got, want := float64(att.Total), float64(prof.Energy()); math.Abs(got-want) > 1e-6*want {
+		t.Errorf("attributed total %g J != profile energy %g J", got, want)
+	}
+	var sum float64
+	for _, p := range att.Phases {
+		sum += float64(p.Energy)
+	}
+	if math.Abs(sum-float64(att.Total)) > 1e-9 {
+		t.Errorf("phase energies sum to %g, total says %g", sum, float64(att.Total))
+	}
+}
+
+// TestAttributeRejectsNaNLastPartial: a hand-built profile with a NaN
+// LastPartial (division by a zero meter period) must be rejected up
+// front instead of silently uncharging the final sample.
+func TestAttributeRejectsNaNLastPartial(t *testing.T) {
+	prof := &power.Profile{
+		Interval:    units.Minutes(1),
+		Powers:      []units.Watts{200},
+		LastPartial: math.NaN(),
+	}
+	_, err := Attribute("pdu", []Interval{{Phase: "sim.step", Start: 0, End: 30}}, prof)
+	if err == nil {
+		t.Fatal("Attribute accepted a profile with NaN LastPartial")
+	}
+}

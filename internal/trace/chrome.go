@@ -30,12 +30,25 @@ type chromeDoc struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
-// CounterTrack is one power profile rendered as a Perfetto counter track,
-// so the metered watts draw as a stepped overlay above the span timeline
-// — the paper's Fig. 4 view, interactive.
+// CounterTrack is one counter series rendered as a Perfetto counter
+// track above the span timeline. Two source shapes are supported: a
+// metered power profile (the paper's Fig. 4 view — watts stepping at
+// sample boundaries, closed with a final 0) or a generic point series
+// (e.g. the live model's predicted-vs-actual seconds per sample).
+// Profile wins when both are set.
 type CounterTrack struct {
 	Name    string
 	Profile *power.Profile
+	// Points is the generic series, emitted in order with Unit as the
+	// argument key ("value" when empty).
+	Points []CounterPoint
+	Unit   string
+}
+
+// CounterPoint is one sample of a generic counter track.
+type CounterPoint struct {
+	TS    units.Seconds
+	Value float64
 }
 
 // tracePID is the process ID all exported events share: the trace models
@@ -91,26 +104,36 @@ func WriteChrome(w io.Writer, tl *Timeline, counters ...CounterTrack) error {
 		}
 	}
 	for ci, ct := range counters {
-		if ct.Profile == nil || len(ct.Profile.Powers) == 0 {
+		tid := counterTIDBase + ci
+		if p := ct.Profile; p != nil && len(p.Powers) > 0 {
+			for i, watts := range p.Powers {
+				ts := float64(p.Start) + float64(i)*float64(p.Interval)
+				events = append(events, chromeEvent{
+					Name: ct.Name, Ph: "C", TS: micros(units.Seconds(ts)),
+					PID: tracePID, TID: tid,
+					Args: map[string]any{"W": float64(watts)},
+				})
+			}
+			// Close the step function at the observed end of the profile.
+			events = append(events, chromeEvent{
+				Name: ct.Name, Ph: "C",
+				TS:  micros(p.Start + p.Duration()),
+				PID: tracePID, TID: tid,
+				Args: map[string]any{"W": 0.0},
+			})
 			continue
 		}
-		tid := counterTIDBase + ci
-		p := ct.Profile
-		for i, watts := range p.Powers {
-			ts := float64(p.Start) + float64(i)*float64(p.Interval)
+		unit := ct.Unit
+		if unit == "" {
+			unit = "value"
+		}
+		for _, pt := range ct.Points {
 			events = append(events, chromeEvent{
-				Name: ct.Name, Ph: "C", TS: micros(units.Seconds(ts)),
+				Name: ct.Name, Ph: "C", TS: micros(pt.TS),
 				PID: tracePID, TID: tid,
-				Args: map[string]any{"W": float64(watts)},
+				Args: map[string]any{unit: pt.Value},
 			})
 		}
-		// Close the step function at the observed end of the profile.
-		events = append(events, chromeEvent{
-			Name: ct.Name, Ph: "C",
-			TS:  micros(p.Start + p.Duration()),
-			PID: tracePID, TID: tid,
-			Args: map[string]any{"W": 0.0},
-		})
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(chromeDoc{TraceEvents: events, DisplayTimeUnit: "ms"})

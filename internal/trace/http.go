@@ -26,10 +26,21 @@ func NewHandler(reg *telemetry.Registry, tr *Tracer) http.Handler {
 	return NewHandlerFrom(src, tr)
 }
 
+// Endpoint is an extra route mounted next to /metrics and /trace by
+// NewHandlerFrom — the hook livemodel's /model endpoint uses, so every
+// observability surface shares one index page and one listener.
+type Endpoint struct {
+	Path string // absolute, e.g. "/model"
+	Desc string // one line for the index page
+	H    http.Handler
+}
+
 // NewHandlerFrom is NewHandler over any snapshot source — typically a
 // telemetry.Union composing several components' registries (the live run
-// and the Cinema query server) into one /metrics exposition.
-func NewHandlerFrom(src telemetry.Snapshotter, tr *Tracer) http.Handler {
+// and the Cinema query server) into one /metrics exposition. Extra
+// endpoints are mounted as given and listed on the index; entries with a
+// nil handler or empty path are skipped.
+func NewHandlerFrom(src telemetry.Snapshotter, tr *Tracer, extra ...Endpoint) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -40,7 +51,19 @@ func NewHandlerFrom(src telemetry.Snapshotter, tr *Tracer) http.Handler {
 		fmt.Fprintln(w, "insituviz live exposition")
 		fmt.Fprintln(w, "  /metrics  telemetry snapshot (text; ?format=json)")
 		fmt.Fprintln(w, "  /trace    timeline as Chrome trace-event JSON")
+		for _, e := range extra {
+			if e.H == nil || e.Path == "" {
+				continue
+			}
+			fmt.Fprintf(w, "  %-9s %s\n", e.Path, e.Desc)
+		}
 	})
+	for _, e := range extra {
+		if e.H == nil || e.Path == "" {
+			continue
+		}
+		mux.Handle(e.Path, e.H)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if src == nil {
 			http.Error(w, "no telemetry registry attached", http.StatusNotFound)

@@ -12,6 +12,7 @@ import (
 	"insituviz/internal/cinemastore"
 	"insituviz/internal/eddy"
 	"insituviz/internal/faults"
+	"insituviz/internal/livemodel"
 	"insituviz/internal/mesh"
 	"insituviz/internal/ncfile"
 	"insituviz/internal/ocean"
@@ -114,6 +115,18 @@ type LiveConfig struct {
 	// against. Zero defaults to 0.5 s when Faults is armed; negative
 	// disables the deadline (stalls are logged but nothing is dropped).
 	VizDeadline units.Seconds
+	// Model, when non-nil, receives one observation per visualization
+	// sample and fits the paper's cost model online (see
+	// internal/livemodel). Observations are synthesized deterministically
+	// from committed bytes, frame counts, per-sample simulated time, and
+	// injected stall seconds through the reference cost model — not from
+	// wall-clock span times — so same-seed runs produce byte-identical
+	// /model JSON and anomaly logs. LiveRun wires the estimator into the
+	// run registry (model.* metrics) and emits a driver-lane Instant per
+	// anomaly; the final snapshot lands on LiveResult.Model. When Faults
+	// is armed, committed samples additionally consult the "live.io"
+	// chaos site, whose injected stalls surface as "io" anomalies.
+	Model *livemodel.Estimator
 }
 
 func (c *LiveConfig) applyDefaults() {
@@ -213,6 +226,11 @@ type LiveResult struct {
 	// per-phase energies that sum to PowerProfile.Energy() up to float64
 	// rounding.
 	PhaseEnergy *trace.Attribution
+
+	// Model is the online cost-model fit at run end (nil unless
+	// LiveConfig.Model was set): coefficients with confidence intervals,
+	// residual quantiles, energy burn, and the anomaly event log.
+	Model *livemodel.Snapshot
 
 	OutputDir string
 }
@@ -364,6 +382,25 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 	if cfg.EddyCoreImages {
 		framesPerSample++
 	}
+	// Live-model wiring: the estimator publishes model.* metrics into
+	// this run's registry and announces anomalies as driver-lane Instant
+	// events. Observations are synthesized through the deterministic
+	// reference cost model over per-sample committed bytes, frame
+	// counts, simulated solver seconds, and injected stall seconds —
+	// wall-clock span times would break the byte-stability contract of
+	// /model and the anomaly log. Committed samples consult the
+	// "live.io" chaos site so injected I/O stalls land in the observed
+	// time (and trip the "io" detector) without touching modeled cost.
+	costRef := livemodel.NodeCostModel()
+	ioSite := cfg.Faults.Site("live.io")
+	lastModelSim := 0.0
+	if cfg.Model != nil {
+		cfg.Model.SetTelemetry(reg)
+		cfg.Model.OnAnomaly(func(a livemodel.Anomaly) {
+			drv.Instant("model.anomaly." + a.Kind)
+		})
+	}
+
 	// standIn returns the surviving rank that renders dead rank i's
 	// block, walking the ring to the next alive rank.
 	standIn := func(i int) int {
@@ -397,6 +434,15 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 			res.DroppedSamples++
 			res.DroppedFrames += framesPerSample
 			res.EddiesPerSample = append(res.EddiesPerSample, 0)
+			if cfg.Model != nil {
+				// A dropped sample commits nothing but still burns its
+				// simulated window plus the injected stall — the excess
+				// the viz-overload detector exists to catch.
+				obs := costRef.Observation(simTime-lastModelSim, 0, 0, 0, float64(f.Stall))
+				obs.TS = float64(cfg.Tracer.Now()) / 1e9
+				lastModelSim = simTime
+				cfg.Model.Observe(obs)
+			}
 			return tracker.Advance(simTime, nil)
 		}
 		drv.Begin("viz.sample")
@@ -534,6 +580,17 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 		res.Images += frames
 		res.ImageBytes += Bytes(bytes)
 		res.EddiesPerSample = append(res.EddiesPerSample, len(eddies))
+		if cfg.Model != nil {
+			var ioStall float64
+			if f, ok := ioSite.Next(); ok && f.Kind == faults.KindStall {
+				ioStall = float64(f.Stall)
+			}
+			obs := costRef.Observation(simTime-lastModelSim,
+				float64(bytes)/1e9, float64(frames), ioStall, 0)
+			obs.TS = float64(cfg.Tracer.Now()) / 1e9
+			lastModelSim = simTime
+			cfg.Model.Observe(obs)
+		}
 		return tracker.Advance(simTime, eddies)
 	}
 
@@ -624,6 +681,9 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 			res.PowerProfile = prof
 			res.PhaseEnergy = att
 		}
+	}
+	if cfg.Model != nil {
+		res.Model = cfg.Model.Snapshot()
 	}
 	return res, nil
 }

@@ -1,0 +1,219 @@
+package insituviz
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"insituviz/internal/core"
+	"insituviz/internal/faults"
+	"insituviz/internal/leakcheck"
+	"insituviz/internal/livemodel"
+	"insituviz/internal/telemetry"
+	"insituviz/internal/trace"
+)
+
+// TestOnlineFitMatchesOfflineRegression is the estimator-equivalence
+// acceptance criterion at the study level: replaying the full
+// characterization campaign through the unbounded, undamped online
+// estimator lands on core.FitRegression's coefficients to 1e-9 — the
+// same comparison `modelfit -online` prints.
+func TestOnlineFitMatchesOfflineRegression(t *testing.T) {
+	base := ReferenceWorkload(Hours(8))
+	ch, err := Characterize(CaddyPlatform(), base,
+		[]Seconds{Hours(8), Hours(24), Hours(72)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTSim, wantAlpha, wantBeta, err := core.FitRegression(ch.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	est := livemodel.New(livemodel.Config{
+		Window: 0, Damping: 0,
+		ZThreshold: math.Inf(1), HardZ: math.Inf(1), CUSUMThreshold: math.Inf(1),
+	})
+	for _, p := range ch.Points {
+		est.Observe(livemodel.Observation{
+			SIoGB: p.OutputGB,
+			NViz:  float64(p.Images),
+			T:     float64(p.Time),
+		})
+	}
+	tsim, alpha, beta, ok := est.Coefficients()
+	if !ok {
+		t.Fatal("online estimator did not converge over the campaign")
+	}
+	rel := func(got, want float64) float64 {
+		return math.Abs(got-want) / math.Max(1, math.Abs(want))
+	}
+	if d := rel(tsim, float64(wantTSim)); d > 1e-9 {
+		t.Errorf("tsim online %g vs offline %g (rel %g)", tsim, float64(wantTSim), d)
+	}
+	if d := rel(alpha, wantAlpha); d > 1e-9 {
+		t.Errorf("alpha online %g vs offline %g (rel %g)", alpha, wantAlpha, d)
+	}
+	if d := rel(beta, wantBeta); d > 1e-9 {
+		t.Errorf("beta online %g vs offline %g (rel %g)", beta, wantBeta, d)
+	}
+}
+
+// modelLiveRun runs the CI model-smoke configuration: the default chaos
+// profile (which includes a live.io stall consulted only when a model is
+// attached) with an estimator and tracer wired in.
+func modelLiveRun(t *testing.T, seed uint64) (*LiveResult, *telemetry.Registry, *trace.Tracer) {
+	t.Helper()
+	plan, err := faults.Profile("default", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := faults.New(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	tr := trace.New(trace.Options{})
+	res, err := LiveRun(LiveConfig{
+		Mode:             InSitu,
+		MeshSubdivisions: 2,
+		Steps:            64,
+		SampleEverySteps: 8,
+		OutputDir:        t.TempDir(),
+		ImageWidth:       64,
+		ImageHeight:      32,
+		RenderRanks:      4,
+		OrthoViews:       2,
+		Telemetry:        reg,
+		Tracer:           tr,
+		Faults:           in,
+		Model:            livemodel.New(livemodel.Config{Window: 256, Damping: 1e-9}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, reg, tr
+}
+
+// TestLiveRunModelDeterministic is the tentpole acceptance criterion:
+// two same-seed chaos runs produce byte-identical model snapshots and
+// anomaly logs, the injected live.io stall surfaces as an io anomaly in
+// the log, the telemetry counter, and a driver-lane trace Instant.
+func TestLiveRunModelDeterministic(t *testing.T) {
+	type outcome struct {
+		json, log []byte
+		res       *LiveResult
+	}
+	run := func() outcome {
+		res, reg, tr := modelLiveRun(t, 7)
+		if res.Model == nil {
+			t.Fatal("LiveRun with Model attached returned no snapshot")
+		}
+		var j, l bytes.Buffer
+		if err := res.Model.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Model.WriteLog(&l); err != nil {
+			t.Fatal(err)
+		}
+
+		if res.Model.AnomalyCounts.IO == 0 {
+			t.Error("no io anomaly despite the injected live.io stall")
+		}
+		if got := reg.Counter("model.anomalies.io").Value(); got == 0 {
+			t.Error("telemetry model.anomalies.io is 0")
+		}
+		if got := reg.Counter("model.observations").Value(); got != int64(res.Model.Observations) {
+			t.Errorf("telemetry model.observations = %d, snapshot says %d", got, res.Model.Observations)
+		}
+
+		drv := tr.Snapshot().Lane("driver")
+		if drv == nil {
+			t.Fatal("no driver lane in trace")
+		}
+		found := false
+		for _, in := range drv.Instants {
+			if in.Name == "model.anomaly.io" {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Error("no model.anomaly.io Instant on the driver lane")
+		}
+		return outcome{json: j.Bytes(), log: l.Bytes(), res: res}
+	}
+
+	a, b := run(), run()
+	if !bytes.Equal(a.json, b.json) {
+		t.Errorf("model JSON differs between same-seed runs:\n%s\nvs\n%s", a.json, b.json)
+	}
+	if !bytes.Equal(a.log, b.log) {
+		t.Errorf("model anomaly log differs between same-seed runs:\n%s\nvs\n%s", a.log, b.log)
+	}
+}
+
+// TestLiveRunModelConcurrentScrape feeds the estimator from the driver
+// while hammering /model (and Coefficients) from scraping goroutines —
+// the -race half of the observability contract — and leak-checks the
+// shutdown.
+func TestLiveRunModelConcurrentScrape(t *testing.T) {
+	defer leakcheck.Check(t)()
+
+	est := livemodel.New(livemodel.Config{Window: 64, Damping: 1e-9})
+	ts := httptest.NewServer(est.Handler())
+	defer ts.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					t.Error(err)
+				}
+				resp.Body.Close()
+				est.Coefficients()
+				est.Snapshot()
+			}
+		}()
+	}
+
+	reg := telemetry.NewRegistry()
+	res, err := LiveRun(LiveConfig{
+		Mode:             InSitu,
+		MeshSubdivisions: 2,
+		Steps:            32,
+		SampleEverySteps: 8,
+		OutputDir:        t.TempDir(),
+		ImageWidth:       64,
+		ImageHeight:      32,
+		RenderRanks:      4,
+		Telemetry:        reg,
+		Model:            est,
+	})
+	close(done)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model == nil || res.Model.Observations == 0 {
+		t.Fatalf("model snapshot = %+v, want observations > 0", res.Model)
+	}
+}
