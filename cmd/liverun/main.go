@@ -33,6 +33,17 @@ import (
 	"insituviz/internal/workpool"
 )
 
+// splitAddrs parses a comma-separated address list, dropping empties.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("liverun: ")
@@ -45,6 +56,10 @@ func main() {
 	height := flag.Int("height", 192, "image height")
 	ranks := flag.Int("render-ranks", 8, "parallel render ranks (RCB partition)")
 	orthoViews := flag.Int("ortho-views", 0, "extra orthographic globe views per sample (0-6)")
+	eddyCores := flag.Bool("eddy-cores", false, "additionally render the thresholded eddy-core frame per sample")
+	transport := flag.String("transport", "inproc", "visualization transport: inproc renders in-process, tcp streams shards to -viz-workers")
+	vizWorkers := flag.String("viz-workers", "", "comma-separated vizworker addresses for -transport tcp")
+	transitCodec := flag.String("transit-codec", "", "on-wire codec for -transport tcp: flate (default) or raw")
 	workers := flag.Int("workers", 0, "solver worker count (0 = GOMAXPROCS, negative = serial)")
 	renderWorkers := flag.Int("render-workers", 0, "render fan-out budget in concurrent tiles per rasterizer (0 = GOMAXPROCS)")
 	poolWorkers := flag.Int("pool-workers", 0, "cap the shared worker pool's width below GOMAXPROCS (0 = no cap)")
@@ -177,8 +192,12 @@ func main() {
 		ImageHeight:      *height,
 		RenderRanks:      *ranks,
 		OrthoViews:       *orthoViews,
+		EddyCoreImages:   *eddyCores,
 		Workers:          *workers,
 		RenderWorkers:    *renderWorkers,
+		Transport:        *transport,
+		VizWorkers:       splitAddrs(*vizWorkers),
+		TransitCodec:     *transitCodec,
 		Telemetry:        reg,
 		Tracer:           tracer,
 		Faults:           injector,

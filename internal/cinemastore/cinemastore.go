@@ -313,6 +313,36 @@ func (w *Writer) Put(key Key, data []byte) (Entry, error) {
 	return e, nil
 }
 
+// Adopt records an entry whose frame file was written into the database
+// directory by another process — the in-transit viz workers share the
+// sim's store directory and report back the entries they stored. The
+// adopting writer validates the entry, verifies the file exists with the
+// reported size, and folds it into its index exactly as if Put had
+// written it, so Commit publishes one index over both origins.
+func (w *Writer) Adopt(e Entry) error {
+	if err := e.Key.Validate(); err != nil {
+		return err
+	}
+	if e.File == "" || filepath.Base(e.File) != e.File || e.File == "." || e.File == ".." {
+		return fmt.Errorf("cinemastore: adopt: unsafe file name %q", e.File)
+	}
+	if i, ok := w.byKey[e.Key]; ok {
+		return fmt.Errorf("cinemastore: duplicate key %+v (already stored as %s)", e.Key, w.entries[i].File)
+	}
+	fi, err := os.Stat(filepath.Join(w.dir, e.File))
+	if err != nil {
+		return fmt.Errorf("cinemastore: adopt %s: %w", e.File, err)
+	}
+	if fi.Size() != e.Bytes {
+		return fmt.Errorf("cinemastore: adopt %s: size %d on disk, entry says %d", e.File, fi.Size(), e.Bytes)
+	}
+	w.byKey[e.Key] = len(w.entries)
+	w.entries = append(w.entries, e)
+	w.files[e.File] = true
+	w.total += e.Bytes
+	return nil
+}
+
 // Entries returns the accumulated entries in canonical order.
 func (w *Writer) Entries() []Entry {
 	out := append([]Entry(nil), w.entries...)

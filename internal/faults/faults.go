@@ -400,7 +400,22 @@ func ParseSpec(spec string) (Plan, error) {
 }
 
 // ProfileNames lists the built-in chaos profiles.
-func ProfileNames() []string { return []string{"default", "storage", "serve", "cluster", "heavy"} }
+func ProfileNames() []string {
+	return []string{"default", "storage", "serve", "cluster", "transit", "heavy"}
+}
+
+// UnknownProfileError reports a chaos profile name that is not one of the
+// built-in plans, carrying the valid set so CLIs and tests can surface it
+// without re-deriving the profile list.
+type UnknownProfileError struct {
+	Name  string
+	Valid []string
+}
+
+func (e *UnknownProfileError) Error() string {
+	return fmt.Sprintf("faults: unknown profile %q (want one of %s)",
+		e.Name, strings.Join(e.Valid, ", "))
+}
 
 // Profile returns a named built-in plan with the given seed:
 //
@@ -414,6 +429,9 @@ func ProfileNames() []string { return []string{"default", "storage", "serve", "c
 //   - "cluster" exercises the serving gateway: a scheduled burst plus a
 //     probabilistic trickle of failed peer fetches, driving replica
 //     failover and the per-node breakers.
+//   - "transit" exercises the in-transit transport: dropped sends, wire
+//     delays, and a partition window, without ever dropping a sample —
+//     reconnect-with-resume must deliver all of them.
 //   - "heavy" is the union of all of the above.
 func Profile(name string, seed uint64) (Plan, error) {
 	live := []Rule{
@@ -439,6 +457,16 @@ func Profile(name string, seed uint64) (Plan, error) {
 		{Site: "cluster.peer", Kind: KindError, At: []uint64{2, 3, 5, 8, 13}, Count: 5},
 		{Site: "cluster.peer", Kind: KindError, Prob: 0.02},
 	}
+	// The transit profile exercises only the transport: dropped sends,
+	// wire delays, and a short partition window. It deliberately contains
+	// no sample-dropping rules (viz.sample, render.rank), so a tcp chaos
+	// run must recover every sample and still commit a store byte-identical
+	// to a clean inproc run — that is the reconnect-with-resume contract.
+	transit := []Rule{
+		{Site: "transit.drop", Kind: KindError, At: []uint64{2}, Prob: 0.10},
+		{Site: "transit.delay", Kind: KindStall, Prob: 0.15, Stall: 0.5},
+		{Site: "transit.partition", Kind: KindError, At: []uint64{3}, Count: 1},
+	}
 	p := Plan{Seed: seed}
 	switch name {
 	case "", "default":
@@ -449,11 +477,13 @@ func Profile(name string, seed uint64) (Plan, error) {
 		p.Rules = serve
 	case "cluster":
 		p.Rules = cluster
+	case "transit":
+		p.Rules = transit
 	case "heavy":
-		p.Rules = append(append(append(append([]Rule{}, live...), storage...), serve...), cluster...)
+		p.Rules = append(append(append(append(append([]Rule{},
+			live...), storage...), serve...), cluster...), transit...)
 	default:
-		return Plan{}, fmt.Errorf("faults: unknown profile %q (want one of %s)",
-			name, strings.Join(ProfileNames(), ", "))
+		return Plan{}, &UnknownProfileError{Name: name, Valid: ProfileNames()}
 	}
 	return p, nil
 }

@@ -2,7 +2,9 @@ package faults
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -273,6 +275,63 @@ func TestParseSpec(t *testing.T) {
 		if _, err := ParseSpec(bad); err == nil {
 			t.Errorf("ParseSpec(%q): accepted", bad)
 		}
+	}
+}
+
+func TestUnknownProfileTyped(t *testing.T) {
+	_, err := Profile("nosuch", 1)
+	var upe *UnknownProfileError
+	if !errors.As(err, &upe) {
+		t.Fatalf("Profile(nosuch) error %T %v, want *UnknownProfileError", err, err)
+	}
+	if upe.Name != "nosuch" {
+		t.Errorf("Name = %q, want nosuch", upe.Name)
+	}
+	if got, want := fmt.Sprint(upe.Valid), fmt.Sprint(ProfileNames()); got != want {
+		t.Errorf("Valid = %v, want %v", got, want)
+	}
+	for _, name := range ProfileNames() {
+		if !strings.Contains(upe.Error(), name) {
+			t.Errorf("error %q does not list profile %q", upe.Error(), name)
+		}
+	}
+	// ParseSpec surfaces the same typed error.
+	if _, err := ParseSpec("seed=1,nosuch"); !errors.As(err, &upe) {
+		t.Errorf("ParseSpec error %T %v, want *UnknownProfileError", err, err)
+	}
+}
+
+func TestTransitProfileSites(t *testing.T) {
+	p, err := Profile("transit", 7)
+	if err != nil {
+		t.Fatalf("Profile(transit): %v", err)
+	}
+	want := map[string]bool{"transit.drop": false, "transit.delay": false, "transit.partition": false}
+	for _, r := range p.Rules {
+		if _, ok := want[r.Site]; !ok {
+			t.Errorf("transit profile has unexpected site %q (must not drop samples)", r.Site)
+			continue
+		}
+		want[r.Site] = true
+	}
+	for site, seen := range want {
+		if !seen {
+			t.Errorf("transit profile missing site %q", site)
+		}
+	}
+	// Heavy includes the transit sites too.
+	h, err := Profile("heavy", 7)
+	if err != nil {
+		t.Fatalf("Profile(heavy): %v", err)
+	}
+	found := false
+	for _, r := range h.Rules {
+		if strings.HasPrefix(r.Site, "transit.") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("heavy profile does not include transit rules")
 	}
 }
 

@@ -284,7 +284,7 @@ func TestCIWorkflowIsValid(t *testing.T) {
 	if wf.Name != "ci" {
 		t.Errorf("workflow name = %q, want ci", wf.Name)
 	}
-	for _, id := range []string{"tier1", "bench", "trace-smoke", "serve-smoke", "chaos-smoke", "model-smoke", "cluster-smoke", "lint"} {
+	for _, id := range []string{"tier1", "bench", "trace-smoke", "serve-smoke", "chaos-smoke", "model-smoke", "transit-smoke", "cluster-smoke", "lint"} {
 		if wf.Jobs[id] == nil {
 			t.Fatalf("ci.yml is missing the %q job", id)
 		}
@@ -487,6 +487,60 @@ func TestCIWorkflowIsValid(t *testing.T) {
 	if !modelRuns || !modelStable || !modelAnomaly || !modelVerdict || !modelReplay || !modelUpload {
 		t.Errorf("model-smoke coverage: runs=%v stable=%v anomaly=%v verdict=%v replay=%v upload=%v",
 			modelRuns, modelStable, modelAnomaly, modelVerdict, modelReplay, modelUpload)
+	}
+
+	// The transit-smoke job is the distributed sim->viz drill on real
+	// binaries and real sockets: a reference in-process run, the same
+	// run streamed to two viz workers under the transit chaos profile
+	// with one worker SIGKILLed and restarted mid-run, a byte-exact tree
+	// diff between the two committed stores, reconnect/compression
+	// telemetry gates, and energy conservation on the in-transit
+	// timeline. It carries a timeout so a wedged handshake cannot hang
+	// the pipeline.
+	transitJob := wf.Jobs["transit-smoke"]
+	if transitJob.TimeoutMinutes <= 0 {
+		t.Error("transit-smoke must set timeout-minutes")
+	}
+	var transitRef, transitWorkers, transitKill, transitDiff, transitCounts, transitRatio, transitEnergy, transitUpload bool
+	for _, st := range transitJob.Steps {
+		if strings.Contains(st.Run, "liverun-bin") && strings.Contains(st.Run, "-eddy-cores") &&
+			!strings.Contains(st.Run, "-transport") {
+			transitRef = true
+		}
+		if strings.Contains(st.Run, "vizworker-bin") && strings.Contains(st.Run, "worker1.pid") {
+			transitWorkers = true
+		}
+		if strings.Contains(st.Run, "-transport tcp") && strings.Contains(st.Run, "-viz-workers") &&
+			strings.Contains(st.Run, "-chaos seed=") && strings.Contains(st.Run, ",transit") &&
+			strings.Contains(st.Run, "kill -9") {
+			transitKill = true
+		}
+		if strings.Contains(st.Run, "diff -r inproc-out/cinema tcp-out/cinema") {
+			transitDiff = true
+		}
+		if strings.Contains(st.Run, `transit\.reconnects [1-9]`) &&
+			strings.Contains(st.Run, `transit\.bytes\.raw [1-9]`) &&
+			strings.Contains(st.Run, `transit\.bytes\.wire [1-9]`) &&
+			strings.Contains(st.Run, `live\.samples\.dropped 0`) {
+			transitCounts = true
+		}
+		if strings.Contains(st.Run, "transit.compression.ratio") &&
+			strings.Contains(st.Run, "0.7") {
+			transitRatio = true
+		}
+		if strings.Contains(st.Run, "cmd/tracecheck") {
+			transitEnergy = true
+		}
+		if strings.HasPrefix(st.Uses, "actions/upload-artifact@") {
+			transitUpload = true
+			if st.If != "always()" {
+				t.Errorf("transit artifact upload must run on failure too, if = %q", st.If)
+			}
+		}
+	}
+	if !transitRef || !transitWorkers || !transitKill || !transitDiff || !transitCounts || !transitRatio || !transitEnergy || !transitUpload {
+		t.Errorf("transit-smoke coverage: ref=%v workers=%v kill=%v diff=%v counts=%v ratio=%v energy=%v upload=%v",
+			transitRef, transitWorkers, transitKill, transitDiff, transitCounts, transitRatio, transitEnergy, transitUpload)
 	}
 
 	// The cluster-smoke job is the kill-a-node drill: a 3-node fleet plus

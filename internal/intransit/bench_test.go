@@ -1,0 +1,58 @@
+package intransit
+
+import (
+	"bytes"
+	"testing"
+)
+
+// BenchmarkTransitLoopback measures the full wire hot path for one shard
+// — record gather + delta + codec, framing, deframing, record decode —
+// through an in-memory loopback. Steady state must not allocate: every
+// buffer on both ends is reused.
+func BenchmarkTransitLoopback(b *testing.B) {
+	for _, codecName := range CodecNames() {
+		b.Run(codecName, func(b *testing.B) {
+			codecE, _ := NewCodec(codecName)
+			codecD, _ := NewCodec(codecName)
+			se := newShardEncoder(codecE)
+			sd := newShardDecoder(codecD)
+			cells := gatherIdentity(2562) // subdivision-4 icosphere cell count / 4 ranks, roughly
+			// Two alternating samples, so the delta path sees realistic
+			// evolving data instead of compressing its own echo.
+			colorsA, coreA := sampleTables(len(cells), 0)
+			colorsB, coreB := sampleTables(len(cells), 0.2)
+			var buf bytes.Buffer
+			enc, dec := NewEncoder(&buf), NewDecoder(&buf)
+
+			var bytesRaw, bytesWire int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				colors, core := colorsA, coreA
+				if i%2 == 1 {
+					colors, core = colorsB, coreB
+				}
+				payload, flags, rawLen := se.encode(0, 0, cells, colors, core)
+				if err := enc.Encode(Frame{Type: FrameShard, Flags: flags, Seq: uint64(i), Payload: payload}); err != nil {
+					b.Fatal(err)
+				}
+				f, err := dec.Decode()
+				if err != nil {
+					b.Fatal(err)
+				}
+				v, err := sd.decode(0, 0, f.Flags, f.Payload, len(cells))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v.n != len(cells) {
+					b.Fatal("short record")
+				}
+				bytesRaw += int64(rawLen)
+				bytesWire += int64(HeaderSize + len(payload))
+				buf.Reset()
+			}
+			b.SetBytes(int64(8 * len(cells)))
+			b.ReportMetric(float64(bytesWire)/float64(bytesRaw), "wire/raw")
+		})
+	}
+}

@@ -1,0 +1,515 @@
+package intransit
+
+import (
+	"encoding/json"
+	"fmt"
+	"image"
+	"image/color"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"insituviz/internal/cinemastore"
+	"insituviz/internal/mesh"
+	"insituviz/internal/partition"
+	"insituviz/internal/render"
+	"insituviz/internal/telemetry"
+	"insituviz/internal/trace"
+)
+
+// RunConfig is the render configuration a client announces in its Hello
+// and a worker mirrors: both sides derive the identical mesh, partition,
+// and camera rig from it, so only the shard values need to travel.
+type RunConfig struct {
+	// MeshSubdivisions is the icosphere resolution (10*4^n+2 cells).
+	MeshSubdivisions int `json:"mesh_subdivisions"`
+	// ImageWidth and ImageHeight size the equirectangular frames; ortho
+	// views are ImageHeight square, as in the in-process path.
+	ImageWidth  int `json:"image_width"`
+	ImageHeight int `json:"image_height"`
+	// RenderRanks is the sort-last compositing width; shards arrive one
+	// per rank.
+	RenderRanks int `json:"render_ranks"`
+	// OrthoViews is how many cameras of the standard rig each sample is
+	// additionally rendered from (0 disables).
+	OrthoViews int `json:"ortho_views"`
+	// EddyCoreImages adds the thresholded eddy-core frame per sample.
+	EddyCoreImages bool `json:"eddy_core_images,omitempty"`
+	// Fields names the shipped fields; frame headers carry indexes into
+	// this table. The render pipeline is the Okubo-Weiss one, so exactly
+	// one field is supported today.
+	Fields []string `json:"fields"`
+}
+
+func (c RunConfig) validate() error {
+	if c.MeshSubdivisions < 0 || c.ImageWidth < 1 || c.ImageHeight < 1 {
+		return fmt.Errorf("intransit: bad run config %+v", c)
+	}
+	if c.RenderRanks < 1 {
+		return fmt.Errorf("intransit: run config needs at least one render rank")
+	}
+	if len(c.Fields) != 1 {
+		return fmt.Errorf("intransit: run config must ship exactly one field, got %v", c.Fields)
+	}
+	return nil
+}
+
+func sameConfig(a, b RunConfig) bool {
+	if len(a.Fields) != len(b.Fields) {
+		return false
+	}
+	for i := range a.Fields {
+		if a.Fields[i] != b.Fields[i] {
+			return false
+		}
+	}
+	return a.MeshSubdivisions == b.MeshSubdivisions &&
+		a.ImageWidth == b.ImageWidth && a.ImageHeight == b.ImageHeight &&
+		a.RenderRanks == b.RenderRanks && a.OrthoViews == b.OrthoViews &&
+		a.EddyCoreImages == b.EddyCoreImages
+}
+
+// The JSON message bodies riding on control frames.
+type helloMsg struct {
+	Codec  string    `json:"codec"`
+	Config RunConfig `json:"config"`
+}
+
+type helloAckMsg struct {
+	Codec   string `json:"codec"`
+	LastSeq uint64 `json:"last_seq"`
+}
+
+type sampleEndMsg struct {
+	SimTime float64 `json:"sim_time"`
+}
+
+type sampleAckMsg struct {
+	Seq     uint64              `json:"seq"`
+	Frames  int                 `json:"frames"`
+	Bytes   int64               `json:"bytes"`
+	Entries []cinemastore.Entry `json:"entries"`
+}
+
+// WorkerConfig configures a viz worker.
+type WorkerConfig struct {
+	// OutDir is the Cinema database directory frames are written into —
+	// the same directory the sim commits its index over, so the sim can
+	// adopt the worker's entries and publish one store.
+	OutDir string
+	// RenderWorkers caps the rasterizer fan-out (0 uses GOMAXPROCS).
+	RenderWorkers int
+	// Telemetry, when non-nil, receives the worker's transit.recv.*
+	// counters and the render.* counters of its store writer.
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, gets a "transit.serve" lane with one span per
+	// rendered sample.
+	Tracer *trace.Tracer
+}
+
+// Worker is the receiving end of the in-transit tier: it accepts client
+// connections, reassembles per-rank field shards into full samples,
+// renders them through the same render stack the in-process path uses,
+// writes the frames into the shared store directory, and acks the store
+// entries back. Samples are deduplicated by sequence number, so a resend
+// after a reconnect is re-acked from cache instead of re-rendered.
+type Worker struct {
+	ln  net.Listener
+	cfg WorkerConfig
+
+	mu        sync.Mutex
+	st        *workerState
+	processed map[uint64][]byte // seq -> cached SampleAck payload
+	lastSeq   uint64
+	conns     map[net.Conn]bool
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	mConns   *telemetry.Counter
+	mSamples *telemetry.Counter
+	mReacks  *telemetry.Counter
+	mWire    *telemetry.Counter
+	mRaw     *telemetry.Counter
+	mErrors  *telemetry.Counter
+	lane     *trace.Lane
+}
+
+// NewWorker wraps an open listener. The caller owns starting Serve.
+func NewWorker(ln net.Listener, cfg WorkerConfig) (*Worker, error) {
+	if ln == nil {
+		return nil, fmt.Errorf("intransit: nil listener")
+	}
+	if cfg.OutDir == "" {
+		return nil, fmt.Errorf("intransit: WorkerConfig.OutDir is required")
+	}
+	w := &Worker{
+		ln:        ln,
+		cfg:       cfg,
+		processed: map[uint64][]byte{},
+		conns:     map[net.Conn]bool{},
+		mConns:    cfg.Telemetry.Counter("transit.recv.conns"),
+		mSamples:  cfg.Telemetry.Counter("transit.recv.samples"),
+		mReacks:   cfg.Telemetry.Counter("transit.recv.reacks"),
+		mWire:     cfg.Telemetry.Counter("transit.recv.bytes.wire"),
+		mRaw:      cfg.Telemetry.Counter("transit.recv.bytes.raw"),
+		mErrors:   cfg.Telemetry.Counter("transit.recv.errors"),
+		lane:      cfg.Tracer.Lane("transit.serve"),
+	}
+	return w, nil
+}
+
+// Addr returns the listen address.
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// Serve accepts and serves connections until Close. Always returns nil
+// after a Close-initiated shutdown.
+func (w *Worker) Serve() error {
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			if w.closed.Load() {
+				return nil
+			}
+			return fmt.Errorf("intransit: accept: %w", err)
+		}
+		w.mu.Lock()
+		if w.closed.Load() {
+			w.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		w.conns[conn] = true
+		w.mu.Unlock()
+		w.mConns.Inc()
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			w.serveConn(conn)
+			w.mu.Lock()
+			delete(w.conns, conn)
+			w.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, closes every live connection, and waits for the
+// handlers to drain.
+func (w *Worker) Close() error {
+	w.closed.Store(true)
+	err := w.ln.Close()
+	w.mu.Lock()
+	for conn := range w.conns {
+		conn.Close()
+	}
+	w.mu.Unlock()
+	w.wg.Wait()
+	return err
+}
+
+// workerState is the render stack, built lazily at the first Hello (the
+// run configuration arrives there) and shared — mutex-serialized — by
+// every connection.
+type workerState struct {
+	cfg         RunConfig
+	msh         *mesh.Mesh
+	rast        *render.Rasterizer
+	masks       [][]bool
+	cells       [][]int
+	db          *render.CinemaDB
+	setRenderer *render.ImageSetRenderer
+	viewCams    []render.Camera
+	partials    []*image.RGBA
+	composited  *image.RGBA
+	coreFrame   *image.RGBA
+}
+
+func newWorkerState(rc RunConfig, wc WorkerConfig) (*workerState, error) {
+	if err := rc.validate(); err != nil {
+		return nil, err
+	}
+	msh, err := mesh.NewIcosphere(rc.MeshSubdivisions, mesh.EarthRadius)
+	if err != nil {
+		return nil, err
+	}
+	rast, err := render.NewRasterizer(msh, rc.ImageWidth, rc.ImageHeight)
+	if err != nil {
+		return nil, err
+	}
+	rast.SetWorkers(wc.RenderWorkers)
+	part, err := partition.New(msh, rc.RenderRanks)
+	if err != nil {
+		return nil, err
+	}
+	st := &workerState{cfg: rc, msh: msh, rast: rast, masks: part.Masks()}
+	st.cells = make([][]int, rc.RenderRanks)
+	for r := range st.cells {
+		if st.cells[r], err = part.Cells(r); err != nil {
+			return nil, err
+		}
+	}
+	if st.db, err = render.NewCinemaDB(wc.OutDir); err != nil {
+		return nil, err
+	}
+	st.db.SetTelemetry(wc.Telemetry)
+	if rc.OrthoViews > 0 {
+		rig := render.DefaultCameraSet()
+		if rc.OrthoViews < len(rig) {
+			rig = rig[:rc.OrthoViews]
+		}
+		st.viewCams = rig
+		if st.setRenderer, err = render.NewImageSetRenderer(msh, rc.ImageHeight, rc.ImageHeight, rig); err != nil {
+			return nil, err
+		}
+		st.setRenderer.SetWorkers(wc.RenderWorkers)
+	}
+	st.partials = make([]*image.RGBA, len(st.masks))
+	for i := range st.partials {
+		st.partials[i] = rast.NewFrame()
+	}
+	st.composited = rast.NewFrame()
+	return st, nil
+}
+
+// renderSample mirrors the in-process visualize path exactly — same
+// rasterizers, same compositing, same frame order, same store writes —
+// from the render-exact tables the client shipped: the per-cell color
+// LUT the in-process renderer would derive, and (when core is non-nil)
+// the eddy-core selection mask. The frame bytes it produces are
+// identical to an inproc run's by construction.
+func (st *workerState) renderSample(simTime float64, colors []color.RGBA, core []bool) (sampleAckMsg, error) {
+	var ack sampleAckMsg
+	for i, mask := range st.masks {
+		if err := st.rast.RenderColorsOwnedInto(st.partials[i], colors, mask); err != nil {
+			return ack, err
+		}
+	}
+	if err := render.CompositeInto(st.composited, st.partials); err != nil {
+		return ack, err
+	}
+	if !render.FullyOpaque(st.composited) {
+		return ack, fmt.Errorf("intransit: composited image has holes")
+	}
+	fieldName := st.cfg.Fields[0]
+	store := func(img *image.RGBA, phi, theta float64, variable string) error {
+		e, err := st.db.AddImageEntry(img, simTime, phi, theta, variable)
+		if err != nil {
+			return err
+		}
+		ack.Entries = append(ack.Entries, e)
+		ack.Frames++
+		ack.Bytes += e.Bytes
+		return nil
+	}
+	if err := store(st.composited, 0, 0, fieldName); err != nil {
+		return ack, err
+	}
+	if st.setRenderer != nil {
+		views, err := st.setRenderer.RenderColorsFrames(colors)
+		if err != nil {
+			return ack, err
+		}
+		for v, img := range views {
+			if err := store(img, st.viewCams[v].Lon, st.viewCams[v].Lat,
+				fmt.Sprintf("%s_view%d", fieldName, v)); err != nil {
+				return ack, err
+			}
+		}
+	}
+	if core != nil {
+		if st.coreFrame == nil {
+			st.coreFrame = st.rast.NewFrame()
+		}
+		if err := st.rast.RenderColorsOwnedInto(st.coreFrame, colors, core); err != nil {
+			return ack, err
+		}
+		render.FillTransparent(st.coreFrame, render.Background)
+		if err := store(st.coreFrame, 0, 0, fieldName+"_cores"); err != nil {
+			return ack, err
+		}
+	}
+	return ack, nil
+}
+
+// handleSample renders (or re-acks) one complete sample under the worker
+// mutex and returns the encoded SampleAck payload.
+func (w *Worker) handleSample(seq uint64, simTime float64, colors []color.RGBA, core []bool) ([]byte, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if payload, ok := w.processed[seq]; ok {
+		// A resend of a sample we already rendered: the previous ack was
+		// lost with its connection. Re-ack from cache; re-rendering would
+		// collide with the already-written store entries.
+		w.mReacks.Inc()
+		return payload, nil
+	}
+	w.lane.Begin("transit.render")
+	ack, err := w.st.renderSample(simTime, colors, core)
+	w.lane.End()
+	if err != nil {
+		return nil, err
+	}
+	ack.Seq = seq
+	payload, err := json.Marshal(ack)
+	if err != nil {
+		return nil, err
+	}
+	w.processed[seq] = payload
+	if seq > w.lastSeq {
+		w.lastSeq = seq
+	}
+	w.mSamples.Inc()
+	return payload, nil
+}
+
+// connSession is one connection's receive state: its decoder and shard
+// decoder (delta state is per-connection — a reconnect starts absolute on
+// both ends) and the staging tables for the sample being assembled.
+type connSession struct {
+	enc     *Encoder
+	dec     *Decoder
+	sdec    *shardDecoder
+	colors  []color.RGBA
+	core    []bool
+	hasCore bool // whether the staging sample carries a core mask
+	got     []bool
+	gotN    int
+	curSeq  uint64
+}
+
+// fail sends a best-effort error frame and abandons the connection.
+func (w *Worker) fail(s *connSession, format string, args ...any) {
+	w.mErrors.Inc()
+	msg := fmt.Sprintf(format, args...)
+	s.enc.Encode(Frame{Type: FrameError, Payload: []byte(msg)})
+}
+
+func (w *Worker) serveConn(conn net.Conn) {
+	defer conn.Close()
+	s := &connSession{enc: NewEncoder(conn), dec: NewDecoder(conn)}
+
+	// Handshake: the Hello carries the codec and the run configuration.
+	f, err := s.dec.Decode()
+	if err != nil || f.Type != FrameHello {
+		w.fail(s, "intransit: expected hello, got %v (%v)", f.Type, err)
+		return
+	}
+	var hello helloMsg
+	if err := json.Unmarshal(f.Payload, &hello); err != nil {
+		w.fail(s, "intransit: bad hello: %v", err)
+		return
+	}
+	codec, err := NewCodec(hello.Codec)
+	if err != nil {
+		w.fail(s, "%v", err)
+		return
+	}
+	w.mu.Lock()
+	if w.st == nil {
+		w.st, err = newWorkerState(hello.Config, w.cfg)
+	} else if !sameConfig(w.st.cfg, hello.Config) {
+		err = fmt.Errorf("intransit: hello config %+v conflicts with the run in progress", hello.Config)
+	}
+	st, lastSeq := w.st, w.lastSeq
+	w.mu.Unlock()
+	if err != nil {
+		w.fail(s, "%v", err)
+		return
+	}
+	s.sdec = newShardDecoder(codec)
+	s.colors = make([]color.RGBA, st.msh.NCells())
+	s.core = make([]bool, st.msh.NCells())
+	s.got = make([]bool, len(st.cells))
+	ackPayload, _ := json.Marshal(helloAckMsg{Codec: codec.Name(), LastSeq: lastSeq})
+	if err := s.enc.Encode(Frame{Type: FrameHelloAck, Payload: ackPayload}); err != nil {
+		return
+	}
+
+	for {
+		f, err := s.dec.Decode()
+		if err != nil {
+			// io.EOF at a frame boundary is a clean client close; anything
+			// else is a framing or transport error. Either way the stream
+			// is done — the client resumes on a fresh connection.
+			if err != io.EOF {
+				w.mErrors.Inc()
+			}
+			return
+		}
+		switch f.Type {
+		case FrameShard:
+			if s.gotN == 0 {
+				s.curSeq = f.Seq
+			} else if f.Seq != s.curSeq {
+				w.fail(s, "intransit: shard for sample %d while sample %d is staging", f.Seq, s.curSeq)
+				return
+			}
+			if int(f.Rank) >= len(st.cells) {
+				w.fail(s, "intransit: shard for rank %d of %d", f.Rank, len(st.cells))
+				return
+			}
+			if f.Field != 0 {
+				w.fail(s, "intransit: unknown field id %d", f.Field)
+				return
+			}
+			if s.got[f.Rank] {
+				w.fail(s, "intransit: duplicate shard for rank %d of sample %d", f.Rank, f.Seq)
+				return
+			}
+			shardCore := f.Flags&FlagCore != 0
+			if s.gotN == 0 {
+				s.hasCore = shardCore
+			} else if shardCore != s.hasCore {
+				w.fail(s, "intransit: rank %d shard core flag disagrees within sample %d", f.Rank, f.Seq)
+				return
+			}
+			cells := st.cells[f.Rank]
+			v, err := s.sdec.decode(f.Rank, f.Field, f.Flags, f.Payload, len(cells))
+			if err != nil {
+				w.fail(s, "%v", err)
+				return
+			}
+			for i, ci := range cells {
+				s.colors[ci] = color.RGBA{R: v.r[i], G: v.g[i], B: v.b[i], A: 255}
+				if shardCore {
+					s.core[ci] = v.coreBit(i)
+				}
+			}
+			s.got[f.Rank] = true
+			s.gotN++
+			w.mWire.Add(int64(HeaderSize + len(f.Payload)))
+			w.mRaw.Add(int64(8 * len(cells)))
+		case FrameSampleEnd:
+			var end sampleEndMsg
+			if err := json.Unmarshal(f.Payload, &end); err != nil {
+				w.fail(s, "intransit: bad sample-end: %v", err)
+				return
+			}
+			w.mu.Lock()
+			_, resend := w.processed[f.Seq]
+			w.mu.Unlock()
+			if !resend && s.gotN != len(s.got) {
+				w.fail(s, "intransit: sample %d ended with %d of %d shards", f.Seq, s.gotN, len(s.got))
+				return
+			}
+			var core []bool
+			if s.hasCore {
+				core = s.core
+			}
+			payload, err := w.handleSample(f.Seq, end.SimTime, s.colors, core)
+			if err != nil {
+				w.fail(s, "%v", err)
+				return
+			}
+			clear(s.got)
+			s.gotN = 0
+			if err := s.enc.Encode(Frame{Type: FrameSampleAck, Seq: f.Seq, Payload: payload}); err != nil {
+				return
+			}
+		default:
+			w.fail(s, "intransit: unexpected %v frame", f.Type)
+			return
+		}
+	}
+}

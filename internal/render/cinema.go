@@ -142,29 +142,53 @@ func (db *CinemaDB) AddImage(img image.Image, simTime float64, field string) (un
 // entry becomes visible to readers at the next WriteIndex. Duplicate axis
 // tuples are rejected.
 func (db *CinemaDB) AddImageAt(img image.Image, simTime, phi, theta float64, field string) (units.Bytes, error) {
+	e, err := db.AddImageEntry(img, simTime, phi, theta, field)
+	if err != nil {
+		return 0, err
+	}
+	return units.Bytes(e.Bytes), nil
+}
+
+// AddImageEntry is AddImageAt returning the full store entry — the
+// in-transit workers ship these records back to the sim so it can adopt
+// them into its own index.
+func (db *CinemaDB) AddImageEntry(img image.Image, simTime, phi, theta float64, field string) (cinemastore.Entry, error) {
 	if img == nil {
-		return 0, fmt.Errorf("render: nil image")
+		return cinemastore.Entry{}, fmt.Errorf("render: nil image")
 	}
 	if field == "" {
-		return 0, fmt.Errorf("render: empty field name")
+		return cinemastore.Entry{}, fmt.Errorf("render: empty field name")
 	}
 	// The encoder's buffer is reused frame to frame; the bytes are written
 	// to disk before the next Encode, so no copy is needed.
 	data, err := db.enc.Encode(img)
 	if err != nil {
-		return 0, err
+		return cinemastore.Entry{}, err
 	}
 	key := cinemastore.Key{Time: simTime, Phi: phi, Theta: theta, Variable: field}
 	e, err := db.w.Put(key, data)
 	if err != nil {
-		return 0, fmt.Errorf("render: write image: %w", err)
+		return cinemastore.Entry{}, fmt.Errorf("render: write image: %w", err)
 	}
-	n := units.Bytes(e.Bytes)
-	db.total += n
+	db.total += units.Bytes(e.Bytes)
 	db.mFrames.Inc()
 	db.mBytes.Add(e.Bytes)
 	db.mFrameBytes.Observe(float64(e.Bytes))
-	return n, nil
+	return e, nil
+}
+
+// Adopt folds a frame entry written by another process (an in-transit
+// viz worker sharing this database directory) into the index, counting
+// its bytes as if this writer had stored it.
+func (db *CinemaDB) Adopt(e cinemastore.Entry) error {
+	if err := db.w.Adopt(e); err != nil {
+		return fmt.Errorf("render: %w", err)
+	}
+	db.total += units.Bytes(e.Bytes)
+	db.mFrames.Inc()
+	db.mBytes.Add(e.Bytes)
+	db.mFrameBytes.Observe(float64(e.Bytes))
+	return nil
 }
 
 // Entries returns the index entries in the store's canonical order

@@ -177,6 +177,25 @@ func (r *OrthoRasterizer) RenderInto(img *image.RGBA, field []float64, cm *Color
 	return nil
 }
 
+// RenderColorsInto is RenderInto with the per-cell color table
+// precomputed by the caller instead of derived from a field — the
+// in-transit tier's entry point; see Rasterizer.RenderColorsOwnedInto.
+func (r *OrthoRasterizer) RenderColorsInto(img *image.RGBA, colors []color.RGBA) error {
+	if len(colors) != r.Mesh.NCells() {
+		return fmt.Errorf("render: color table has %d cells, want %d", len(colors), r.Mesh.NCells())
+	}
+	if img == nil || img.Bounds() != image.Rect(0, 0, r.Width, r.Height) {
+		return fmt.Errorf("render: frame must be %dx%d at the origin", r.Width, r.Height)
+	}
+	if len(r.colors) != len(colors) {
+		r.colors = make([]color.RGBA, len(colors))
+	}
+	copy(r.colors, colors)
+	r.envImg = img
+	workpool.Run(r.Height, tileChunks(r.Height, r.workers), r.rowLoop)
+	return nil
+}
+
 // ImageSet renders one field from every camera of a rig — the "set of
 // images corresponding to one timestep" of the paper's beta coefficient.
 // Rasterizers are built per call; callers rendering many timesteps should
@@ -250,6 +269,24 @@ func (sr *ImageSetRenderer) RenderFrames(field []float64, cm *Colormap, n Normal
 	}
 	for i, r := range sr.rasters {
 		if err := r.RenderInto(sr.frames[i], field, cm, n); err != nil {
+			return nil, err
+		}
+	}
+	return sr.frames, nil
+}
+
+// RenderColorsFrames is RenderFrames with the per-cell color table
+// precomputed by the caller — the in-transit tier's entry point. The
+// frames are reused and valid only until the next render call.
+func (sr *ImageSetRenderer) RenderColorsFrames(colors []color.RGBA) ([]*image.RGBA, error) {
+	if sr.frames == nil {
+		sr.frames = make([]*image.RGBA, len(sr.rasters))
+		for i, r := range sr.rasters {
+			sr.frames[i] = r.NewFrame()
+		}
+	}
+	for i, r := range sr.rasters {
+		if err := r.RenderColorsInto(sr.frames[i], colors); err != nil {
 			return nil, err
 		}
 	}

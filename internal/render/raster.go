@@ -176,6 +176,30 @@ func (r *Rasterizer) RenderOwnedInto(img *image.RGBA, field []float64, cm *Color
 	return r.renderOwnedInto(img, field, cm, n, owned)
 }
 
+// RenderColorsOwnedInto is RenderOwnedInto with the per-cell color table
+// precomputed by the caller instead of derived from a field. This is the
+// in-transit tier's entry point: the sim ships the exact colors its own
+// renderer would derive, so a worker rasterizing them produces
+// byte-identical frames. owned may be nil to draw every cell.
+func (r *Rasterizer) RenderColorsOwnedInto(img *image.RGBA, colors []color.RGBA, owned []bool) error {
+	if len(colors) != r.Mesh.NCells() {
+		return fmt.Errorf("render: color table has %d cells, want %d", len(colors), r.Mesh.NCells())
+	}
+	if owned != nil && len(owned) != r.Mesh.NCells() {
+		return fmt.Errorf("render: ownership mask has %d cells, want %d", len(owned), r.Mesh.NCells())
+	}
+	if img == nil || img.Bounds() != image.Rect(0, 0, r.Width, r.Height) {
+		return fmt.Errorf("render: frame must be %dx%d at the origin", r.Width, r.Height)
+	}
+	if len(r.colors) != len(colors) {
+		r.colors = make([]color.RGBA, len(colors))
+	}
+	copy(r.colors, colors)
+	r.envImg, r.envOwned = img, owned
+	workpool.Run(r.Height, tileChunks(r.Height, r.workers), r.rowLoop)
+	return nil
+}
+
 func (r *Rasterizer) renderOwnedInto(img *image.RGBA, field []float64, cm *Colormap, n Normalizer, owned []bool) error {
 	if len(field) != r.Mesh.NCells() {
 		return fmt.Errorf("render: field has %d cells, want %d", len(field), r.Mesh.NCells())

@@ -12,6 +12,7 @@ import (
 	"insituviz/internal/cinemastore"
 	"insituviz/internal/eddy"
 	"insituviz/internal/faults"
+	"insituviz/internal/intransit"
 	"insituviz/internal/livemodel"
 	"insituviz/internal/mesh"
 	"insituviz/internal/ncfile"
@@ -115,6 +116,20 @@ type LiveConfig struct {
 	// against. Zero defaults to 0.5 s when Faults is armed; negative
 	// disables the deadline (stalls are logged but nothing is dropped).
 	VizDeadline units.Seconds
+	// Transport selects where visualization runs: "" or "inproc" renders
+	// in-process (the default), "tcp" streams each sample's per-rank
+	// field shards to the VizWorkers over the in-transit wire protocol
+	// and adopts the frames they store. Both transports commit
+	// byte-identical Cinema databases for the same seed — that is the
+	// in-transit tier's correctness contract.
+	Transport string
+	// VizWorkers lists viz worker addresses (host:port) for the "tcp"
+	// transport. Samples are owned round-robin; a down worker's samples
+	// fail over around the ring.
+	VizWorkers []string
+	// TransitCodec names the on-wire codec negotiated at handshake
+	// ("flate" by default, "raw" for an uncompressed baseline).
+	TransitCodec string
 	// Model, when non-nil, receives one observation per visualization
 	// sample and fits the paper's cost model online (see
 	// internal/livemodel). Observations are synthesized deterministically
@@ -326,6 +341,49 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 		setRenderer.SetWorkers(cfg.RenderWorkers)
 	}
 
+	// In-transit tier: with the "tcp" transport each sample's field is
+	// sharded by the same partition and shipped to the viz workers, which
+	// render and store the frames into this run's cinema directory; the
+	// sim adopts their entries and commits the one index over them.
+	var tc *intransit.Client
+	switch cfg.Transport {
+	case "", "inproc":
+	case "tcp":
+		if len(cfg.VizWorkers) == 0 {
+			return nil, fmt.Errorf("insituviz: transport tcp needs LiveConfig.VizWorkers")
+		}
+		cells := make([][]int, len(masks))
+		for r := range cells {
+			if cells[r], err = part.Cells(r); err != nil {
+				return nil, err
+			}
+		}
+		tc, err = intransit.Dial(intransit.Options{
+			Workers: cfg.VizWorkers,
+			Codec:   cfg.TransitCodec,
+			Config: intransit.RunConfig{
+				MeshSubdivisions: cfg.MeshSubdivisions,
+				ImageWidth:       cfg.ImageWidth,
+				ImageHeight:      cfg.ImageHeight,
+				RenderRanks:      cfg.RenderRanks,
+				OrthoViews:       cfg.OrthoViews,
+				EddyCoreImages:   cfg.EddyCoreImages,
+				Fields:           []string{"okubo_weiss"},
+			},
+			Mesh:      msh,
+			Cells:     cells,
+			Telemetry: reg,
+			Tracer:    cfg.Tracer,
+			Faults:    cfg.Faults,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer tc.Close()
+	default:
+		return nil, fmt.Errorf("insituviz: unknown transport %q (want inproc or tcp)", cfg.Transport)
+	}
+
 	// The encode+store stage runs behind the renders: Submit stages a copy
 	// and the encoder goroutine drains in order, so each frame's PNG encode
 	// overlaps the next frame's rasterization. Every sample flushes before
@@ -412,6 +470,62 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 		return i
 	}
 
+	// dropSample is the graceful-degradation path shared by a blown viz
+	// deadline and an exhausted in-transit worker ring: the sample's
+	// frames are dropped and accounted — recorded as a "degraded" phase
+	// on the driver lane — and the tracker advances empty. stall is the
+	// injected delay the dropped sample still burned.
+	dropSample := func(simTime, stall float64) error {
+		drv.Begin("degraded")
+		drv.End()
+		mDroppedSamples.Inc()
+		mDroppedFrames.Add(int64(framesPerSample))
+		res.DroppedSamples++
+		res.DroppedFrames += framesPerSample
+		res.EddiesPerSample = append(res.EddiesPerSample, 0)
+		if cfg.Model != nil {
+			// A dropped sample commits nothing but still burns its
+			// simulated window plus the injected stall — the excess
+			// the viz-overload detector exists to catch.
+			obs := costRef.Observation(simTime-lastModelSim, 0, 0, 0, stall)
+			obs.TS = float64(cfg.Tracer.Now()) / 1e9
+			lastModelSim = simTime
+			cfg.Model.Observe(obs)
+		}
+		return tracker.Advance(simTime, nil)
+	}
+
+	// detect runs the sim-side analysis of one sampled field: the Okubo-
+	// Weiss threshold, eddy detection, and the spin census. Shared by
+	// both transports — detection and tracking stay on the sim even when
+	// rendering is remote, because the tracker's state must see every
+	// sample in order.
+	detect := func(field, cellVort []float64) (eddies []eddy.Eddy, th float64, err error) {
+		th = ocean.OkuboWeissThreshold(field)
+		drv.Begin("viz.detect")
+		defer drv.End()
+		if th < 0 {
+			if eddies, err = eddy.Detect(msh, field, th, 2); err != nil {
+				return nil, 0, err
+			}
+		}
+		if cellVort != nil {
+			for i := range eddies {
+				spin, err := eddy.ClassifySpin(msh, eddies[i], cellVort)
+				if err != nil {
+					return nil, 0, err
+				}
+				switch spin {
+				case eddy.SpinCyclonic:
+					res.CyclonicEddies++
+				case eddy.SpinAnticyclonic:
+					res.AnticyclonicEddies++
+				}
+			}
+		}
+		return eddies, th, nil
+	}
+
 	// visualize renders one Okubo-Weiss snapshot with the parallel
 	// rank-partitioned renderer, stores it in the Cinema database, and
 	// feeds the eddy tracker. cellVort, when non-nil, is the cell
@@ -427,26 +541,54 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 		// solver behind it.
 		if f, ok := vizSite.Next(); ok && f.Kind == faults.KindStall &&
 			cfg.VizDeadline > 0 && f.Stall >= cfg.VizDeadline {
-			drv.Begin("degraded")
+			return dropSample(simTime, float64(f.Stall))
+		}
+		drv.Begin("viz.sample")
+		defer drv.End()
+
+		if tc != nil {
+			// In-transit path: ship the shards, adopt the frames the
+			// worker stored, and keep detection local. Transport faults
+			// reconnect-and-resume inside SendSample; only a fully
+			// exhausted worker ring degrades, with accounting identical
+			// to the rank-crash path.
+			drv.Begin("viz.render")
+			sres, err := tc.SendSample(simTime, field)
 			drv.End()
-			mDroppedSamples.Inc()
-			mDroppedFrames.Add(int64(framesPerSample))
-			res.DroppedSamples++
-			res.DroppedFrames += framesPerSample
-			res.EddiesPerSample = append(res.EddiesPerSample, 0)
+			if err != nil {
+				if !errors.Is(err, intransit.ErrUnavailable) {
+					return err
+				}
+				return dropSample(simTime, 0)
+			}
+			for _, e := range sres.Entries {
+				if err := db.Adopt(e); err != nil {
+					return err
+				}
+			}
+			res.Images += sres.Frames
+			res.ImageBytes += Bytes(sres.Bytes)
+			eddies, _, err := detect(field, cellVort)
+			if err != nil {
+				return err
+			}
+			res.EddiesPerSample = append(res.EddiesPerSample, len(eddies))
 			if cfg.Model != nil {
-				// A dropped sample commits nothing but still burns its
-				// simulated window plus the injected stall — the excess
-				// the viz-overload detector exists to catch.
-				obs := costRef.Observation(simTime-lastModelSim, 0, 0, 0, float64(f.Stall))
+				var ioStall float64
+				if f, ok := ioSite.Next(); ok && f.Kind == faults.KindStall {
+					ioStall = float64(f.Stall)
+				}
+				// S_io is the measured wire volume — the real network
+				// cost the in-transit tier exists to expose to the fit.
+				obs := costRef.Observation(simTime-lastModelSim,
+					float64(sres.WireBytes)/1e9, float64(sres.Frames),
+					ioStall+float64(sres.Stall), 0)
 				obs.TS = float64(cfg.Tracer.Now()) / 1e9
 				lastModelSim = simTime
 				cfg.Model.Observe(obs)
 			}
-			return tracker.Advance(simTime, nil)
+			return tracker.Advance(simTime, eddies)
 		}
-		drv.Begin("viz.sample")
-		defer drv.End()
 		// Crash roulette: each still-alive rank consults the injector
 		// once per sample. A crash kills the rank for the rest of the
 		// run; its blocks fail over below. The last survivor is immune —
@@ -514,31 +656,10 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 			}
 		}
 
-		th := ocean.OkuboWeissThreshold(field)
-		var eddies []eddy.Eddy
-		drv.Begin("viz.detect")
-		if th < 0 {
-			if eddies, err = eddy.Detect(msh, field, th, 2); err != nil {
-				drv.End()
-				return err
-			}
+		eddies, th, err := detect(field, cellVort)
+		if err != nil {
+			return err
 		}
-		if cellVort != nil {
-			for i := range eddies {
-				spin, err := eddy.ClassifySpin(msh, eddies[i], cellVort)
-				if err != nil {
-					drv.End()
-					return err
-				}
-				switch spin {
-				case eddy.SpinCyclonic:
-					res.CyclonicEddies++
-				case eddy.SpinAnticyclonic:
-					res.AnticyclonicEddies++
-				}
-			}
-		}
-		drv.End()
 		if cfg.EddyCoreImages && th < 0 {
 			// The paper's selection as a vizpipe filter chain: threshold
 			// the rotation-dominated tail and render only those cells.

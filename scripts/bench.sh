@@ -5,7 +5,10 @@
 # and its Traced variant, BenchmarkStepParallel10242Cells — a full
 # serial/workers{1,2,4,8} solver scaling matrix) plus the Cinema serving
 # path (BenchmarkCinemaServeHot — the 0 allocs/op cached fetch — and
-# BenchmarkCinemaLoadMixed, the Zipf hit/miss/evict blend) with -benchmem.
+# BenchmarkCinemaLoadMixed, the Zipf hit/miss/evict blend) and the
+# in-transit wire hot path (BenchmarkTransitLoopback/{flate,raw} —
+# shard encode, delta, codec, framing, and decode; the raw sub-bench
+# pins 0 allocs/op in steady state) with -benchmem.
 #
 # On top of the snapshot diff, benchsnap checks the scaling matrix: on a
 # host with >= 4 cores, workers4 should beat serial by 1.3x, and workers8
