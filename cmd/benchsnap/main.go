@@ -29,9 +29,9 @@ func main() {
 	log.SetPrefix("benchsnap: ")
 
 	bench := flag.String("bench",
-		"BenchmarkLiveCoupledRun|BenchmarkStepParallel10242Cells|BenchmarkStep642Cells|BenchmarkCinemaServeHot|BenchmarkCinemaLoadMixed|BenchmarkLiveModelObserve|BenchmarkTransitLoopback",
+		"BenchmarkLiveCoupledRun|BenchmarkStepParallel10242Cells|BenchmarkStep642Cells|BenchmarkCinemaServeHot|BenchmarkCinemaLoadMixed|BenchmarkLiveModelObserve|BenchmarkTransitLoopback|BenchmarkCommitHashed",
 		"benchmark regex passed to go test -bench")
-	pkgs := flag.String("pkgs", ".,./internal/ocean,./internal/cinemaserve,./internal/livemodel,./internal/intransit", "comma-separated packages holding the benchmarks")
+	pkgs := flag.String("pkgs", ".,./internal/ocean,./internal/cinemaserve,./internal/livemodel,./internal/intransit,./internal/cinemastore", "comma-separated packages holding the benchmarks")
 	dir := flag.String("dir", ".", "directory holding the BENCH_<n>.json trajectory")
 	benchtime := flag.String("benchtime", "", "optional -benchtime passed to go test (e.g. 10x, 2s)")
 	failOver := flag.Float64("fail-over", 0,

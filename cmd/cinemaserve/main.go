@@ -17,9 +17,18 @@
 //	cinemaserve -http :8080 -db /tmp/run/cinema
 //	cinemaserve -http :8080 -db runA=/tmp/a/cinema -db runB=/tmp/b/cinema \
 //	    -cache-bytes 33554432 -max-inflight 32
+//	cinemaserve -http :8080 -db /tmp/run/cinema -scrub 30s
 //	cinemaserve -http :8080 -cluster \
 //	    -peers http://127.0.0.1:9001,http://127.0.0.1:9002,http://127.0.0.1:9003 \
-//	    -replicas 2
+//	    -replicas 2 -repair-dir node0/cinema=/srv/replica0/cinema
+//
+// -scrub starts the background integrity scrubber: cold frames are
+// re-read and re-verified against their content digests every interval
+// (bounded by -scrub-budget bytes per sweep), and divergent ones are
+// quarantined from serving. In cluster mode, -repair-dir tells the
+// gateway where a node's replica lives on local disk so a corrupt frame
+// reported by that node can be rewritten from a healthy replica's
+// bytes.
 //
 // Endpoints:
 //
@@ -59,6 +68,32 @@ type dbFlags []string
 func (d *dbFlags) String() string     { return strings.Join(*d, ", ") }
 func (d *dbFlags) Set(v string) error { *d = append(*d, v); return nil }
 
+// repairDirFlags collects repeated -repair-dir flags:
+// "node<i>/<store>=DIR", mapping a replica the gateway may rewrite.
+type repairDirFlags struct {
+	m map[string]string
+}
+
+func (r *repairDirFlags) String() string {
+	parts := make([]string, 0, len(r.m))
+	for k, v := range r.m {
+		parts = append(parts, k+"="+v)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (r *repairDirFlags) Set(v string) error {
+	key, dir, ok := strings.Cut(v, "=")
+	if !ok || key == "" || dir == "" || !strings.Contains(key, "/") {
+		return fmt.Errorf("want node<i>/<store>=DIR, got %q", v)
+	}
+	if r.m == nil {
+		r.m = make(map[string]string)
+	}
+	r.m[key] = dir
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cinemaserve: ")
@@ -69,23 +104,41 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", cinemaserve.DefaultCacheBytes, "frame cache budget in bytes")
 	maxInflight := flag.Int("max-inflight", cinemaserve.DefaultMaxInflight, "admitted concurrent requests; beyond this, requests are shed with 503")
 	retryAfter := flag.Duration("retry-after", cinemaserve.DefaultRetryAfter, "backoff advertised on shed responses")
-	repair := flag.Bool("repair", false, "open databases through crash recovery: restore the last good index from its backup if the current one is torn, and quarantine unreferenced frame files")
+	repair := flag.Bool("repair", false, "open databases through crash recovery: restore the last good index from its backup if the current one is torn, and quarantine unreferenced or corrupt frame files")
+	scrub := flag.Duration("scrub", 0, "background integrity scrub interval: re-read and re-verify cold frames this often (0 disables)")
+	scrubBudget := flag.Int64("scrub-budget", cinemaserve.DefaultScrubBudget, "per-sweep scrub I/O budget in frame bytes")
 	cluster := flag.Bool("cluster", false, "run as a cluster gateway over -peers instead of serving local databases")
 	peers := flag.String("peers", "", "comma-separated serving-node base URLs (cluster mode)")
 	replicas := flag.Int("replicas", cinemacluster.DefaultReplicas, "ring replication factor R: owning nodes per frame (cluster mode)")
-	chaos := flag.String("chaos", "", fmt.Sprintf("arm deterministic peer-fault injection: seed=N[,profile] (profiles: %s; cluster mode)",
+	var repairDirs repairDirFlags
+	flag.Var(&repairDirs, "repair-dir", "replica directory a gateway may repair: node<i>/<store>=DIR (repeatable; cluster mode)")
+	chaos := flag.String("chaos", "", fmt.Sprintf("arm deterministic fault injection: seed=N[,profile] (profiles: %s); node mode arms the read/integrity sites, cluster mode the peer sites",
 		strings.Join(faults.ProfileNames(), ", ")))
 	flag.Parse()
 
 	if *cluster {
-		runGateway(*httpAddr, *peers, *replicas, *cacheBytes, *retryAfter, *chaos, dbs)
+		runGateway(*httpAddr, *peers, *replicas, *cacheBytes, *retryAfter, *chaos, repairDirs.m, dbs)
 		return
+	}
+	if len(repairDirs.m) > 0 {
+		log.Fatal("-repair-dir requires -cluster")
 	}
 	if *peers != "" {
 		log.Fatal("-peers requires -cluster")
 	}
 	if len(dbs) == 0 {
 		log.Fatal("no databases: pass at least one -db DIR (or NAME=DIR)")
+	}
+
+	var injector *faults.Injector
+	if *chaos != "" {
+		plan, err := faults.ParseSpec(*chaos)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if injector, err = faults.New(plan); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	reg := telemetry.NewRegistry()
@@ -96,6 +149,7 @@ func main() {
 		RetryAfter:  *retryAfter,
 		Telemetry:   reg,
 		Tracer:      tracer,
+		Faults:      injector,
 	})
 	for _, spec := range dbs {
 		name, dir, ok := strings.Cut(spec, "=")
@@ -121,14 +175,30 @@ func main() {
 				fmt.Printf("%s: quarantined %d unreferenced files into %s/\n",
 					name, len(rep.Quarantined), cinemastore.QuarantineDir)
 			}
+			if len(rep.CorruptQuarantined) > 0 {
+				fmt.Printf("%s: quarantined %d corrupt frames into %s/ and dropped them from the index\n",
+					name, len(rep.CorruptQuarantined), cinemastore.QuarantineDir)
+			}
+			if rep.ManifestTruncatedBytes > 0 {
+				fmt.Printf("%s: truncated a %d-byte torn manifest tail\n",
+					name, rep.ManifestTruncatedBytes)
+			}
 		} else if st, err = cinemastore.Open(dir); err != nil {
 			log.Fatal(err)
 		}
+		// Arm the on-disk fault sites (store.bitrot, store.truncate) so a
+		// chaos profile can rot frames under the serving stack.
+		st.SetFaults(injector)
 		if err := srv.Mount(name, st); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("mounted %s: %d frames, %d bytes (format %s) from %s\n",
 			name, st.Len(), st.TotalBytes(), st.Version(), dir)
+	}
+	if *scrub > 0 {
+		stopScrub := srv.StartScrubber(*scrub, *scrubBudget)
+		defer stopScrub()
+		fmt.Printf("scrubbing every %s (budget %d bytes per sweep)\n", *scrub, *scrubBudget)
 	}
 
 	// The serving metrics appear under the "serve." namespace, the same
@@ -156,7 +226,7 @@ func main() {
 
 // runGateway is cluster mode: the same routes, served by hash-routing
 // across the peer fleet instead of reading local databases.
-func runGateway(httpAddr, peers string, replicas int, cacheBytes int64, retryAfter time.Duration, chaos string, dbs dbFlags) {
+func runGateway(httpAddr, peers string, replicas int, cacheBytes int64, retryAfter time.Duration, chaos string, repairDirs map[string]string, dbs dbFlags) {
 	if len(dbs) > 0 {
 		log.Fatal("cluster mode routes to -peers; it does not mount -db databases")
 	}
@@ -191,6 +261,7 @@ func runGateway(httpAddr, peers string, replicas int, cacheBytes int64, retryAft
 		Telemetry:  reg,
 		Tracer:     tracer,
 		Faults:     injector,
+		RepairDirs: repairDirs,
 	})
 	if err != nil {
 		log.Fatal(err)

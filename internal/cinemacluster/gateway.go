@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -73,6 +74,13 @@ type Config struct {
 	// ScrapeTimeout bounds each node's /metrics fetch in the cluster
 	// union. Zero selects DefaultScrapeTimeout.
 	ScrapeTimeout time.Duration
+	// RepairDirs maps "node<i>/<store>" to the local directory holding
+	// that node's replica of the store. When a node reports a corrupt
+	// frame (500 + X-Cinema-Corrupt) and a later candidate serves good
+	// bytes, the gateway rewrites the bad replica's file through the
+	// store's atomic temp+fsync+rename path. Replicas without a mapping
+	// are detected and failed over but not repaired.
+	RepairDirs map[string]string
 }
 
 // peerNode is one serving node as the gateway sees it.
@@ -114,6 +122,9 @@ type Gateway struct {
 	mCacheMisses *telemetry.Counter
 	mInjected    *telemetry.Counter
 	mBytesOut    *telemetry.Counter
+	mCorrupt     *telemetry.Counter
+	mRepairs     *telemetry.Counter
+	mRepairErrs  *telemetry.Counter
 }
 
 // NewGateway validates cfg and builds the gateway with every peer in the
@@ -168,6 +179,9 @@ func NewGateway(cfg Config) (*Gateway, error) {
 		mCacheMisses: reg.Counter("cache.misses"),
 		mInjected:    reg.Counter("faults.injected"),
 		mBytesOut:    reg.Counter("bytes.out"),
+		mCorrupt:     reg.Counter("corrupt"),
+		mRepairs:     reg.Counter("repairs"),
+		mRepairErrs:  reg.Counter("repair.errors"),
 	}
 	g.cache = newByteLRU(cfg.CacheBytes, reg.Counter("cache.evictions"), reg.Gauge("cache.used.bytes"))
 	reg.Gauge("replicas").Set(int64(cfg.Replicas))
@@ -273,7 +287,7 @@ func (g *Gateway) serveFrame(w http.ResponseWriter, r *http.Request, store strin
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	g.fetchTiered(w, r, HashKey(store, key), cacheID(store, r.URL.RawQuery))
+	g.fetchTiered(w, r, store, HashKey(store, key), cacheID(store, r.URL.RawQuery))
 }
 
 func (g *Gateway) serveFile(w http.ResponseWriter, r *http.Request, store, file string) {
@@ -281,7 +295,7 @@ func (g *Gateway) serveFile(w http.ResponseWriter, r *http.Request, store, file 
 		http.Error(w, "missing file name", http.StatusBadRequest)
 		return
 	}
-	g.fetchTiered(w, r, HashFile(store, file), cacheID(store, "file/"+file))
+	g.fetchTiered(w, r, store, HashFile(store, file), cacheID(store, "file/"+file))
 }
 
 // cacheID builds the gateway cache key. The raw query participates (two
@@ -290,14 +304,25 @@ func (g *Gateway) serveFile(w http.ResponseWriter, r *http.Request, store, file 
 // requests.
 func cacheID(store, rest string) string { return store + "\x00" + rest }
 
+// repairTarget remembers a replica that reported a corrupt copy of a
+// frame during the failover walk, so good bytes found later in the same
+// walk can be written back over it.
+type repairTarget struct {
+	node string
+	file string
+}
+
 // fetchTiered serves one frame through the cache tiers: gateway memory,
 // owning peers' memory (cacheonly probes), then one full read on the
 // first healthy owner — or, all owners down, on any healthy node, which
-// shared storage makes safe.
-func (g *Gateway) fetchTiered(w http.ResponseWriter, r *http.Request, hash uint64, id string) {
+// shared storage makes safe. A node answering 500 + X-Cinema-Corrupt is
+// alive but holds a rotten replica: the walk continues (no breaker
+// strike — integrity is not availability), and once a healthy candidate
+// supplies verified bytes the corrupt replica is repaired in place.
+func (g *Gateway) fetchTiered(w http.ResponseWriter, r *http.Request, store string, hash uint64, id string) {
 	if data, file, ok := g.cache.get(id); ok {
 		g.mCacheHits.Inc()
-		g.writeFrame(w, data, file)
+		g.writeFrame(w, data, file, "")
 		return
 	}
 	g.mCacheMisses.Inc()
@@ -306,14 +331,15 @@ func (g *Gateway) fetchTiered(w http.ResponseWriter, r *http.Request, hash uint6
 
 	// Tier 2: probe the owning peers' caches. A probe never costs a
 	// peer a disk read, so trying every owner is cheap; the first
-	// resident copy wins.
+	// resident copy wins. A cacheonly probe can never report corruption
+	// — only verified frames enter a node's cache.
 	for _, name := range owners {
 		p := g.byName[name]
 		if p == nil || !g.admit(p) {
 			continue
 		}
 		g.mPeerProbes.Inc()
-		data, file, status, err := g.peerFetch(r.Context(), p, peerURL(p, r, true))
+		data, file, _, status, err := g.peerFetch(r.Context(), p, peerURL(p, r, true))
 		switch {
 		case err != nil:
 			g.fail(p, err)
@@ -322,7 +348,7 @@ func (g *Gateway) fetchTiered(w http.ResponseWriter, r *http.Request, hash uint6
 			p.mOK.Inc()
 			g.mPeerHits.Inc()
 			g.cache.put(id, data, file)
-			g.writeFrame(w, data, file)
+			g.writeFrame(w, data, file, p.name)
 			return
 		case status == http.StatusNoContent:
 			p.brk.OnSuccess()
@@ -338,6 +364,7 @@ func (g *Gateway) fetchTiered(w http.ResponseWriter, r *http.Request, hash uint6
 	// Tier 3: a real read. Owners first (their cache fills where the
 	// hash says the frame lives), then everyone else as a last resort.
 	sawShed := false
+	var corrupt []repairTarget
 	tried := map[string]bool{}
 	candidates := append(owners, g.ring.Nodes()...)
 	for _, name := range candidates {
@@ -349,7 +376,7 @@ func (g *Gateway) fetchTiered(w http.ResponseWriter, r *http.Request, hash uint6
 		if p == nil || !g.admit(p) {
 			continue
 		}
-		data, file, status, err := g.peerFetch(r.Context(), p, peerURL(p, r, false))
+		data, file, corruptFile, status, err := g.peerFetch(r.Context(), p, peerURL(p, r, false))
 		switch {
 		case err != nil:
 			g.fail(p, err)
@@ -357,7 +384,8 @@ func (g *Gateway) fetchTiered(w http.ResponseWriter, r *http.Request, hash uint6
 			p.brk.OnSuccess()
 			p.mOK.Inc()
 			g.cache.put(id, data, file)
-			g.writeFrame(w, data, file)
+			g.writeFrame(w, data, file, p.name)
+			g.repair(store, corrupt, file, data)
 			return
 		case status == http.StatusNotFound:
 			// The index is shared: a healthy node's 404 is the cluster's
@@ -366,6 +394,14 @@ func (g *Gateway) fetchTiered(w http.ResponseWriter, r *http.Request, hash uint6
 			p.mOK.Inc()
 			http.Error(w, "not found", http.StatusNotFound)
 			return
+		case status == http.StatusInternalServerError && corruptFile != "":
+			// The node detected and quarantined a corrupt replica. It is
+			// responsive and honest — that is a successful health probe,
+			// not a strike — and the walk goes on to a healthy copy.
+			p.brk.OnSuccess()
+			g.mCorrupt.Inc()
+			g.lane.Instant("corrupt." + p.name)
+			corrupt = append(corrupt, repairTarget{node: p.name, file: corruptFile})
 		case status == http.StatusServiceUnavailable:
 			p.mSheds.Inc()
 			sawShed = true
@@ -374,6 +410,38 @@ func (g *Gateway) fetchTiered(w http.ResponseWriter, r *http.Request, hash uint6
 		}
 	}
 	g.exhausted(w, sawShed)
+}
+
+// repair rewrites every corrupt replica of file with the verified bytes
+// a healthy candidate served, through the store's atomic
+// temp+fsync+rename path. Only replicas with a configured RepairDirs
+// mapping are written; names are restricted to bare files (headers are
+// peer input, not trusted paths). The corrupted node re-verifies on its
+// next read of the frame, so a successful repair heals its in-memory
+// quarantine without coordination.
+func (g *Gateway) repair(store string, targets []repairTarget, file string, data []byte) {
+	if len(targets) == 0 || file == "" || len(data) == 0 {
+		return
+	}
+	if filepath.Base(file) != file || file == "." || file == ".." {
+		return
+	}
+	for _, t := range targets {
+		if t.file != file {
+			continue
+		}
+		dir := g.cfg.RepairDirs[t.node+"/"+store]
+		if dir == "" {
+			continue
+		}
+		if err := cinemastore.WriteFileAtomic(dir, file, data); err != nil {
+			g.mRepairErrs.Inc()
+			g.lane.Instant("repair.error." + t.node)
+			continue
+		}
+		g.mRepairs.Inc()
+		g.lane.Instant("repair." + t.node)
+	}
 }
 
 // admit applies the breaker filter: an open breaker ejects the node from
@@ -466,15 +534,17 @@ func peerURL(p *peerNode, r *http.Request, cacheonly bool) string {
 }
 
 // peerFetch performs one frame fetch against a peer and returns the
-// body, the served file name, and the status. The "cluster.peer" fault
-// site is consulted first: an injected error fails the fetch without
-// touching the network, exactly as a dropped connection would.
-func (g *Gateway) peerFetch(ctx context.Context, p *peerNode, url string) (data []byte, file string, status int, err error) {
+// body, the served file name, the corrupt-replica file name (from
+// X-Cinema-Corrupt, empty for healthy responses), and the status. The
+// "cluster.peer" fault site is consulted first: an injected error fails
+// the fetch without touching the network, exactly as a dropped
+// connection would.
+func (g *Gateway) peerFetch(ctx context.Context, p *peerNode, url string) (data []byte, file, corrupt string, status int, err error) {
 	body, st, header, err := g.peerGet(ctx, p, url)
 	if err != nil {
-		return nil, "", 0, err
+		return nil, "", "", 0, err
 	}
-	return body, header.Get("X-Cinema-File"), st, nil
+	return body, header.Get("X-Cinema-File"), header.Get("X-Cinema-Corrupt"), st, nil
 }
 
 func (g *Gateway) peerGet(ctx context.Context, p *peerNode, url string) ([]byte, int, http.Header, error) {
@@ -499,10 +569,16 @@ func (g *Gateway) peerGet(ctx context.Context, p *peerNode, url string) ([]byte,
 	return body, resp.StatusCode, resp.Header, nil
 }
 
-func (g *Gateway) writeFrame(w http.ResponseWriter, data []byte, file string) {
+// writeFrame relays a frame to the client. node, when non-empty, names
+// the peer that actually served the bytes (X-Cinema-Node) — gateway
+// cache hits omit it, since the origin is no longer known.
+func (g *Gateway) writeFrame(w http.ResponseWriter, data []byte, file, node string) {
 	w.Header().Set("Content-Type", "image/png")
 	if file != "" {
 		w.Header().Set("X-Cinema-File", file)
+	}
+	if node != "" {
+		w.Header().Set("X-Cinema-Node", node)
 	}
 	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
 	_, _ = w.Write(data)

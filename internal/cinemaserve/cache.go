@@ -88,6 +88,16 @@ func (c *lruCache) put(k cacheKey, data []byte) {
 	c.mu.Unlock()
 }
 
+// contains reports residency without promoting the entry — the scrubber
+// uses it to decide whether a frame is "cold", and a scrub probe must
+// not perturb the LRU order real traffic established.
+func (c *lruCache) contains(k cacheKey) bool {
+	c.mu.Lock()
+	_, ok := c.m[k]
+	c.mu.Unlock()
+	return ok
+}
+
 // bytes returns the current resident frame bytes.
 func (c *lruCache) bytes() int64 {
 	c.mu.Lock()

@@ -230,6 +230,14 @@ func (s *Server) writeFrame(w http.ResponseWriter, data []byte, entry cinemastor
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case err != nil:
+		// A quarantined frame names itself in a header so a cluster
+		// gateway can distinguish "this replica's copy is rotten" (fail
+		// over and repair it) from an opaque server error (strike the
+		// peer's breaker).
+		var corrupt *CorruptFrameError
+		if errors.As(err, &corrupt) {
+			w.Header().Set("X-Cinema-Corrupt", corrupt.File)
+		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	default:
 		w.Header().Set("Content-Type", "image/png")

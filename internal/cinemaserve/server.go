@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"insituviz/internal/cinemastore"
@@ -115,12 +116,66 @@ func (e *InjectedReadError) Error() string {
 	return fmt.Sprintf("cinemaserve: injected store-read failure (fault #%d)", e.Seq)
 }
 
+// CorruptFrameError reports a frame whose bytes failed integrity
+// verification on cache fill or scrub: the disk answered, but with the
+// wrong bytes. It is not an availability failure — the breaker is never
+// struck for it — and the frame is quarantined in memory, never served
+// and never cached, until a later read verifies clean (for example after
+// a cluster gateway repaired the replica).
+type CorruptFrameError struct {
+	// Store is the mount name, File the divergent frame.
+	Store, File string
+	// Cause is the underlying *cinemastore.IntegrityError.
+	Cause error
+}
+
+func (e *CorruptFrameError) Error() string {
+	return fmt.Sprintf("cinemaserve: corrupt frame %s/%s: %v", e.Store, e.File, e.Cause)
+}
+
+func (e *CorruptFrameError) Unwrap() error { return e.Cause }
+
 // mount is one served store.
 type mount struct {
 	name  string
 	id    int32
 	store *cinemastore.Store
 	brk   *Breaker
+
+	// quar marks entry indexes whose last read failed integrity
+	// verification. Quarantine is in-memory only: stores may be shared
+	// between replicas (cluster-smoke mounts one directory on every
+	// node), so an on-disk move here would damage healthy peers. A
+	// quarantined entry is re-read and re-verified on its next fetch, so
+	// a repaired replica heals without intervention. qn mirrors
+	// len(quar) atomically so hot paths can skip the lock when empty.
+	qmu  sync.Mutex
+	quar map[int32]bool
+	qn   int32
+}
+
+// setQuarantined marks or clears an entry's quarantine, returning the
+// delta it applied to the server-wide quarantined gauge.
+func (m *mount) setQuarantined(idx int32, bad bool) int64 {
+	if !bad && atomic.LoadInt32(&m.qn) == 0 {
+		return 0
+	}
+	m.qmu.Lock()
+	defer m.qmu.Unlock()
+	switch {
+	case bad && !m.quar[idx]:
+		if m.quar == nil {
+			m.quar = map[int32]bool{}
+		}
+		m.quar[idx] = true
+		atomic.AddInt32(&m.qn, 1)
+		return 1
+	case !bad && m.quar[idx]:
+		delete(m.quar, idx)
+		atomic.AddInt32(&m.qn, -1)
+		return -1
+	}
+	return 0
 }
 
 // Server serves frames from one or more mounted Cinema stores through a
@@ -154,9 +209,13 @@ type Server struct {
 	mStoreReads *telemetry.Counter
 	mPeekMiss   *telemetry.Counter
 	mBytesOut   *telemetry.Counter
+	mCorrupt    *telemetry.Counter
+	gQuar       *telemetry.Gauge
 	gInflight   *telemetry.Gauge
 	hLatency    *telemetry.Histogram
 	hRespBytes  *telemetry.Histogram
+
+	scrub scrubState
 }
 
 // NewServer returns an empty server; mount stores with Mount.
@@ -192,10 +251,13 @@ func NewServer(cfg Config) *Server {
 		mStoreReads: reg.Counter("store.reads"),
 		mPeekMiss:   reg.Counter("cacheonly.misses"),
 		mBytesOut:   reg.Counter("bytes.out"),
+		mCorrupt:    reg.Counter("corrupt"),
+		gQuar:       reg.Gauge("quarantined"),
 		gInflight:   reg.Gauge("inflight.highwater"),
 		hLatency:    reg.Histogram("latency.ns", LatencyBuckets),
 		hRespBytes:  reg.Histogram("response.bytes", ResponseSizeBuckets),
 	}
+	s.scrub.init(reg)
 	s.cache = newLRUCache(cfg.CacheBytes, reg.Counter("cache.evictions"), reg.Gauge("cache.used.bytes"))
 	reg.Gauge("cache.budget.bytes").Set(cfg.CacheBytes)
 	reg.Gauge("slots").Set(int64(cfg.MaxInflight))
@@ -393,12 +455,16 @@ func (s *Server) frameByFile(ctx context.Context, store, file string, lane *trac
 // countFetchError classifies a failed fetch: a client that went away is
 // serve.canceled (never an error, never a breaker strike — the detached
 // read keeps running for the peers that stayed), a breaker rejection is
-// already counted by the breaker, and everything else is a serve error.
+// already counted by the breaker, a corrupt frame is already counted
+// (once per verification, not per coalesced waiter) under serve.corrupt,
+// and everything else is a serve error.
 func (s *Server) countFetchError(err error) {
+	var corrupt *CorruptFrameError
 	switch {
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.mCanceled.Inc()
 	case errors.Is(err, ErrUnavailable):
+	case errors.As(err, &corrupt):
 	default:
 		s.mErrors.Inc()
 	}
@@ -448,7 +514,20 @@ func (s *Server) frameAt(ctx context.Context, m *mount, idx int, lane *trace.Lan
 			m.brk.OnFailure()
 			return nil, err
 		}
+		// The disk answered; from here on the question is integrity, not
+		// availability, so the breaker sees a success either way. Length
+		// is checked before the digest — a frame truncated mid-read must
+		// never be cached, and the cheap check catches it even on pre-v3
+		// entries that carry no content address.
 		m.brk.OnSuccess()
+		e := m.store.EntryAt(idx)
+		if verr := e.VerifyFrame(data); verr != nil {
+			s.mCorrupt.Inc()
+			s.gQuar.Add(m.setQuarantined(ck.entry, true))
+			lane.Instant("corrupt")
+			return nil, &CorruptFrameError{Store: m.name, File: e.File, Cause: verr}
+		}
+		s.gQuar.Add(m.setQuarantined(ck.entry, false))
 		s.cache.put(ck, data)
 		return data, nil
 	})
@@ -520,6 +599,22 @@ func (s *Server) acquireSlot() (int32, *trace.Lane, bool) {
 
 // releaseSlot returns a slot claimed by acquireSlot.
 func (s *Server) releaseSlot(id int32) { s.slots <- id }
+
+// QuarantinedFiles lists the named store's in-memory-quarantined frame
+// files (unsorted), for operators and tests.
+func (s *Server) QuarantinedFiles(store string) []string {
+	m := s.lookupMount(store)
+	if m == nil {
+		return nil
+	}
+	m.qmu.Lock()
+	defer m.qmu.Unlock()
+	out := make([]string, 0, len(m.quar))
+	for idx := range m.quar {
+		out = append(out, m.store.EntryAt(int(idx)).File)
+	}
+	return out
+}
 
 // CacheBytes reports the currently resident frame bytes.
 func (s *Server) CacheBytes() int64 { return s.cache.bytes() }

@@ -30,12 +30,16 @@ import (
 	"strings"
 
 	"insituviz/internal/faults"
+	"insituviz/internal/provenance"
 )
 
-// Format identifiers. Version 2 indexes carry the full axis tuple per
-// entry; version 1 is the legacy layout (time and variable only, the
-// variable under the key "field"), which Open still reads so databases
-// written before the store existed stay servable.
+// Format identifiers. Version 3 indexes content-address every frame with
+// a SHA-256 digest ("sha256" per entry) and pair the index with a
+// hash-chained provenance manifest; version 2 carries the full axis
+// tuple per entry without digests; version 1 is the legacy layout (time
+// and variable only, the variable under the key "field"). Open reads all
+// three, so databases written before the store — or before content
+// addressing — stay servable.
 const (
 	IndexFile = "info.json"
 
@@ -46,11 +50,13 @@ const (
 	BackupFile = "info.json.bak"
 
 	// QuarantineDir is where RepairOpen moves files the recovered index
-	// does not reference, instead of deleting them.
+	// does not reference — or whose bytes no longer match their recorded
+	// digest — instead of deleting them.
 	QuarantineDir = "quarantine"
 
 	TypeV2    = "insituviz-cinema-store"
 	VersionV2 = "2.0"
+	VersionV3 = "3.0"
 
 	typeV1    = "simple-image-database"
 	versionV1 = "1.0"
@@ -101,15 +107,20 @@ func (k Key) Validate() error {
 }
 
 // Entry is one frame record: its key plus the stored file (a bare name,
-// always directly inside the database directory) and its size.
+// always directly inside the database directory), its size, and — for
+// version-3 stores — the hex SHA-256 content address of its bytes.
 type Entry struct {
 	Key
 	File  string `json:"file"`
 	Bytes int64  `json:"bytes"`
+	// Digest is the lowercase-hex SHA-256 of the frame bytes; empty for
+	// entries read from pre-v3 indexes.
+	Digest string `json:"sha256,omitempty"`
 }
 
-// jsonEntry is the on-disk entry layout, a superset of both versions:
-// version 2 uses "variable", version 1 used "field".
+// jsonEntry is the on-disk entry layout, a superset of all versions:
+// version 3 adds "sha256", version 2 uses "variable", version 1 used
+// "field".
 type jsonEntry struct {
 	File     string  `json:"file"`
 	Time     float64 `json:"time"`
@@ -118,6 +129,7 @@ type jsonEntry struct {
 	Variable string  `json:"variable,omitempty"`
 	Field    string  `json:"field,omitempty"`
 	Bytes    int64   `json:"bytes"`
+	Sha256   string  `json:"sha256,omitempty"`
 }
 
 // jsonIndex is the on-disk index layout.
@@ -125,6 +137,64 @@ type jsonIndex struct {
 	Type    string      `json:"type"`
 	Version string      `json:"version"`
 	Images  []jsonEntry `json:"images"`
+}
+
+// IntegrityError reports frame bytes that diverge from their index
+// entry: a length mismatch (truncation, the cheap check that runs first)
+// or a digest mismatch (bit-rot). It names the file so a verifier or an
+// operator can point at the exact divergent frame.
+type IntegrityError struct {
+	// File is the divergent frame's bare file name.
+	File string
+	// Reason is "truncated" or "digest mismatch".
+	Reason string
+	// WantBytes/GotBytes are set for length mismatches.
+	WantBytes, GotBytes int64
+	// WantDigest/GotDigest are set (hex) for digest mismatches.
+	WantDigest, GotDigest string
+}
+
+func (e *IntegrityError) Error() string {
+	if e.Reason == "truncated" {
+		return fmt.Sprintf("cinemastore: %s: truncated (%d bytes on read, index says %d)", e.File, e.GotBytes, e.WantBytes)
+	}
+	return fmt.Sprintf("cinemastore: %s: digest mismatch (got %s, index says %s)", e.File, e.GotDigest, e.WantDigest)
+}
+
+// VerifyFrame checks read frame bytes against the entry: length first
+// (catches truncation before paying for a hash), then the SHA-256
+// content address when the entry carries one. A nil return means the
+// bytes are exactly what was committed — or, for digest-less pre-v3
+// entries, at least the right length.
+func (e Entry) VerifyFrame(data []byte) error {
+	if int64(len(data)) != e.Bytes {
+		return &IntegrityError{File: e.File, Reason: "truncated", WantBytes: e.Bytes, GotBytes: int64(len(data))}
+	}
+	if e.Digest == "" {
+		return nil
+	}
+	if got := provenance.Sum(data).Hex(); got != e.Digest {
+		return &IntegrityError{File: e.File, Reason: "digest mismatch", WantDigest: e.Digest, GotDigest: got}
+	}
+	return nil
+}
+
+// EntriesRoot computes the Merkle root over the entries' content
+// addresses in canonical sort order — the root a manifest record pins.
+// ok is false when any entry lacks a digest (a pre-v3 store), in which
+// case no meaningful root exists.
+func EntriesRoot(entries []Entry) (root provenance.Digest, ok bool) {
+	sorted := append([]Entry(nil), entries...)
+	sortEntries(sorted)
+	leaves := make([]provenance.Digest, len(sorted))
+	for i, e := range sorted {
+		d, err := provenance.ParseHex(e.Digest)
+		if err != nil {
+			return provenance.Digest{}, false
+		}
+		leaves[i] = d
+	}
+	return provenance.MerkleRoot(leaves), true
 }
 
 // sortEntries orders entries canonically: variable, then time, then phi,
@@ -217,18 +287,27 @@ type Writer struct {
 	byKey   map[Key]int
 	files   map[string]bool
 	total   int64
+	ledger  *provenance.Ledger
+	// lastRoot is the root of the most recently appended manifest record
+	// (durable or still pending); it dedups pure Commit retries after a
+	// torn manifest append.
+	lastRoot string
 
 	// Fault injection (nil without SetFaults; a nil site never fires).
 	inj        *faults.Injector
 	commitSite *faults.Site
 }
 
-// SetFaults arms the writer's "cinema.commit" fault site: an injected
-// torn fault makes the next Commit leave a corrupt index prefix on disk
-// — the crash mode RepairOpen recovers — instead of committing cleanly.
+// SetFaults arms the writer's "cinema.commit" fault site — an injected
+// torn fault makes the next Commit leave a corrupt index prefix on disk,
+// the crash mode RepairOpen recovers — and the ledger's "manifest.torn"
+// site, which tears the manifest append the same way.
 func (w *Writer) SetFaults(in *faults.Injector) {
 	w.inj = in
 	w.commitSite = in.Site("cinema.commit")
+	if w.ledger != nil {
+		w.ledger.SetFaults(in)
+	}
 }
 
 // TornCommitError reports a Commit that tore mid-write, leaving a
@@ -253,7 +332,15 @@ func Create(dir string) (*Writer, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cinemastore: create database dir: %w", err)
 	}
-	return &Writer{dir: dir, byKey: map[Key]int{}, files: map[string]bool{}}, nil
+	// The provenance ledger continues any existing manifest chain in the
+	// directory (truncating a torn tail from a crashed append). The file
+	// itself is created lazily on the first Commit, so a writer that
+	// never commits leaves no ledger behind.
+	ledger, _, err := provenance.OpenLedger(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{dir: dir, byKey: map[Key]int{}, files: map[string]bool{}, ledger: ledger}, nil
 }
 
 // Dir returns the database directory.
@@ -305,7 +392,7 @@ func (w *Writer) Put(key Key, data []byte) (Entry, error) {
 	if err := writeFileAtomicNoDirSync(w.dir, name, data); err != nil {
 		return Entry{}, err
 	}
-	e := Entry{Key: key, File: name, Bytes: int64(len(data))}
+	e := Entry{Key: key, File: name, Bytes: int64(len(data)), Digest: provenance.Sum(data).Hex()}
 	w.byKey[key] = len(w.entries)
 	w.entries = append(w.entries, e)
 	w.files[name] = true
@@ -316,9 +403,11 @@ func (w *Writer) Put(key Key, data []byte) (Entry, error) {
 // Adopt records an entry whose frame file was written into the database
 // directory by another process — the in-transit viz workers share the
 // sim's store directory and report back the entries they stored. The
-// adopting writer validates the entry, verifies the file exists with the
-// reported size, and folds it into its index exactly as if Put had
-// written it, so Commit publishes one index over both origins.
+// adopting writer validates the entry, verifies the file on disk — a
+// size check always, a full SHA-256 re-hash when the entry carries a
+// content address (worker acks do) — and folds it into its index exactly
+// as if Put had written it, so Commit publishes one index over both
+// origins and the sim never vouches for bytes it has not verified.
 func (w *Writer) Adopt(e Entry) error {
 	if err := e.Key.Validate(); err != nil {
 		return err
@@ -329,12 +418,25 @@ func (w *Writer) Adopt(e Entry) error {
 	if i, ok := w.byKey[e.Key]; ok {
 		return fmt.Errorf("cinemastore: duplicate key %+v (already stored as %s)", e.Key, w.entries[i].File)
 	}
-	fi, err := os.Stat(filepath.Join(w.dir, e.File))
-	if err != nil {
-		return fmt.Errorf("cinemastore: adopt %s: %w", e.File, err)
-	}
-	if fi.Size() != e.Bytes {
-		return fmt.Errorf("cinemastore: adopt %s: size %d on disk, entry says %d", e.File, fi.Size(), e.Bytes)
+	if e.Digest != "" {
+		if _, err := provenance.ParseHex(e.Digest); err != nil {
+			return fmt.Errorf("cinemastore: adopt %s: %w", e.File, err)
+		}
+		data, err := os.ReadFile(filepath.Join(w.dir, e.File))
+		if err != nil {
+			return fmt.Errorf("cinemastore: adopt %s: %w", e.File, err)
+		}
+		if err := e.VerifyFrame(data); err != nil {
+			return fmt.Errorf("cinemastore: adopt: %w", err)
+		}
+	} else {
+		fi, err := os.Stat(filepath.Join(w.dir, e.File))
+		if err != nil {
+			return fmt.Errorf("cinemastore: adopt %s: %w", e.File, err)
+		}
+		if fi.Size() != e.Bytes {
+			return fmt.Errorf("cinemastore: adopt %s: size %d on disk, entry says %d", e.File, fi.Size(), e.Bytes)
+		}
 	}
 	w.byKey[e.Key] = len(w.entries)
 	w.entries = append(w.entries, e)
@@ -353,15 +455,22 @@ func (w *Writer) Entries() []Entry {
 // TotalBytes returns the cumulative size of all stored frames.
 func (w *Writer) TotalBytes() int64 { return w.total }
 
-// Commit writes the version-2 index atomically and returns its encoded
-// size. Commit may be called repeatedly; each call publishes the entries
-// accumulated so far, and concurrent readers observe one committed index
-// or the previous one, never a mixture. Commit's directory fsync is also
-// the durability boundary for the frames: it makes every prior frame
-// rename in the directory crash-durable along with the index referencing
-// them.
+// Commit writes the version-3 index atomically, appends a hash-chained
+// manifest record pinning the Merkle root of the committed entries, and
+// returns the index's encoded size. Commit may be called repeatedly;
+// each call publishes the entries accumulated so far, and concurrent
+// readers observe one committed index or the previous one, never a
+// mixture. Commit's directory fsync is also the durability boundary for
+// the frames: it makes every prior frame rename in the directory
+// crash-durable along with the index referencing them.
+//
+// The index lands before the manifest record, so a Commit torn at either
+// step leaves the manifest head no further than the on-disk index. A
+// *TornManifestError means the index committed but its record did not;
+// retrying Commit truncates the torn tail and completes the chain.
 func (w *Writer) Commit() (int64, error) {
-	data, err := EncodeIndex(w.Entries())
+	entries := w.Entries()
+	data, err := EncodeIndex(entries)
 	if err != nil {
 		return 0, err
 	}
@@ -387,19 +496,35 @@ func (w *Writer) Commit() (int64, error) {
 	if err := WriteFileAtomic(w.dir, IndexFile, data); err != nil {
 		return 0, err
 	}
+	// Pin the committed state in the provenance chain. A retried Commit
+	// (after a torn manifest append) must not double-record the same
+	// state: the pending record from the failed attempt is reused.
+	if root, ok := EntriesRoot(entries); ok {
+		if w.ledger.Pending() == 0 || root.Hex() != w.lastRoot {
+			w.ledger.Append(root, len(entries), w.total)
+			w.lastRoot = root.Hex()
+		}
+		if err := w.ledger.Sync(); err != nil {
+			return 0, err
+		}
+	}
 	return int64(len(data)), nil
 }
 
-// EncodeIndex renders entries as a version-2 index document. The entries
+// CloseLedger releases the writer's manifest file handle. Call when the
+// writer is done committing; further Commits reopen nothing and fail.
+func (w *Writer) CloseLedger() error { return w.ledger.Close() }
+
+// EncodeIndex renders entries as a version-3 index document. The entries
 // are sorted canonically first, so equal databases encode byte-identically.
 func EncodeIndex(entries []Entry) ([]byte, error) {
 	sorted := append([]Entry(nil), entries...)
 	sortEntries(sorted)
-	idx := jsonIndex{Type: TypeV2, Version: VersionV2, Images: make([]jsonEntry, len(sorted))}
+	idx := jsonIndex{Type: TypeV2, Version: VersionV3, Images: make([]jsonEntry, len(sorted))}
 	for i, e := range sorted {
 		idx.Images[i] = jsonEntry{
 			File: e.File, Time: e.Time, Phi: e.Phi, Theta: e.Theta,
-			Variable: e.Variable, Bytes: e.Bytes,
+			Variable: e.Variable, Bytes: e.Bytes, Sha256: e.Digest,
 		}
 	}
 	data, err := json.MarshalIndent(idx, "", "  ")
@@ -409,7 +534,7 @@ func EncodeIndex(entries []Entry) ([]byte, error) {
 	return append(data, '\n'), nil
 }
 
-// DecodeIndex parses an index document of either supported version into
+// DecodeIndex parses an index document of any supported version into
 // entries (canonical order) and reports the version it found.
 func DecodeIndex(data []byte) ([]Entry, string, error) {
 	var idx jsonIndex
@@ -417,7 +542,7 @@ func DecodeIndex(data []byte) ([]Entry, string, error) {
 		return nil, "", fmt.Errorf("cinemastore: parse index: %w", err)
 	}
 	switch {
-	case idx.Type == TypeV2 && idx.Version == VersionV2:
+	case idx.Type == TypeV2 && (idx.Version == VersionV3 || idx.Version == VersionV2):
 	case idx.Type == typeV1 && idx.Version == versionV1:
 	default:
 		return nil, "", fmt.Errorf("cinemastore: unsupported index type %q version %q", idx.Type, idx.Version)
@@ -430,10 +555,15 @@ func DecodeIndex(data []byte) ([]Entry, string, error) {
 		}
 		e := Entry{
 			Key:  Key{Time: je.Time, Phi: je.Phi, Theta: je.Theta, Variable: variable},
-			File: je.File, Bytes: je.Bytes,
+			File: je.File, Bytes: je.Bytes, Digest: je.Sha256,
 		}
 		if err := e.Validate(); err != nil {
 			return nil, "", fmt.Errorf("cinemastore: index entry %d: %w", i, err)
+		}
+		if e.Digest != "" {
+			if _, err := provenance.ParseHex(e.Digest); err != nil {
+				return nil, "", fmt.Errorf("cinemastore: index entry %d: %w", i, err)
+			}
 		}
 		if e.File == "" || filepath.Base(e.File) != e.File || e.File == "." || e.File == ".." {
 			return nil, "", fmt.Errorf("cinemastore: index entry %d: unsafe file name %q", i, je.File)

@@ -53,7 +53,7 @@ func TestWriteOpenRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Version() != VersionV2 {
+	if s.Version() != VersionV3 {
 		t.Errorf("version = %q", s.Version())
 	}
 	if s.Len() != len(wrote) {
@@ -380,7 +380,7 @@ func TestEncodeIndexIsByteStable(t *testing.T) {
 		t.Error("index encoding depends on entry order")
 	}
 	back, version, err := DecodeIndex(a)
-	if err != nil || version != VersionV2 {
+	if err != nil || version != VersionV3 {
 		t.Fatalf("decode: %v (version %q)", err, version)
 	}
 	if len(back) != 2 || back[0].Variable != "a" || back[1].Variable != "b" {

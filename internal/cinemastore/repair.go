@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"insituviz/internal/provenance"
 )
 
 // Repair reports what RepairOpen did to bring a database back to a
@@ -18,18 +20,30 @@ type Repair struct {
 	// because the recovered index does not reference them: frames from
 	// the torn commit, stray temp files, and other debris.
 	Quarantined []string
+	// CorruptQuarantined lists the files (sorted) moved into
+	// QuarantineDir because their bytes no longer verify against the
+	// index — a length or digest mismatch. The index is rewritten
+	// without them.
+	CorruptQuarantined []string
+	// ManifestTruncatedBytes is the length of a torn provenance-manifest
+	// tail that was truncated back to the last good record.
+	ManifestTruncatedBytes int64
 }
 
-// RepairOpen opens a database that may have been left mid-commit — a
-// torn index, stray temp files, frames written but never referenced by a
-// committed index. It restores the last good index from BackupFile when
-// the live one does not parse, moves every unreferenced regular file
-// into QuarantineDir (nothing is deleted), and finishes with a strict
+// RepairOpen opens a database that may have been left mid-commit or
+// silently damaged — a torn index, stray temp files, frames written but
+// never referenced by a committed index, bit-rotted or truncated frame
+// files, a torn manifest append. It restores the last good index from
+// BackupFile when the live one does not parse, moves every unreferenced
+// regular file into QuarantineDir (nothing is deleted), verifies every
+// referenced frame against its recorded length and content address —
+// quarantining divergent frames and rewriting the index without them —
+// truncates a torn provenance-manifest tail, and finishes with a strict
 // Open over the repaired directory.
 //
-// RepairOpen is for crashed or torn databases only. It must not run
-// against a database a live writer is still appending to: frames put
-// since the last Commit are unreferenced by definition and would be
+// RepairOpen is for crashed, torn, or corrupt databases only. It must
+// not run against a database a live writer is still appending to: frames
+// put since the last Commit are unreferenced by definition and would be
 // quarantined.
 func RepairOpen(dir string) (*Store, *Repair, error) {
 	rep := &Repair{}
@@ -57,9 +71,10 @@ func RepairOpen(dir string) (*Store, *Repair, error) {
 		rep.RecoveredBackup = true
 	}
 
-	referenced := make(map[string]bool, len(entries)+2)
+	referenced := make(map[string]bool, len(entries)+3)
 	referenced[IndexFile] = true
 	referenced[BackupFile] = true
+	referenced[provenance.ManifestFile] = true
 	for _, e := range entries {
 		referenced[e.File] = true
 	}
@@ -68,26 +83,77 @@ func RepairOpen(dir string) (*Store, *Repair, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("cinemastore: list database dir: %w", err)
 	}
+	quarantine := func(name string) error {
+		if len(rep.Quarantined)+len(rep.CorruptQuarantined) == 0 {
+			if err := os.MkdirAll(filepath.Join(dir, QuarantineDir), 0o755); err != nil {
+				return fmt.Errorf("cinemastore: create quarantine dir: %w", err)
+			}
+		}
+		if err := os.Rename(filepath.Join(dir, name), filepath.Join(dir, QuarantineDir, name)); err != nil {
+			return fmt.Errorf("cinemastore: quarantine %s: %w", name, err)
+		}
+		return nil
+	}
 	for _, de := range listing {
 		if de.IsDir() || referenced[de.Name()] {
 			continue
 		}
-		if len(rep.Quarantined) == 0 {
-			if err := os.MkdirAll(filepath.Join(dir, QuarantineDir), 0o755); err != nil {
-				return nil, nil, fmt.Errorf("cinemastore: create quarantine dir: %w", err)
-			}
-		}
-		if err := os.Rename(filepath.Join(dir, de.Name()), filepath.Join(dir, QuarantineDir, de.Name())); err != nil {
-			return nil, nil, fmt.Errorf("cinemastore: quarantine %s: %w", de.Name(), err)
+		if err := quarantine(de.Name()); err != nil {
+			return nil, nil, err
 		}
 		rep.Quarantined = append(rep.Quarantined, de.Name())
 	}
-	if len(rep.Quarantined) > 0 || rep.RecoveredBackup {
+
+	// Integrity pass: every referenced frame must still match its entry.
+	// Divergent frames (bit-rot, truncation) are quarantined and dropped
+	// from the index; a missing file is left to the strict Open below to
+	// report, since dropping it silently would mask real data loss.
+	kept := entries[:0]
+	for _, e := range entries {
+		frame, err := os.ReadFile(filepath.Join(dir, e.File))
+		if err != nil {
+			kept = append(kept, e)
+			continue
+		}
+		if err := e.VerifyFrame(frame); err != nil {
+			if qerr := quarantine(e.File); qerr != nil {
+				return nil, nil, qerr
+			}
+			rep.CorruptQuarantined = append(rep.CorruptQuarantined, e.File)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if len(rep.CorruptQuarantined) > 0 {
+		idx, err := EncodeIndex(kept)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := WriteFileAtomic(dir, IndexFile, idx); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// A torn manifest tail (crash mid-append) is truncated back to the
+	// last chained record; OpenLedger owns that recovery.
+	if _, err := os.Stat(filepath.Join(dir, provenance.ManifestFile)); err == nil {
+		ledger, lrep, err := provenance.OpenLedger(dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		ledger.Close()
+		if lrep != nil {
+			rep.ManifestTruncatedBytes = lrep.TruncatedBytes
+		}
+	}
+
+	if len(rep.Quarantined)+len(rep.CorruptQuarantined) > 0 || rep.RecoveredBackup {
 		if err := syncDir(dir); err != nil {
 			return nil, nil, err
 		}
 	}
 	sort.Strings(rep.Quarantined)
+	sort.Strings(rep.CorruptQuarantined)
 
 	st, err := Open(dir)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 
 	"insituviz/internal/faults"
@@ -300,4 +301,158 @@ func TestTornCommitDeterministicOffset(t *testing.T) {
 	if a, b := run(), run(); a != b {
 		t.Errorf("same seed, different tear offsets: %d vs %d", a, b)
 	}
+}
+
+// distinctFrameDB builds a single-generation database whose frames all
+// carry distinct content, returning the dir and the committed entries in
+// canonical order.
+func distinctFrameDB(t *testing.T, frames int) (string, []Entry) {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < frames; i++ {
+		data := bytes.Repeat([]byte{byte(i + 1)}, 64+i)
+		if _, err := w.Put(Key{Time: float64(i), Variable: "ow"}, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CloseLedger(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, w.Entries()
+}
+
+// TestRepairQuarantinesCorruptFrames damages committed frames in place —
+// silent bit-rot, truncation, both at once — and asserts RepairOpen
+// quarantines exactly the divergent frames, rewrites the index without
+// them, and leaves the survivors verifying clean.
+func TestRepairQuarantinesCorruptFrames(t *testing.T) {
+	flip := func(t *testing.T, dir, file string) {
+		t.Helper()
+		path := filepath.Join(dir, file)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x01
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	truncate := func(t *testing.T, dir, file string) {
+		t.Helper()
+		path := filepath.Join(dir, file)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := map[string]struct {
+		damage func(t *testing.T, dir string, entries []Entry) []string // returns damaged files
+	}{
+		"bit flip": {func(t *testing.T, dir string, entries []Entry) []string {
+			flip(t, dir, entries[1].File)
+			return []string{entries[1].File}
+		}},
+		"truncation": {func(t *testing.T, dir string, entries []Entry) []string {
+			truncate(t, dir, entries[3].File)
+			return []string{entries[3].File}
+		}},
+		"bit flip and truncation": {func(t *testing.T, dir string, entries []Entry) []string {
+			flip(t, dir, entries[0].File)
+			truncate(t, dir, entries[4].File)
+			return []string{entries[0].File, entries[4].File}
+		}},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			dir, entries := distinctFrameDB(t, 5)
+			damaged := tc.damage(t, dir, entries)
+			sort.Strings(damaged)
+
+			st, rep, err := RepairOpen(dir)
+			if err != nil {
+				t.Fatalf("RepairOpen: %v", err)
+			}
+			if rep.RecoveredBackup {
+				t.Error("healthy index reported as recovered from backup")
+			}
+			if got := rep.CorruptQuarantined; !slicesEqual(got, damaged) {
+				t.Errorf("CorruptQuarantined = %v, want %v", got, damaged)
+			}
+			if got, want := st.Len(), len(entries)-len(damaged); got != want {
+				t.Errorf("repaired store has %d entries, want %d", got, want)
+			}
+			for _, f := range damaged {
+				if _, err := os.Stat(filepath.Join(dir, QuarantineDir, f)); err != nil {
+					t.Errorf("damaged frame %s not in quarantine: %v", f, err)
+				}
+				if _, ok := st.LookupFileIndex(f); ok {
+					t.Errorf("damaged frame %s still referenced by the repaired index", f)
+				}
+			}
+			// Every surviving frame must verify clean end to end.
+			for i := 0; i < st.Len(); i++ {
+				data, err := st.ReadFrameAt(i)
+				if err != nil {
+					t.Fatalf("read survivor %d: %v", i, err)
+				}
+				if err := st.EntryAt(i).VerifyFrame(data); err != nil {
+					t.Errorf("survivor %d fails verification after repair: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// TestRepairTruncatesTornManifestTail appends a torn half-record to the
+// provenance manifest and asserts RepairOpen truncates it back to the
+// last good record, byte-identically.
+func TestRepairTruncatesTornManifestTail(t *testing.T) {
+	dir, _ := distinctFrameDB(t, 3)
+	path := filepath.Join(dir, "manifest.log")
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(append([]byte(nil), good...), []byte(`{"seq":2,"prev":"dead`)...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rep, err := RepairOpen(dir)
+	if err != nil {
+		t.Fatalf("RepairOpen: %v", err)
+	}
+	if want := int64(len(torn) - len(good)); rep.ManifestTruncatedBytes != want {
+		t.Errorf("ManifestTruncatedBytes = %d, want %d", rep.ManifestTruncatedBytes, want)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, good) {
+		t.Error("manifest not restored to the last good record boundary")
+	}
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

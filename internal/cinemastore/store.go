@@ -6,11 +6,14 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"insituviz/internal/faults"
 )
 
 // Store is an opened Cinema database: the parsed index plus the lookup
-// structures of the query engine. A Store is immutable after Open and
-// safe for concurrent use; frames are read from disk on demand.
+// structures of the query engine. A Store is immutable after Open
+// (SetFaults aside, which is called before serving starts) and safe for
+// concurrent use; frames are read from disk on demand.
 type Store struct {
 	dir     string
 	version string
@@ -21,6 +24,12 @@ type Store struct {
 	byFile map[string]int
 	vars   []*variableAxis
 	varIdx map[string]*variableAxis
+
+	// Fault injection on the read path (nil without SetFaults; nil sites
+	// never fire).
+	inj        *faults.Injector
+	bitrotSite *faults.Site
+	truncSite  *faults.Site
 }
 
 // variableAxis is the per-variable slice of the axis space: the cameras
@@ -92,8 +101,8 @@ func Open(dir string) (*Store, error) {
 // Dir returns the database directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Version returns the index format version that was opened ("1.0" legacy
-// or "2.0").
+// Version returns the index format version that was opened ("1.0"
+// legacy, "2.0", or the content-addressed "3.0").
 func (s *Store) Version() string { return s.version }
 
 // Len returns the number of indexed frames.
@@ -235,12 +244,36 @@ func (s *Store) Scan(fn func(Entry) error) error {
 	return nil
 }
 
+// SetFaults arms the read path's silent-corruption sites: "store.bitrot"
+// flips one bit of the returned frame bytes, "store.truncate" cuts the
+// tail — both at deterministic, seed-derived offsets, both invisible to
+// the read itself. Only digest/length verification downstream notices,
+// which is the point. Call before the store starts serving reads.
+func (s *Store) SetFaults(in *faults.Injector) {
+	s.inj = in
+	s.bitrotSite = in.Site("store.bitrot")
+	s.truncSite = in.Site("store.truncate")
+}
+
 // ReadFrame loads one frame's bytes. Entry file names were validated at
 // Open to be bare names inside the database directory.
 func (s *Store) ReadFrame(e Entry) ([]byte, error) {
 	data, err := os.ReadFile(filepath.Join(s.dir, e.File))
 	if err != nil {
 		return nil, fmt.Errorf("cinemastore: read frame: %w", err)
+	}
+	// Injected silent corruption: the read "succeeds" with wrong bytes.
+	// Truncation is consulted first so a frame can suffer both.
+	if f, ok := s.truncSite.Next(); ok && f.Kind == faults.KindCorrupt && len(data) > 1 {
+		cut := 1 + int(s.inj.Uniform("store.truncate.cut", f.Seq)*float64(len(data)-1))
+		data = data[:cut]
+	}
+	if f, ok := s.bitrotSite.Next(); ok && f.Kind == faults.KindCorrupt && len(data) > 0 {
+		pos := int(s.inj.Uniform("store.bitrot.pos", f.Seq) * float64(len(data)))
+		if pos >= len(data) {
+			pos = len(data) - 1
+		}
+		data[pos] ^= 0x80
 	}
 	return data, nil
 }

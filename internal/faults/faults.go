@@ -64,6 +64,11 @@ const (
 	// KindTorn tears a write mid-flight: the destination is left with a
 	// corrupt prefix, the failure mode the store's repair path recovers.
 	KindTorn
+	// KindCorrupt silently corrupts the bytes a read returns — a flipped
+	// bit or a truncated tail — without failing the operation. The
+	// consulting layer sees a successful read of wrong data; only digest
+	// verification catches it.
+	KindCorrupt
 )
 
 // String names the kind in the fault log.
@@ -77,6 +82,8 @@ func (k Kind) String() string {
 		return "crash"
 	case KindTorn:
 		return "torn"
+	case KindCorrupt:
+		return "corrupt"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -108,7 +115,7 @@ func (r Rule) Validate() error {
 	if r.Site == "" {
 		return fmt.Errorf("faults: rule with empty site")
 	}
-	if r.Kind < KindError || r.Kind > KindTorn {
+	if r.Kind < KindError || r.Kind > KindCorrupt {
 		return fmt.Errorf("faults: rule for %q has unknown kind %d", r.Site, r.Kind)
 	}
 	if r.Prob < 0 || r.Prob > 1 {
@@ -422,8 +429,10 @@ func (e *UnknownProfileError) Error() string {
 //   - "default" exercises the live coupled stack: one scheduled render-
 //     rank crash, probabilistic (plus one scheduled) viz-sample stalls
 //     that blow a sub-second deadline, and one torn Cinema index commit.
-//   - "storage" exercises the simulated Lustre rack: transient write and
-//     read errors plus multi-second data-path stalls.
+//   - "storage" exercises the simulated Lustre rack and the store's
+//     integrity layer: transient write and read errors, multi-second
+//     data-path stalls, silent bit-rot and truncation on frame reads,
+//     and one torn manifest append.
 //   - "serve" exercises the query server: a burst of failed store reads
 //     that trips the per-store circuit breaker.
 //   - "cluster" exercises the serving gateway: a scheduled burst plus a
@@ -449,6 +458,13 @@ func Profile(name string, seed uint64) (Plan, error) {
 		{Site: "lustre.write", Kind: KindError, Prob: 0.15},
 		{Site: "lustre.write", Kind: KindStall, Prob: 0.05, Stall: 2.0},
 		{Site: "lustre.read", Kind: KindError, Prob: 0.10},
+		// Integrity faults, appended after the lustre rules so their
+		// positional salts leave the older rules' byte-identical logs
+		// intact: silent bit-rot and truncation on store reads, and one
+		// torn manifest append that the ledger's retry path must recover.
+		{Site: "store.bitrot", Kind: KindCorrupt, Prob: 0.10, At: []uint64{3}},
+		{Site: "store.truncate", Kind: KindCorrupt, At: []uint64{5}, Count: 1},
+		{Site: "manifest.torn", Kind: KindTorn, At: []uint64{1}, Count: 1},
 	}
 	serve := []Rule{
 		{Site: "serve.read", Kind: KindError, At: []uint64{1, 2, 3, 4, 5, 6, 7, 8}, Count: 8},

@@ -266,8 +266,12 @@ func TestParseSpec(t *testing.T) {
 	if err != nil || p.Seed != 9 {
 		t.Fatalf("ParseSpec(seed=9,storage) = %+v, %v", p, err)
 	}
+	storageSites := map[string]bool{
+		"lustre.write": true, "lustre.read": true,
+		"store.bitrot": true, "store.truncate": true, "manifest.torn": true,
+	}
 	for _, r := range p.Rules {
-		if r.Site != "lustre.write" && r.Site != "lustre.read" {
+		if !storageSites[r.Site] {
 			t.Errorf("storage profile has site %q", r.Site)
 		}
 	}
@@ -350,7 +354,8 @@ func TestProfilesValidate(t *testing.T) {
 func TestKindStrings(t *testing.T) {
 	for k, want := range map[Kind]string{
 		KindError: "error", KindStall: "stall", KindCrash: "crash", KindTorn: "torn",
-		Kind(99): fmt.Sprintf("kind(%d)", 99),
+		KindCorrupt: "corrupt",
+		Kind(99):    fmt.Sprintf("kind(%d)", 99),
 	} {
 		if got := k.String(); got != want {
 			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)

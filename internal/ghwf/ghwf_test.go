@@ -284,7 +284,7 @@ func TestCIWorkflowIsValid(t *testing.T) {
 	if wf.Name != "ci" {
 		t.Errorf("workflow name = %q, want ci", wf.Name)
 	}
-	for _, id := range []string{"tier1", "bench", "trace-smoke", "serve-smoke", "chaos-smoke", "model-smoke", "transit-smoke", "cluster-smoke", "lint"} {
+	for _, id := range []string{"tier1", "bench", "trace-smoke", "serve-smoke", "chaos-smoke", "model-smoke", "transit-smoke", "cluster-smoke", "integrity-smoke", "lint"} {
 		if wf.Jobs[id] == nil {
 			t.Fatalf("ci.yml is missing the %q job", id)
 		}
@@ -590,6 +590,66 @@ func TestCIWorkflowIsValid(t *testing.T) {
 	if !clusterFleet || !clusterKill || !clusterCmp || !clusterRebalance || !clusterAsserts || !clusterBalance || !clusterUpload {
 		t.Errorf("cluster-smoke coverage: fleet=%v kill=%v cmp=%v rebalance=%v asserts=%v balance=%v upload=%v",
 			clusterFleet, clusterKill, clusterCmp, clusterRebalance, clusterAsserts, clusterBalance, clusterUpload)
+	}
+
+	// The integrity-smoke job is the bit-rot drill: independent replicas
+	// behind a repairing gateway, a deliberate mid-file bit flip,
+	// cinemaverify naming the rotten frame with a nonzero exit, failover
+	// that never shows the client an error, an in-place replica repair
+	// proven by byte comparison, and a final clean verify. It depends on
+	// serve-smoke and carries a timeout.
+	integrityJob := wf.Jobs["integrity-smoke"]
+	if !reflect.DeepEqual(integrityJob.Needs, []string{"serve-smoke"}) {
+		t.Errorf("integrity-smoke needs = %v, want [serve-smoke]", integrityJob.Needs)
+	}
+	if integrityJob.TimeoutMinutes <= 0 {
+		t.Error("integrity-smoke must set timeout-minutes")
+	}
+	var integVerify, integFleet, integFlip, integNames, integFailover, integLoad, integAsserts, integReverify, integUpload bool
+	for _, st := range integrityJob.Steps {
+		if strings.Contains(st.Run, "cinemaverify-bin integrity-smoke-out/cinema") {
+			integVerify = true
+		}
+		if strings.Contains(st.Run, "-repair-dir") && strings.Contains(st.Run, "-scrub 1s") &&
+			strings.Contains(st.Run, "-replicas") {
+			integFleet = true
+		}
+		if strings.Contains(st.Run, "python3 -c") && strings.Contains(st.Run, "0x80") {
+			integFlip = true
+		}
+		if strings.Contains(st.Run, "cinemaverify passed a rotten store") &&
+			strings.Contains(st.Run, `grep -F "$F" verify-rotten.txt`) {
+			integNames = true
+		}
+		if strings.Contains(st.Run, "cmp before.png after.png") &&
+			strings.Contains(st.Run, `[ "$SERVER" != "$VICTIM" ]`) &&
+			strings.Contains(st.Run, `cmp before.png "replica$IDX/$F"`) {
+			integFailover = true
+		}
+		if strings.Contains(st.Run, "cinemaload-bin") {
+			integLoad = true
+		}
+		if strings.Contains(st.Run, `cluster\.corrupt [1-9]`) &&
+			strings.Contains(st.Run, `cluster\.repairs [1-9]`) &&
+			strings.Contains(st.Run, `cluster\.errors 0`) &&
+			strings.Contains(st.Run, `serve\.corrupt [1-9]`) &&
+			strings.Contains(st.Run, `serve\.quarantined 0`) {
+			integAsserts = true
+		}
+		if strings.Contains(st.Run, `cinemaverify-bin "replica$IDX"`) &&
+			!strings.Contains(st.Run, "verify-rotten") {
+			integReverify = true
+		}
+		if strings.HasPrefix(st.Uses, "actions/upload-artifact@") {
+			integUpload = true
+			if st.If != "always()" {
+				t.Errorf("integrity artifact upload must run on failure too, if = %q", st.If)
+			}
+		}
+	}
+	if !integVerify || !integFleet || !integFlip || !integNames || !integFailover || !integLoad || !integAsserts || !integReverify || !integUpload {
+		t.Errorf("integrity-smoke coverage: verify=%v fleet=%v flip=%v names=%v failover=%v load=%v asserts=%v reverify=%v upload=%v",
+			integVerify, integFleet, integFlip, integNames, integFailover, integLoad, integAsserts, integReverify, integUpload)
 	}
 
 	// The lint job covers gofmt and go vet.

@@ -55,9 +55,11 @@ func NewSnapshot(results []Result) *Snapshot {
 //
 //	BenchmarkLiveCoupledRun-8  31  37159117 ns/op  12227215 B/op  26830 allocs/op
 //
-// The B/op and allocs/op columns are absent without -benchmem.
+// The B/op and allocs/op columns are absent without -benchmem, and a
+// benchmark that calls b.SetBytes inserts a throughput column (MB/s)
+// between ns/op and B/op.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+[0-9.]+ MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 // cpuSuffix is the trailing -GOMAXPROCS marker on benchmark names.
 var cpuSuffix = regexp.MustCompile(`-\d+$`)

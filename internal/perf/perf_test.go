@@ -15,6 +15,7 @@ BenchmarkLiveCoupledRun-8   	      31	  37159117 ns/op	12227215 B/op	   26830 al
 BenchmarkStepParallel10242Cells/serial-8         	      72	  15912345 ns/op	 4744528 B/op	      57 allocs/op
 BenchmarkStepParallel10242Cells/workers4-8       	      70	  16234567 ns/op	 4748368 B/op	     201 allocs/op
 BenchmarkNoMem-8	 1000000	      1234 ns/op
+BenchmarkCommitHashed-8 	     490	   2275479 ns/op	 115.20 MB/s	   98976 B/op	     270 allocs/op
 PASS
 ok  	insituviz	4.521s
 `
@@ -24,8 +25,8 @@ func TestParseBenchOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 4 {
-		t.Fatalf("parsed %d results, want 4", len(results))
+	if len(results) != 5 {
+		t.Fatalf("parsed %d results, want 5", len(results))
 	}
 	r := results[0]
 	if r.Name != "BenchmarkLiveCoupledRun" {
@@ -39,6 +40,12 @@ func TestParseBenchOutput(t *testing.T) {
 	}
 	if nm := results[3]; nm.Name != "BenchmarkNoMem" || nm.NsPerOp != 1234 || nm.BytesPerOp != 0 || nm.AllocsPerOp != 0 {
 		t.Errorf("no-benchmem line parsed wrong: %+v", nm)
+	}
+	// b.SetBytes inserts a MB/s column between ns/op and B/op; the memory
+	// columns after it must still be captured.
+	if tp := results[4]; tp.Name != "BenchmarkCommitHashed" || tp.NsPerOp != 2275479 ||
+		tp.BytesPerOp != 98976 || tp.AllocsPerOp != 270 {
+		t.Errorf("throughput (MB/s) line parsed wrong: %+v", tp)
 	}
 }
 

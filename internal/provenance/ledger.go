@@ -1,0 +1,251 @@
+package provenance
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"insituviz/internal/faults"
+)
+
+// ManifestFile is the ledger's file name inside a store directory.
+const ManifestFile = "manifest.log"
+
+// TornManifestError reports a manifest append torn mid-write (injected
+// via the "manifest.torn" fault site, or a real partial write). The
+// pending records are retained; the next Sync truncates the torn tail
+// and rewrites them, so the caller's retry policy is simply "Sync again".
+type TornManifestError struct {
+	// Path is the manifest file.
+	Path string
+	// Written and Total are the torn append's byte counts.
+	Written, Total int
+}
+
+func (e *TornManifestError) Error() string {
+	return fmt.Sprintf("provenance: torn manifest append to %s (%d of %d bytes)", e.Path, e.Written, e.Total)
+}
+
+// LedgerRepair reports what OpenLedger had to discard to recover a
+// usable chain.
+type LedgerRepair struct {
+	// TruncatedBytes is the length of the torn/invalid tail dropped from
+	// the manifest.
+	TruncatedBytes int64
+}
+
+// Ledger appends hash-chained manifest records to a store's
+// manifest.log. Appends are batched: Append buffers a record, Sync
+// renders the batch, chains it onto the head, writes it in one append,
+// and fsyncs the file. The file is created lazily on the first Sync
+// with pending records, so a component that never commits (an in-transit
+// vizworker sharing the store directory with the sim) never creates a
+// ledger.
+//
+// A Ledger is safe for concurrent use.
+type Ledger struct {
+	mu      sync.Mutex
+	dir     string
+	path    string
+	f       *os.File
+	seq     uint64 // sequence of the last durable record
+	head    Digest // chain link after the last durable record
+	last    Record // last durable record (valid when seq > 0)
+	good    int64  // byte offset of the end of the last durable record
+	size    int64  // current file size (may exceed good after a torn append)
+	pending []Record
+
+	inj      *faults.Injector
+	tornSite *faults.Site
+}
+
+// OpenLedger opens (without creating) the manifest of a store directory,
+// validates its chain, and truncates any torn or invalid tail so the
+// next append lands on a clean chain head. The returned LedgerRepair is
+// non-nil when a tail was dropped.
+func OpenLedger(dir string) (*Ledger, *LedgerRepair, error) {
+	l := &Ledger{
+		dir:  dir,
+		path: filepath.Join(dir, ManifestFile),
+		head: GenesisLink(),
+	}
+	data, err := os.ReadFile(l.path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return l, nil, nil
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("provenance: open ledger: %w", err)
+	}
+	recs, head, good, cerr := decodeManifest(l.path, data)
+	l.seq = uint64(len(recs))
+	l.head = head
+	l.good = good
+	l.size = int64(len(data))
+	if len(recs) > 0 {
+		l.last = recs[len(recs)-1]
+	}
+	var rep *LedgerRepair
+	if cerr != nil {
+		rep = &LedgerRepair{TruncatedBytes: l.size - good}
+		if err := os.Truncate(l.path, good); err != nil {
+			return nil, nil, fmt.Errorf("provenance: truncate torn manifest: %w", err)
+		}
+		l.size = good
+	}
+	return l, rep, nil
+}
+
+// ReadManifest strictly decodes a manifest file: any torn tail, broken
+// chain link, or non-canonical record is returned as a *ChainError
+// alongside the valid prefix.
+func ReadManifest(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	recs, _, _, cerr := decodeManifest(path, data)
+	if cerr != nil {
+		return recs, cerr
+	}
+	return recs, nil
+}
+
+// SetFaults arms the "manifest.torn" injection site. Call before the
+// first Sync.
+func (l *Ledger) SetFaults(in *faults.Injector) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inj = in
+	l.tornSite = in.Site("manifest.torn")
+}
+
+// Append buffers a record covering the store state (root, frames,
+// bytes). It becomes durable — and part of the chain — on the next Sync.
+func (l *Ledger) Append(root Digest, frames int, bytes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.pending = append(l.pending, Record{Root: root.Hex(), Frames: frames, Bytes: bytes})
+}
+
+// Pending reports how many buffered records await a Sync.
+func (l *Ledger) Pending() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.pending)
+}
+
+// Head returns the last durable record, if any.
+func (l *Ledger) Head() (Record, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.last, l.seq > 0
+}
+
+// Sync makes every buffered record durable: sequence numbers and chain
+// links are assigned, the batch is rendered canonically, appended in one
+// write, and fsync'd (the directory too when the file was just created).
+// On a torn append (*TornManifestError) the buffered records are
+// retained and the ledger remembers the torn tail; the next Sync
+// truncates back to the last durable record and rewrites the batch.
+func (l *Ledger) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.pending) == 0 {
+		return nil
+	}
+	created := false
+	if l.f == nil {
+		f, err := os.OpenFile(l.path, os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return fmt.Errorf("provenance: open manifest: %w", err)
+		}
+		l.f = f
+		created = true
+	}
+	if l.size != l.good {
+		// A previous append tore; drop the corrupt tail before rewriting.
+		if err := l.f.Truncate(l.good); err != nil {
+			return fmt.Errorf("provenance: truncate torn manifest tail: %w", err)
+		}
+		l.size = l.good
+	}
+
+	var (
+		buf  []byte
+		seq  = l.seq
+		head = l.head
+		last = l.last
+	)
+	for _, r := range l.pending {
+		seq++
+		r.Seq = seq
+		r.Prev = head.Hex()
+		line := r.appendLine(nil)
+		buf = append(buf, line...)
+		head = Sum(line)
+		last = r
+	}
+
+	if f, ok := l.tornSite.Next(); ok && f.Kind == faults.KindTorn && len(buf) > 1 {
+		cut := 1 + int(l.inj.Uniform("manifest.tear", f.Seq)*float64(len(buf)-1))
+		n, werr := l.f.WriteAt(buf[:cut], l.good)
+		l.size = l.good + int64(n)
+		if werr != nil {
+			return fmt.Errorf("provenance: append manifest: %w", werr)
+		}
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("provenance: sync manifest: %w", err)
+		}
+		return &TornManifestError{Path: l.path, Written: cut, Total: len(buf)}
+	}
+
+	n, werr := l.f.WriteAt(buf, l.good)
+	l.size = l.good + int64(n)
+	if werr != nil {
+		return fmt.Errorf("provenance: append manifest: %w", werr)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("provenance: sync manifest: %w", err)
+	}
+	if created {
+		if err := syncDir(l.dir); err != nil {
+			return err
+		}
+	}
+	l.good = l.size
+	l.seq = seq
+	l.head = head
+	l.last = last
+	l.pending = l.pending[:0]
+	return nil
+}
+
+// Close releases the manifest file handle. Buffered records that were
+// never Sync'd are lost, mirroring the store's crash semantics.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// syncDir fsyncs a directory so a freshly created manifest survives a
+// crash of the directory entry itself.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("provenance: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("provenance: sync dir: %w", err)
+	}
+	return nil
+}

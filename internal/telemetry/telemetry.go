@@ -75,6 +75,14 @@ func (g *Gauge) Set(n int64) {
 	}
 }
 
+// Add moves the gauge by delta (occupancy-style gauges: entries enter
+// and leave). Add(0) is free of the atomic write.
+func (g *Gauge) Add(delta int64) {
+	if g != nil && delta != 0 {
+		g.v.Add(delta)
+	}
+}
+
 // SetMax raises the gauge to n if n exceeds the current value — a
 // high-water mark.
 func (g *Gauge) SetMax(n int64) {

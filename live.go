@@ -20,6 +20,7 @@ import (
 	"insituviz/internal/partition"
 	"insituviz/internal/pio"
 	"insituviz/internal/power"
+	"insituviz/internal/provenance"
 	"insituviz/internal/render"
 	"insituviz/internal/telemetry"
 	"insituviz/internal/trace"
@@ -738,8 +739,10 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 	}
 
 	// The index commit is the one write the whole run hinges on, so it
-	// retries through injected torn commits: a TornCommitError leaves a
-	// corrupt prefix the next atomic commit simply overwrites.
+	// retries through injected torn writes: a TornCommitError leaves a
+	// corrupt index prefix the next atomic commit simply overwrites, and
+	// a TornManifestError leaves a torn provenance-ledger tail the next
+	// commit truncates and rewrites.
 	mCommitRetries := reg.Counter("cinema.commit.retries")
 	const commitAttempts = 4
 	for attempt := 1; ; attempt++ {
@@ -748,7 +751,8 @@ func LiveRun(cfg LiveConfig) (*LiveResult, error) {
 			break
 		}
 		var torn *cinemastore.TornCommitError
-		if !errors.As(err, &torn) || attempt >= commitAttempts {
+		var tornM *provenance.TornManifestError
+		if !(errors.As(err, &torn) || errors.As(err, &tornM)) || attempt >= commitAttempts {
 			return nil, err
 		}
 		mCommitRetries.Inc()

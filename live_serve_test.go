@@ -48,7 +48,7 @@ func TestLiveRunDatabaseServesEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Version() != cinemastore.VersionV2 {
+	if st.Version() != cinemastore.VersionV3 {
 		t.Errorf("store version = %s", st.Version())
 	}
 	if st.Len() != res.Images {

@@ -8,7 +8,9 @@
 # BenchmarkCinemaLoadMixed, the Zipf hit/miss/evict blend) and the
 # in-transit wire hot path (BenchmarkTransitLoopback/{flate,raw} —
 # shard encode, delta, codec, framing, and decode; the raw sub-bench
-# pins 0 allocs/op in steady state) with -benchmem.
+# pins 0 allocs/op in steady state) and the content-addressed commit
+# path (BenchmarkCommitHashed — index encode, Merkle root, atomic index
+# write, fsync'd manifest append) with -benchmem.
 #
 # On top of the snapshot diff, benchsnap checks the scaling matrix: on a
 # host with >= 4 cores, workers4 should beat serial by 1.3x, and workers8
